@@ -1,0 +1,145 @@
+// Infrastructure microbenchmarks (google-benchmark): CONGEST simulator
+// round throughput (sequential vs parallel engine), state-vector gates,
+// amplitude-vector Grover iterates, and the graph substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "algos/bfs_tree.hpp"
+#include "algos/evaluation.hpp"
+#include "congest/network.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "qsim/amplitude_vector.hpp"
+#include "qsim/statevector.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qc;
+
+/// A chatty program: every node broadcasts a counter each round.
+class ChatterProgram : public congest::NodeProgram {
+ public:
+  void on_start(congest::NodeContext& ctx) override {
+    ctx.broadcast(congest::Message().push(0, 16));
+  }
+  void on_round(congest::NodeContext& ctx) override {
+    count_ = (count_ + 1) & 0xffff;
+    ctx.broadcast(congest::Message().push(count_, 16));
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+void BM_NetworkRoundsSequential(benchmark::State& state) {
+  Rng rng(1);
+  auto g = graph::make_connected_er(static_cast<std::uint32_t>(state.range(0)),
+                                    0.02, rng);
+  congest::NetworkConfig cfg;
+  cfg.bandwidth_bits = 64;
+  congest::Network net(g, cfg);
+  net.init_programs(
+      [](graph::NodeId) { return std::make_unique<ChatterProgram>(); });
+  for (auto _ : state) {
+    net.run_rounds(10);
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * g.m() * 2);
+}
+BENCHMARK(BM_NetworkRoundsSequential)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_NetworkRoundsParallel(benchmark::State& state) {
+  Rng rng(1);
+  auto g = graph::make_connected_er(static_cast<std::uint32_t>(state.range(0)),
+                                    0.02, rng);
+  congest::NetworkConfig cfg;
+  cfg.bandwidth_bits = 64;
+  cfg.engine = congest::Engine::kParallel;
+  cfg.num_threads = 4;
+  congest::Network net(g, cfg);
+  net.init_programs(
+      [](graph::NodeId) { return std::make_unique<ChatterProgram>(); });
+  for (auto _ : state) {
+    net.run_rounds(10);
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * g.m() * 2);
+}
+BENCHMARK(BM_NetworkRoundsParallel)->Arg(512)->Arg(2048);
+
+void BM_BfsTreeConstruction(benchmark::State& state) {
+  Rng rng(2);
+  auto g = graph::make_random_with_diameter(
+      static_cast<std::uint32_t>(state.range(0)), 16, rng);
+  for (auto _ : state) {
+    auto out = algos::build_bfs_tree(g, 0);
+    benchmark::DoNotOptimize(out.tree.height);
+  }
+}
+BENCHMARK(BM_BfsTreeConstruction)->Arg(256)->Arg(1024);
+
+void BM_EvaluationProcedure(benchmark::State& state) {
+  Rng rng(3);
+  auto g = graph::make_random_with_diameter(
+      static_cast<std::uint32_t>(state.range(0)), 16, rng);
+  auto tree = algos::build_bfs_tree(g, 0).tree;
+  for (auto _ : state) {
+    auto out = algos::evaluate_window_ecc(g, tree, 1, 2 * tree.height);
+    benchmark::DoNotOptimize(out.max_ecc);
+  }
+}
+BENCHMARK(BM_EvaluationProcedure)->Arg(128)->Arg(512);
+
+void BM_GroverIterateAmplitude(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  auto psi0 = qsim::AmplitudeVector::uniform(dim);
+  auto v = psi0;
+  auto pred = [](std::size_t i) { return i == 3; };
+  for (auto _ : state) {
+    v.grover_iterate(pred, psi0);
+    benchmark::DoNotOptimize(v.amp(3));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_GroverIterateAmplitude)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_StateVectorGroverIterate(benchmark::State& state) {
+  const auto nq = static_cast<std::uint32_t>(state.range(0));
+  qsim::StateVector sv(nq);
+  sv.h_all();
+  auto pred = [](std::uint64_t i) { return i == 3; };
+  for (auto _ : state) {
+    sv.oracle(pred);
+    sv.grover_diffusion();
+    benchmark::DoNotOptimize(sv.amp(3));
+  }
+  state.SetItemsProcessed(state.iterations() * (1ULL << nq));
+}
+BENCHMARK(BM_StateVectorGroverIterate)->Arg(10)->Arg(16);
+
+void BM_CentralizedBfs(benchmark::State& state) {
+  Rng rng(4);
+  auto g = graph::make_connected_er(
+      static_cast<std::uint32_t>(state.range(0)), 0.01, rng);
+  for (auto _ : state) {
+    auto r = graph::bfs(g, 0);
+    benchmark::DoNotOptimize(r.ecc);
+  }
+  state.SetItemsProcessed(state.iterations() * g.m());
+}
+BENCHMARK(BM_CentralizedBfs)->Arg(1024)->Arg(8192);
+
+void BM_DfsNumbering(benchmark::State& state) {
+  Rng rng(5);
+  auto g = graph::make_random_with_diameter(
+      static_cast<std::uint32_t>(state.range(0)), 32, rng);
+  auto tree = graph::bfs_tree(g, 0);
+  for (auto _ : state) {
+    auto num = graph::dfs_numbering(tree);
+    benchmark::DoNotOptimize(num.walk.size());
+  }
+}
+BENCHMARK(BM_DfsNumbering)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

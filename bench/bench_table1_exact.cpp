@@ -1,0 +1,146 @@
+// Table 1, rows "Exact computation": classical O(n) [HW12, PRT12] versus
+// quantum O(sqrt(n*D)) (Theorem 1).
+//
+// Regenerates the headline separation: round complexity vs n at small fixed
+// D (classical linear, quantum ~sqrt(n)), round complexity vs D at fixed n,
+// and the classical/quantum crossover.
+
+#include "algos/diameter_classical.hpp"
+#include "bench/harness.hpp"
+#include "core/quantum_diameter.hpp"
+#include "graph/algorithms.hpp"
+#include "util/error.hpp"
+
+using namespace qc;
+using namespace qc::bench;
+
+namespace {
+
+double classical_rounds(std::uint32_t n, std::uint32_t d, std::uint64_t seed,
+                        std::uint32_t* out_diam = nullptr) {
+  auto g = workload(n, d, seed);
+  auto rep = algos::classical_exact_diameter(g);
+  check_internal(rep.diameter == d, "classical result wrong in bench");
+  if (out_diam != nullptr) *out_diam = rep.diameter;
+  return static_cast<double>(rep.stats.rounds);
+}
+
+double quantum_rounds(std::uint32_t n, std::uint32_t d, std::uint64_t seed) {
+  auto g = workload(n, d, seed);
+  core::QuantumConfig cfg;
+  cfg.oracle = core::OracleMode::kDirect;
+  cfg.seed = seed * 31 + 7;
+  auto rep = core::quantum_diameter_exact(g, cfg);
+  check_internal(rep.diameter == d, "quantum result wrong in bench");
+  return static_cast<double>(rep.total_rounds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = BenchOptions::parse(argc, argv);
+  banner("Table 1 / exact computation",
+         "classical O(n) [HW12,PRT12] vs quantum O~(sqrt(nD)) (Theorem 1); "
+         "exact diameters verified on every instance");
+
+  // ---- Sweep 1: n grows, D = 8 fixed (the small-diameter regime where
+  // the quantum separation is strongest).
+  {
+    const std::uint32_t d = 8;
+    std::vector<std::uint32_t> ns =
+        opt.quick ? std::vector<std::uint32_t>{32, 64, 128}
+                  : std::vector<std::uint32_t>{32, 64, 128, 256, 384, 512};
+    Table t({"n", "D", "classical rounds", "quantum rounds", "ratio"});
+    std::vector<double> xs, yc, yq;
+    for (auto n : ns) {
+      const double c = median_over_seeds(opt.trials, opt.seed + n, [&](auto s) {
+        return classical_rounds(n, d, s);
+      });
+      const double q = median_over_seeds(opt.trials, opt.seed + n, [&](auto s) {
+        return quantum_rounds(n, d, s);
+      });
+      xs.push_back(n);
+      yc.push_back(c);
+      yq.push_back(q);
+      t.add_row({fmt(n), fmt(d), fmt(c, 0), fmt(q, 0), fmt(c / q, 2)});
+    }
+    std::cout << "Round complexity vs n (D = " << d << "):\n";
+    t.print(std::cout);
+    print_fit("  classical rounds ~ n^e", xs, yc, 1.0);
+    print_fit("  quantum rounds   ~ n^e", xs, yq, 0.5);
+    std::cout << "\n";
+  }
+
+  // ---- Sweep 2: D grows, n = 256 fixed.
+  {
+    const std::uint32_t n = opt.quick ? 128 : 256;
+    std::vector<std::uint32_t> ds =
+        opt.quick ? std::vector<std::uint32_t>{4, 16}
+                  : std::vector<std::uint32_t>{4, 8, 16, 32, 64};
+    Table t({"n", "D", "classical rounds", "quantum rounds"});
+    std::vector<double> xs, yq;
+    for (auto d : ds) {
+      const double c = median_over_seeds(opt.trials, opt.seed + d, [&](auto s) {
+        return classical_rounds(n, d, s);
+      });
+      const double q = median_over_seeds(opt.trials, opt.seed + d, [&](auto s) {
+        return quantum_rounds(n, d, s);
+      });
+      xs.push_back(d);
+      yq.push_back(q);
+      t.add_row({fmt(n), fmt(d), fmt(c, 0), fmt(q, 0)});
+    }
+    std::cout << "Round complexity vs D (n = " << n << "):\n";
+    t.print(std::cout);
+    print_fit("  quantum rounds ~ D^e", xs, yq, 0.5);
+    std::cout << "  (classical rounds are ~constant in D at fixed n)\n\n";
+  }
+
+  // ---- Normalized view and extrapolated crossover. The separation is
+  // asymptotic: Grover-style constants (the ~9d-round Figure 2 unitary is
+  // applied 4x per iteration, with BBHT/Durr-Hoyer repetition factors) are
+  // much larger than the classical pipeline's, so "who wins" at simulable
+  // n is decided by constants. The reproducible claims are (a) the
+  // normalized costs are flat — each algorithm matches its predicted
+  // growth law — and (b) the fitted curves cross at a finite n*.
+  {
+    const std::uint32_t d = 8;
+    std::vector<std::uint32_t> ns =
+        opt.quick ? std::vector<std::uint32_t>{64, 128, 256}
+                  : std::vector<std::uint32_t>{64, 128, 256, 512, 1024};
+    Table t({"n", "D", "classical/n", "quantum/sqrt(nD)"});
+    std::vector<double> xs, yc, yq;
+    for (auto n : ns) {
+      const double c = median_over_seeds(opt.trials, opt.seed + 2 * n,
+                                         [&](auto s) {
+                                           return classical_rounds(n, d, s);
+                                         });
+      const double q = median_over_seeds(opt.trials, opt.seed + 2 * n,
+                                         [&](auto s) {
+                                           return quantum_rounds(n, d, s);
+                                         });
+      xs.push_back(n);
+      yc.push_back(c);
+      yq.push_back(q);
+      t.add_row({fmt(n), fmt(d), fmt(c / n, 2),
+                 fmt(q / std::sqrt(static_cast<double>(n) * d), 1)});
+    }
+    std::cout << "Normalized costs (flat columns = matching growth law):\n";
+    t.print(std::cout);
+    const auto fc = fit_power_law(xs, yc);
+    const auto fq = fit_power_law(xs, yq);
+    // Crossover of C_c * n^{e_c} and C_q * n^{e_q}.
+    const double log_nstar =
+        (fq.intercept - fc.intercept) / (fc.slope - fq.slope);
+    std::cout << "  fitted: classical ~ " << fmt(std::exp(fc.intercept), 2)
+              << " * n^" << fmt(fc.slope, 2) << ", quantum ~ "
+              << fmt(std::exp(fq.intercept), 2) << " * n^"
+              << fmt(fq.slope, 2) << "\n"
+              << "  extrapolated crossover (D = " << d
+              << "): quantum wins for n > ~" << fmt(std::exp(log_nstar), 0)
+              << "\n"
+              << "  (the paper's separation is asymptotic; at D = Theta(n) "
+                 "sqrt(nD) = Theta(n) and no crossover exists)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+#pragma once
+
+// Shared helpers for the paper-reproduction benchmark harness. Each bench
+// binary regenerates one table/figure of the evaluation (see DESIGN.md §3):
+// it sweeps the workload parameters, measures CONGEST rounds on the
+// simulator, prints a table, and fits the scaling exponent against the
+// paper's prediction. Absolute constants are simulator-specific; the
+// *shape* (exponents, separations, crossovers) is what reproduces.
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace qc::bench {
+
+/// Standard banner so bench outputs are self-describing in logs.
+inline void banner(const std::string& title, const std::string& claim) {
+  std::cout << "\n=== " << title << " ===\n" << claim << "\n\n";
+}
+
+/// Median of `trials` runs of `f(seed)`.
+template <typename F>
+double median_over_seeds(int trials, std::uint64_t base_seed, F&& f) {
+  std::vector<double> xs;
+  xs.reserve(trials);
+  for (int t = 0; t < trials; ++t) {
+    xs.push_back(static_cast<double>(f(base_seed + t)));
+  }
+  return quantile(xs, 0.5);
+}
+
+/// Prints a fitted power law y ~ x^e next to the paper's predicted
+/// exponent.
+inline void print_fit(const std::string& label, std::span<const double> xs,
+                      std::span<const double> ys, double predicted) {
+  const auto fit = fit_power_law(xs, ys);
+  std::cout << label << ": measured exponent " << fmt(fit.slope, 3)
+            << " (paper predicts ~" << fmt(predicted, 2)
+            << ", R^2 = " << fmt(fit.r2, 3) << ")\n";
+}
+
+/// The main workload family: connected graph with exactly the requested
+/// diameter (decouples n from D — the axis Table 1 is about).
+inline graph::Graph workload(std::uint32_t n, std::uint32_t d,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  return graph::make_random_with_diameter(n, d, rng);
+}
+
+/// Quick-mode switch: `--quick` shrinks sweeps for smoke runs; the default
+/// sizes are chosen so every bench completes in seconds.
+struct BenchOptions {
+  bool quick = false;
+  int trials = 3;
+  std::uint64_t seed = 1234;
+
+  static BenchOptions parse(int argc, char** argv) {
+    Cli cli(argc, argv);
+    BenchOptions o;
+    o.quick = cli.get_bool("quick", false);
+    o.trials = static_cast<int>(cli.get_int("trials", o.quick ? 2 : 3));
+    o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1234));
+    return o;
+  }
+};
+
+}  // namespace qc::bench

@@ -1,0 +1,9 @@
+# CMake package entry point for qcongest.
+#
+#   find_package(qcongest REQUIRED)
+#   target_link_libraries(app PRIVATE qcongest::qc_core)
+#
+# Targets: qcongest::qc_{util,graph,congest,algos,qsim,core,commcc}.
+include(CMakeFindDependencyMacro)
+find_dependency(Threads)
+include("${CMAKE_CURRENT_LIST_DIR}/qcongestTargets.cmake")

@@ -1,0 +1,83 @@
+// Scenario from the paper's motivation: a network operator wants to track
+// the diameter of a large deployed topology, where every probe round is
+// expensive, and exact classical computation costs Theta(n) rounds even
+// when the diameter is tiny.
+//
+// We model three datacenter-style fabrics (torus, folded grid with hot
+// spare racks, and a two-pod fabric joined by a long maintenance chain)
+// and compare the round budgets of the classical baseline against the
+// quantum algorithms for a periodic diameter health check.
+
+#include <iostream>
+
+#include "algos/diameter_classical.hpp"
+#include "core/quantum_approx.hpp"
+#include "core/quantum_diameter.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace qc;
+
+graph::Graph two_pod_fabric(std::uint32_t pod, std::uint32_t chain) {
+  // Two dense pods (torus fabrics) joined by a chain of maintenance
+  // switches: small intra-pod distances, diameter dominated by the chain.
+  graph::GraphBuilder b;
+  auto left = graph::make_torus(pod, pod);
+  auto right = graph::make_torus(pod, pod);
+  const std::uint32_t off = left.n();
+  for (const auto& [u, v] : left.edges()) b.add_edge(u, v);
+  for (const auto& [u, v] : right.edges()) b.add_edge(off + u, off + v);
+  b.add_path_between(0, off, chain);
+  return b.build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool small = cli.get_bool("small", false);
+  const std::uint32_t torus_side = small ? 8 : 12;
+  const std::uint32_t grid_side = small ? 10 : 16;
+
+  struct Fabric {
+    std::string name;
+    graph::Graph g;
+  };
+  std::vector<Fabric> fabrics;
+  fabrics.push_back(
+      {"torus fabric", graph::make_torus(torus_side, torus_side)});
+  fabrics.push_back({"grid + spare racks",
+                     graph::make_caterpillar(grid_side * grid_side,
+                                             2 * grid_side)});
+  fabrics.push_back({"two pods + chain", two_pod_fabric(small ? 6 : 8, 12)});
+
+  std::cout << "Periodic diameter health check: rounds per probe\n\n";
+  Table t({"fabric", "n", "m", "true D", "classical exact", "quantum exact",
+           "quantum 3/2-approx", "approx estimate"});
+  for (auto& f : fabrics) {
+    const auto true_d = graph::diameter(f.g);
+    auto classical = algos::classical_exact_diameter(f.g);
+    core::QuantumConfig cfg;
+    cfg.oracle = core::OracleMode::kDirect;
+    auto quantum = core::quantum_diameter_exact(f.g, cfg);
+    auto approx = core::quantum_diameter_approx(f.g, cfg);
+    t.add_row({f.name, fmt(f.g.n()), fmt(f.g.m()), fmt(true_d),
+               fmt(classical.stats.rounds), fmt(quantum.total_rounds),
+               fmt(approx.total_rounds), fmt(approx.estimate)});
+    if (classical.diameter != true_d || quantum.diameter != true_d) {
+      std::cerr << "BUG: wrong diameter on " << f.name << "\n";
+      return 1;
+    }
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nInterpretation: on low-diameter fabrics the classical probe "
+         "cost is dominated by the Theta(n) term\nwhile the quantum probes "
+         "scale with sqrt(n*D) (Theorem 1) or cbrt(n*D) (Theorem 4) — the\n"
+         "advantage grows with fabric size, not with diameter.\n";
+  return 0;
+}

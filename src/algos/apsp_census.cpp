@@ -1,0 +1,56 @@
+#include "algos/apsp_census.hpp"
+
+#include <algorithm>
+
+#include "algos/bfs_tree.hpp"
+#include "algos/leader_election.hpp"
+#include "algos/source_detection.hpp"
+#include "util/error.hpp"
+
+namespace qc::algos {
+
+using graph::NodeId;
+
+CensusOutcome classical_apsp_census(const graph::Graph& g,
+                                    congest::NetworkConfig cfg) {
+  require(g.n() >= 1, "classical_apsp_census: empty graph");
+  CensusOutcome out;
+  if (g.n() == 1) {
+    out.eccentricity = {0};
+    out.center = out.periphery = 0;
+    return out;
+  }
+
+  const auto election = elect_leader(g, cfg);
+  out.stats += election.stats;
+  auto lead = compute_eccentricity(g, election.leader, cfg);
+  out.stats += lead.stats;
+
+  // All n BFS waves at once: S = V.
+  std::vector<bool> everyone(g.n(), true);
+  auto det = detect_sources(g, everyone, cfg);
+  out.stats += det.stats;
+
+  auto eccs = batched_eccentricities(g, lead.tree, det.distances, cfg);
+  out.stats += eccs.stats;
+  check_internal(eccs.ecc.size() == g.n(),
+                 "classical_apsp_census: missing eccentricities");
+
+  out.eccentricity.assign(g.n(), 0);
+  for (const auto& [v, e] : eccs.ecc) out.eccentricity[v] = e;
+  out.radius = graph::kUnreachable;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (out.eccentricity[v] > out.diameter ||
+        out.periphery == graph::kInvalidNode) {
+      out.diameter = out.eccentricity[v];
+      out.periphery = v;
+    }
+    if (out.eccentricity[v] < out.radius) {
+      out.radius = out.eccentricity[v];
+      out.center = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace qc::algos

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/tree_state.hpp"
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace qc::algos {
+
+/// Output of the classical O(n)-round all-pairs census: every node's exact
+/// eccentricity, hence diameter, radius and a center, all at the leader.
+///
+/// This is the [HW12]-style "optimal APSP and applications" baseline: the
+/// [LP13] source-detection machinery with S = V floods all n BFS waves in
+/// O(n + D) rounds (polynomial classical memory — each node ends up with
+/// its full distance vector), and a batched max-convergecast of length
+/// n + D delivers every eccentricity to the leader.
+struct CensusOutcome {
+  std::vector<std::uint32_t> eccentricity;  ///< per node
+  std::uint32_t diameter = 0;
+  std::uint32_t radius = 0;
+  graph::NodeId center = graph::kInvalidNode;  ///< min ecc, min id on ties
+  graph::NodeId periphery = graph::kInvalidNode;  ///< max ecc, min id on ties
+  congest::RunStats stats;
+};
+
+CensusOutcome classical_apsp_census(const graph::Graph& g,
+                                    congest::NetworkConfig cfg = {});
+
+}  // namespace qc::algos

@@ -1,0 +1,269 @@
+#include "algos/bfs_tree.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace qc::algos {
+
+using congest::Message;
+using congest::Network;
+using congest::NodeContext;
+using graph::NodeId;
+
+namespace {
+// Message layout for the BFS wave: (distance of sender, child-claim flag).
+constexpr std::size_t kDistField = 0;
+constexpr std::size_t kClaimField = 1;
+}  // namespace
+
+void BfsTreeProgram::on_start(NodeContext& ctx) {
+  if (ctx.id() != root_) return;
+  active_ = true;
+  dist_ = 0;
+  Message m;
+  m.push(0, ctx.id_bits() + 1).push(0, 1);
+  ctx.broadcast(m);
+}
+
+void BfsTreeProgram::on_round(NodeContext& ctx) {
+  // Child claims may arrive in any later round (from nodes we activated).
+  for (const auto& in : ctx.inbox()) {
+    if (in.msg.field(kClaimField) == 1) {
+      ++child_count_;
+    }
+  }
+  if (!active_) {
+    // First activation this round; the inbox is in port order, hence the
+    // first activating message comes from the smallest-id neighbor —
+    // the same parent the centralized BFS picks.
+    for (const auto& in : ctx.inbox()) {
+      active_ = true;
+      dist_ = static_cast<std::uint32_t>(in.msg.field(kDistField)) + 1;
+      parent_ = ctx.neighbor(in.port);
+      break;
+    }
+    if (active_) {
+      const std::uint32_t parent_port = ctx.port_to(parent_);
+      for (std::uint32_t p = 0; p < ctx.degree(); ++p) {
+        Message m;
+        m.push(dist_, ctx.id_bits() + 1).push(p == parent_port ? 1 : 0, 1);
+        ctx.send(p, m);
+      }
+    }
+  }
+  ctx.vote_halt();
+}
+
+std::uint64_t BfsTreeProgram::memory_bits() const {
+  // Working state of Figure 1: activation flag, distance, parent id and
+  // the child counter — a constant number of O(log n)-bit registers.
+  return 1 + 3ULL * 32;
+}
+
+BfsOutcome build_bfs_tree(const graph::Graph& g, NodeId root,
+                          congest::NetworkConfig cfg) {
+  require(root < g.n(), "build_bfs_tree: root out of range");
+  require(g.is_connected(), "build_bfs_tree: graph must be connected");
+  Network net(g, cfg);
+  net.init_programs([root](NodeId) {
+    return std::make_unique<BfsTreeProgram>(root);
+  });
+  BfsOutcome out;
+  out.stats = net.run_until_quiescent(g.n() + 2);
+  check_internal(out.stats.quiesced, "build_bfs_tree: wave did not quiesce");
+
+  auto& t = out.tree;
+  t.root = root;
+  t.parent.assign(g.n(), graph::kInvalidNode);
+  t.depth.assign(g.n(), 0);
+  t.children.assign(g.n(), {});
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto& p = net.program_as<BfsTreeProgram>(v);
+    check_internal(p.active(), "build_bfs_tree: node was never activated");
+    t.parent[v] = p.parent();
+    t.depth[v] = p.dist();
+    t.height = std::max(t.height, p.dist());
+  }
+  // Child lists are reconstructed driver-side (each node only keeps its
+  // parent and a child count); sorted by id to match dfs_numbering.
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (v != root) t.children[t.parent[v]].push_back(v);
+  }
+  for (NodeId v = 0; v < g.n(); ++v) {
+    std::sort(t.children[v].begin(), t.children[v].end());
+    check_internal(net.program_as<BfsTreeProgram>(v).child_count() ==
+                       t.children[v].size(),
+                   "build_bfs_tree: child count disagrees with claims");
+  }
+  return out;
+}
+
+ConvergecastProgram::ConvergecastProgram(NodeId parent,
+                                         std::uint32_t num_children,
+                                         AggregateOp op, std::uint64_t primary,
+                                         std::uint64_t secondary,
+                                         std::uint32_t primary_bits,
+                                         std::uint32_t secondary_bits)
+    : parent_(parent),
+      op_(op),
+      primary_(primary),
+      secondary_(secondary),
+      primary_bits_(primary_bits),
+      secondary_bits_(secondary_bits),
+      pending_children_(num_children) {}
+
+void ConvergecastProgram::absorb(std::uint64_t p, std::uint64_t s) {
+  switch (op_) {
+    case AggregateOp::kMax:
+      if (p > primary_ || (p == primary_ && s > secondary_)) {
+        primary_ = p;
+        secondary_ = s;
+      }
+      break;
+    case AggregateOp::kMin:
+      if (p < primary_ || (p == primary_ && s < secondary_)) {
+        primary_ = p;
+        secondary_ = s;
+      }
+      break;
+    case AggregateOp::kSum:
+      primary_ += p;
+      break;
+  }
+}
+
+void ConvergecastProgram::on_round(NodeContext& ctx) {
+  for (const auto& in : ctx.inbox()) {
+    absorb(in.msg.field(0), in.msg.field(1));
+    check_internal(pending_children_ > 0,
+                   "ConvergecastProgram: unexpected extra report");
+    --pending_children_;
+  }
+  if (pending_children_ == 0 && !sent_ && !reported_root_) {
+    if (parent_ == graph::kInvalidNode) {
+      reported_root_ = true;  // root holds the aggregate
+    } else {
+      Message m;
+      m.push(primary_, primary_bits_).push(secondary_, secondary_bits_);
+      ctx.send_to(parent_, m);
+      sent_ = true;
+    }
+  }
+  ctx.vote_halt();
+}
+
+std::uint64_t ConvergecastProgram::memory_bits() const {
+  return primary_bits_ + secondary_bits_ + 32 + 2;
+}
+
+TreeBroadcastProgram::TreeBroadcastProgram(NodeId parent, std::uint64_t value,
+                                           std::uint32_t value_bits)
+    : parent_(parent),
+      value_(value),
+      value_bits_(value_bits),
+      received_(parent == graph::kInvalidNode) {}
+
+void TreeBroadcastProgram::forward(NodeContext& ctx) {
+  // The node does not know which neighbors are its children; sending to
+  // every non-parent neighbor costs one message per edge and the claim
+  // "accept only from the parent" keeps the semantics of a tree broadcast.
+  for (std::uint32_t p = 0; p < ctx.degree(); ++p) {
+    if (parent_ != graph::kInvalidNode && ctx.neighbor(p) == parent_) {
+      continue;
+    }
+    ctx.send(p, Message().push(value_, value_bits_));
+  }
+}
+
+void TreeBroadcastProgram::on_start(NodeContext& ctx) {
+  if (parent_ == graph::kInvalidNode) forward(ctx);
+}
+
+void TreeBroadcastProgram::on_round(NodeContext& ctx) {
+  if (!received_) {
+    for (const auto& in : ctx.inbox()) {
+      if (ctx.neighbor(in.port) != parent_) continue;
+      value_ = in.msg.field(0);
+      received_ = true;
+      forward(ctx);
+      break;
+    }
+  }
+  ctx.vote_halt();
+}
+
+std::uint64_t TreeBroadcastProgram::memory_bits() const {
+  return value_bits_ + 2;
+}
+
+AggregateOutcome aggregate_to_root(const graph::Graph& g,
+                                   const TreeState& tree, AggregateOp op,
+                                   const std::vector<std::uint64_t>& primary,
+                                   const std::vector<std::uint64_t>& secondary,
+                                   std::uint32_t primary_bits,
+                                   std::uint32_t secondary_bits,
+                                   congest::NetworkConfig cfg) {
+  require(tree.n() == g.n(), "aggregate_to_root: tree/graph size mismatch");
+  require(primary.size() == g.n() && secondary.size() == g.n(),
+          "aggregate_to_root: contribution size mismatch");
+  Network net(g, cfg);
+  net.init_programs([&](NodeId v) {
+    return std::make_unique<ConvergecastProgram>(
+        tree.parent[v], static_cast<std::uint32_t>(tree.children[v].size()),
+        op, primary[v], secondary[v], primary_bits, secondary_bits);
+  });
+  AggregateOutcome out;
+  out.stats = net.run_until_quiescent(tree.height + 2);
+  check_internal(out.stats.quiesced, "aggregate_to_root: did not quiesce");
+  const auto& rootp = net.program_as<ConvergecastProgram>(tree.root);
+  check_internal(rootp.done(), "aggregate_to_root: root never completed");
+  out.primary = rootp.primary();
+  out.secondary = rootp.secondary();
+  return out;
+}
+
+congest::RunStats broadcast_from_root(const graph::Graph& g,
+                                      const TreeState& tree,
+                                      std::uint64_t value,
+                                      std::uint32_t value_bits,
+                                      congest::NetworkConfig cfg) {
+  Network net(g, cfg);
+  net.init_programs([&](NodeId v) {
+    return std::make_unique<TreeBroadcastProgram>(
+        tree.parent[v], v == tree.root ? value : 0, value_bits);
+  });
+  auto stats = net.run_until_quiescent(tree.height + 2);
+  check_internal(stats.quiesced, "broadcast_from_root: did not quiesce");
+  for (NodeId v = 0; v < g.n(); ++v) {
+    check_internal(net.program_as<TreeBroadcastProgram>(v).received(),
+                   "broadcast_from_root: node missed the broadcast");
+  }
+  return stats;
+}
+
+EccOutcome compute_eccentricity(const graph::Graph& g, NodeId root,
+                                congest::NetworkConfig cfg) {
+  EccOutcome out;
+  auto bfs = build_bfs_tree(g, root, cfg);
+  out.tree = std::move(bfs.tree);
+  out.stats = bfs.stats;
+
+  std::vector<std::uint64_t> depths(g.n()), ids(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    depths[v] = out.tree.depth[v];
+    ids[v] = v;
+  }
+  const std::uint32_t bits = qc::bit_width_for(g.n()) + 1;
+  auto agg = aggregate_to_root(g, out.tree, AggregateOp::kMax, depths, ids,
+                               bits, bits, cfg);
+  out.stats += agg.stats;
+  out.ecc = static_cast<std::uint32_t>(agg.primary);
+  check_internal(out.ecc == out.tree.height,
+                 "compute_eccentricity: convergecast disagrees with tree");
+  return out;
+}
+
+}  // namespace qc::algos

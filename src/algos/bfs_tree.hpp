@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/tree_state.hpp"
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace qc::algos {
+
+/// Figure 1 / Proposition 1: distributed BFS-tree construction from a known
+/// root in O(ecc(root)) rounds with O(log n) bits of working state.
+///
+/// The activation wave carries the sender's distance to the root; a node
+/// adopts as parent the smallest-id neighbor among the first activations it
+/// receives (the same tie-break as the centralized graph::bfs_tree, so both
+/// constructions yield the identical tree). A node acknowledges its parent
+/// with a child-claim flag so every node also learns its tree children.
+class BfsTreeProgram : public congest::NodeProgram {
+ public:
+  explicit BfsTreeProgram(graph::NodeId root) : root_(root) {}
+
+  void on_start(congest::NodeContext& ctx) override;
+  void on_round(congest::NodeContext& ctx) override;
+  std::uint64_t memory_bits() const override;
+
+  bool active() const { return active_; }
+  std::uint32_t dist() const { return dist_; }
+  graph::NodeId parent() const { return parent_; }
+  std::uint32_t child_count() const { return child_count_; }
+
+ private:
+  graph::NodeId root_;
+  bool active_ = false;
+  std::uint32_t dist_ = 0;
+  graph::NodeId parent_ = graph::kInvalidNode;
+  // Only the *count* of children is kept: O(log n) working state, which
+  // is all the later convergecasts need. (Child identities stay with the
+  // children — they know their parent.)
+  std::uint32_t child_count_ = 0;
+};
+
+/// Aggregation operator for ConvergecastProgram.
+enum class AggregateOp {
+  kMax,  ///< lexicographic max of (primary, secondary) pairs — argmax
+  kMin,  ///< lexicographic min of (primary, secondary) pairs — argmin
+  kSum,  ///< sum of primaries (secondary ignored)
+};
+
+/// Bottom-up aggregation over an already-built BFS tree: leaves report
+/// first, every internal node forwards one combined message once all its
+/// children have reported. O(height) rounds, one message per tree edge,
+/// O(log n) state.
+///
+/// This is the workhorse behind Step 3 of Figure 2 ("bottom up on
+/// BFS(leader), at each node only the maximum of received values is
+/// transmitted") and all counting/argmax aggregations of Figure 3.
+class ConvergecastProgram : public congest::NodeProgram {
+ public:
+  /// `parent`/`num_children` are this node's slice of the tree (O(log n)
+  /// bits); `primary` and `secondary` its local contribution; widths give
+  /// the message layout.
+  ConvergecastProgram(graph::NodeId parent, std::uint32_t num_children,
+                      AggregateOp op, std::uint64_t primary,
+                      std::uint64_t secondary, std::uint32_t primary_bits,
+                      std::uint32_t secondary_bits);
+
+  void on_round(congest::NodeContext& ctx) override;
+  std::uint64_t memory_bits() const override;
+
+  bool done() const { return sent_ || reported_root_; }
+  std::uint64_t primary() const { return primary_; }
+  std::uint64_t secondary() const { return secondary_; }
+
+ private:
+  void absorb(std::uint64_t p, std::uint64_t s);
+
+  graph::NodeId parent_;
+  AggregateOp op_;
+  std::uint64_t primary_, secondary_;
+  std::uint32_t primary_bits_, secondary_bits_;
+  std::uint32_t pending_children_;
+  bool sent_ = false;
+  bool reported_root_ = false;
+};
+
+/// Top-down broadcast of one value from the root; O(height) rounds.
+/// Nodes know only their parent, so each node forwards to *all* non-parent
+/// neighbors once and accepts only the copy arriving from its parent —
+/// O(log n) state, one message per edge.
+class TreeBroadcastProgram : public congest::NodeProgram {
+ public:
+  TreeBroadcastProgram(graph::NodeId parent, std::uint64_t value,
+                       std::uint32_t value_bits);
+
+  void on_start(congest::NodeContext& ctx) override;
+  void on_round(congest::NodeContext& ctx) override;
+  std::uint64_t memory_bits() const override;
+
+  bool received() const { return received_; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  void forward(congest::NodeContext& ctx);
+  graph::NodeId parent_;
+  std::uint64_t value_;
+  std::uint32_t value_bits_;
+  bool received_;
+};
+
+struct BfsOutcome {
+  TreeState tree;
+  congest::RunStats stats;
+};
+
+/// Runs BfsTreeProgram from `root` and assembles the TreeState.
+BfsOutcome build_bfs_tree(const graph::Graph& g, graph::NodeId root,
+                          congest::NetworkConfig cfg = {});
+
+struct AggregateOutcome {
+  std::uint64_t primary = 0;
+  std::uint64_t secondary = 0;
+  congest::RunStats stats;
+};
+
+/// Convergecast of per-node (primary, secondary) contributions to the root.
+AggregateOutcome aggregate_to_root(const graph::Graph& g,
+                                   const TreeState& tree, AggregateOp op,
+                                   const std::vector<std::uint64_t>& primary,
+                                   const std::vector<std::uint64_t>& secondary,
+                                   std::uint32_t primary_bits,
+                                   std::uint32_t secondary_bits,
+                                   congest::NetworkConfig cfg = {});
+
+/// Broadcasts `value` from the tree root to every node; returns stats.
+congest::RunStats broadcast_from_root(const graph::Graph& g,
+                                      const TreeState& tree,
+                                      std::uint64_t value,
+                                      std::uint32_t value_bits,
+                                      congest::NetworkConfig cfg = {});
+
+struct EccOutcome {
+  std::uint32_t ecc = 0;
+  TreeState tree;
+  congest::RunStats stats;
+};
+
+/// ecc(root): BFS-tree construction plus a max-depth convergecast; the
+/// O(D)-round classical preliminary of Section 3.
+EccOutcome compute_eccentricity(const graph::Graph& g, graph::NodeId root,
+                                congest::NetworkConfig cfg = {});
+
+}  // namespace qc::algos

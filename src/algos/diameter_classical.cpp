@@ -1,0 +1,38 @@
+#include "algos/diameter_classical.hpp"
+
+#include "util/error.hpp"
+
+namespace qc::algos {
+
+DiameterOutcome classical_exact_diameter(const graph::Graph& g,
+                                         congest::NetworkConfig cfg) {
+  require(g.n() >= 1, "classical_exact_diameter: empty graph");
+  DiameterOutcome out;
+  if (g.n() == 1) {
+    out.diameter = 0;
+    out.leader = 0;
+    return out;
+  }
+
+  const auto election = elect_leader(g, cfg);
+  out.leader = election.leader;
+  out.init_stats += election.stats;
+
+  // Proposition 1 (Figure 1) plus the eccentricity convergecast.
+  auto ecc = compute_eccentricity(g, out.leader, cfg);
+  out.init_stats += ecc.stats;
+
+  // Full-tour evaluation: S = V, so the result is the diameter.
+  const std::uint32_t full_tour = 2 * (g.n() - 1);
+  auto eval = evaluate_window_ecc(g, ecc.tree, out.leader, full_tour, cfg);
+  check_internal(eval.window.size() == g.n(),
+                 "classical_exact_diameter: full tour missed nodes");
+  out.eval_stats = eval.stats;
+  out.diameter = eval.max_ecc;
+
+  out.stats = out.init_stats;
+  out.stats += out.eval_stats;
+  return out;
+}
+
+}  // namespace qc::algos

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "algos/bfs_tree.hpp"
+#include "algos/evaluation.hpp"
+#include "algos/leader_election.hpp"
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace qc::algos {
+
+/// Result of a full distributed diameter computation (classical baseline).
+struct DiameterOutcome {
+  std::uint32_t diameter = 0;
+  graph::NodeId leader = graph::kInvalidNode;
+  congest::RunStats init_stats;  ///< election + BFS tree + eccentricity
+  congest::RunStats eval_stats;  ///< the pipelined all-sources phase
+  congest::RunStats stats;       ///< total
+
+  std::uint32_t total_rounds() const { return stats.rounds; }
+};
+
+/// Exact classical diameter in O(n + D) rounds (the PRT12-style baseline of
+/// Table 1's first row).
+///
+/// Pipeline: elect a leader and build BFS(leader) in O(D) rounds, then run
+/// the Figure 2 machinery with the DFS segment covering the *entire* Euler
+/// tour (steps = 2(n-1)), so S = V and the convergecast yields
+/// max_{v in V} ecc(v) = D. The Step 2 schedule stretches the start times
+/// over 2 * 2(n-1) rounds, hence the O(n) total — exactly why classical
+/// exact diameter is linear and what Theorem 1 beats.
+DiameterOutcome classical_exact_diameter(const graph::Graph& g,
+                                         congest::NetworkConfig cfg = {});
+
+}  // namespace qc::algos

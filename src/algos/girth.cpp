@@ -1,0 +1,127 @@
+#include "algos/girth.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "algos/bfs_tree.hpp"
+#include "algos/leader_election.hpp"
+#include "algos/source_detection.hpp"
+#include "graph/algorithms.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace qc::algos {
+
+using congest::Message;
+using congest::Network;
+using congest::NodeContext;
+using graph::NodeId;
+
+namespace {
+
+/// Exchange phase: in round i every node broadcasts its (distance, branch
+/// label) pair for the i-th root (roots sorted by id; with S = V the i-th
+/// root is simply node i). Each receiver combines the neighbor's pair with
+/// its own to form cycle candidates. One message per edge per round, n
+/// rounds.
+class GirthExchangeProgram : public congest::NodeProgram {
+ public:
+  GirthExchangeProgram(std::vector<std::uint32_t> dist,
+                       std::vector<NodeId> hop, std::uint32_t n)
+      : dist_(std::move(dist)), hop_(std::move(hop)), n_(n) {}
+
+  void on_round(NodeContext& ctx) override {
+    const std::uint32_t id_bits = ctx.id_bits();
+    const std::uint32_t round = ctx.round();
+    // Combine the neighbors' round-(r) pairs, which describe root r-1.
+    if (round >= 2 && round <= n_ + 1) {
+      const NodeId s = round - 2;
+      for (const auto& in : ctx.inbox()) {
+        const auto d_w = static_cast<std::uint32_t>(in.msg.field(0));
+        const auto hop_w = static_cast<NodeId>(in.msg.field(1));
+        const NodeId w = ctx.neighbor(in.port);
+        // Exclude root-incident edges (degenerate walks) and same-branch
+        // pairs (possibly degenerate); everything else is a genuine cycle
+        // upper bound.
+        if (ctx.id() == s || w == s) continue;
+        if (hop_[s] == hop_w) continue;
+        best_ = std::min(best_, dist_[s] + d_w + 1);
+      }
+    }
+    // Publish this round's pair (for root `round-1`, received next round).
+    if (round <= n_) {
+      const NodeId s = round - 1;
+      ctx.broadcast(Message()
+                        .push(dist_[s], id_bits + 1)
+                        .push(hop_[s], id_bits));
+    }
+    if (round > n_ + 1) ctx.vote_halt();
+  }
+
+  std::uint64_t memory_bits() const override {
+    // The distance/label tables are the polynomial-memory census data.
+    return dist_.size() * 2ULL * 32 + 32;
+  }
+
+  std::uint32_t best() const { return best_; }
+
+ private:
+  std::vector<std::uint32_t> dist_;
+  std::vector<NodeId> hop_;
+  std::uint32_t n_;
+  std::uint32_t best_ = graph::kUnreachable;
+};
+
+}  // namespace
+
+GirthOutcome classical_girth_census(const graph::Graph& g,
+                                    congest::NetworkConfig cfg) {
+  require(g.n() >= 1, "classical_girth_census: empty graph");
+  GirthOutcome out;
+  out.girth = graph::kUnreachable;
+  if (g.n() < 3 || g.m() < 3) return out;  // no cycle possible
+
+  const auto election = elect_leader(g, cfg);
+  out.stats += election.stats;
+  auto lead = compute_eccentricity(g, election.leader, cfg);
+  out.stats += lead.stats;
+
+  std::vector<bool> everyone(g.n(), true);
+  auto det = detect_sources(g, everyone, cfg);
+  out.stats += det.stats;
+
+  Network net(g, cfg);
+  net.init_programs([&](NodeId v) {
+    std::vector<std::uint32_t> dist(g.n());
+    std::vector<NodeId> hop(g.n());
+    for (NodeId s = 0; s < g.n(); ++s) {
+      dist[s] = det.distances[v].at(s);
+      hop[s] = det.first_hops[v].at(s);
+    }
+    return std::make_unique<GirthExchangeProgram>(std::move(dist),
+                                                  std::move(hop), g.n());
+  });
+  auto exch_stats = net.run_until_quiescent(g.n() + 4);
+  check_internal(exch_stats.quiesced, "girth: exchange did not quiesce");
+  out.stats += exch_stats;
+
+  // Min-convergecast of the local candidates; the sentinel for "no cycle
+  // seen" must fit the message width.
+  const std::uint32_t bits = qc::bit_width_for(g.n()) + 2;
+  const std::uint64_t sentinel = (1ULL << bits) - 1;
+  std::vector<std::uint64_t> primary(g.n()), zero(g.n(), 0);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto b = net.program_as<GirthExchangeProgram>(v).best();
+    primary[v] = b == graph::kUnreachable ? sentinel : b;
+  }
+  auto agg = aggregate_to_root(g, lead.tree, AggregateOp::kMin, primary,
+                               zero, bits, 1, cfg);
+  out.stats += agg.stats;
+  out.girth = agg.primary == sentinel
+                  ? graph::kUnreachable
+                  : static_cast<std::uint32_t>(agg.primary);
+  return out;
+}
+
+}  // namespace qc::algos

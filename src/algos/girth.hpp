@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace qc::algos {
+
+/// Distributed girth computation (the other half of [PRT12], whose
+/// pipelining techniques power the Figure 2 Evaluation procedure).
+///
+/// Method (Itai-Rodeh over all roots): after all-sources detection every
+/// node v knows, for every root s, its distance d(s, v) and the *branch
+/// label* (first hop) of its adopted shortest path. For an edge {v, w} and
+/// root s with distinct branch labels, the closed walk s->v, {v,w}, w->s
+/// traverses {v, w} exactly once, so d(s,v) + d(s,w) + 1 upper-bounds a
+/// real cycle; for a root on a shortest cycle the critical edge attains
+/// the girth exactly (distinct labels are forced, else a shorter cycle
+/// would exist). Candidates incident to the root are excluded (their walk
+/// is degenerate).
+///
+/// Round complexity: O(n + D) detection + n exchange rounds (each node
+/// publishes its (distance, label) pair for the i-th root in round i) +
+/// one min-convergecast — O(n) total, matching the classical diameter
+/// census. Memory is polynomial (the distance tables), like every
+/// all-sources baseline.
+struct GirthOutcome {
+  /// Girth, or graph::kUnreachable if the graph is a forest/tree.
+  std::uint32_t girth = 0;
+  congest::RunStats stats;
+};
+
+GirthOutcome classical_girth_census(const graph::Graph& g,
+                                    congest::NetworkConfig cfg = {});
+
+}  // namespace qc::algos

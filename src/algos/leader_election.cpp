@@ -1,0 +1,59 @@
+#include "algos/leader_election.hpp"
+
+#include <memory>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace qc::algos {
+
+using congest::Message;
+using congest::Network;
+using congest::NodeContext;
+using graph::NodeId;
+
+void FloodMaxProgram::on_start(NodeContext& ctx) {
+  max_seen_ = ctx.id();
+  ctx.broadcast(Message().push(max_seen_, ctx.id_bits()));
+}
+
+void FloodMaxProgram::on_round(NodeContext& ctx) {
+  NodeId best = max_seen_;
+  for (const auto& in : ctx.inbox()) {
+    best = std::max(best, static_cast<NodeId>(in.msg.field(0)));
+  }
+  if (best > max_seen_ || max_seen_ == graph::kInvalidNode) {
+    max_seen_ = best;
+    ctx.broadcast(Message().push(max_seen_, ctx.id_bits()));
+  } else {
+    ctx.vote_halt();
+  }
+}
+
+std::uint64_t FloodMaxProgram::memory_bits() const {
+  return qc::bit_width_for(max_seen_ == graph::kInvalidNode
+                               ? 2
+                               : static_cast<std::uint64_t>(max_seen_) + 1);
+}
+
+ElectionOutcome elect_leader(const graph::Graph& g,
+                             congest::NetworkConfig cfg) {
+  require(g.n() >= 1, "elect_leader: empty graph");
+  require(g.is_connected(), "elect_leader: graph must be connected");
+  Network net(g, cfg);
+  net.init_programs(
+      [](NodeId) { return std::make_unique<FloodMaxProgram>(); });
+  // Flood-max quiesces within D+2 rounds; n+2 is a safe hard ceiling.
+  ElectionOutcome out;
+  out.stats = net.run_until_quiescent(g.n() + 2);
+  check_internal(out.stats.quiesced, "elect_leader: flooding did not quiesce");
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto& p = net.program_as<FloodMaxProgram>(v);
+    check_internal(p.max_seen() == g.n() - 1,
+                   "elect_leader: node missed the maximum id");
+  }
+  out.leader = g.n() - 1;
+  return out;
+}
+
+}  // namespace qc::algos

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace qc::algos {
+
+struct ElectionOutcome {
+  graph::NodeId leader = graph::kInvalidNode;
+  congest::RunStats stats;
+};
+
+/// Flood-max leader election: every node repeatedly forwards the largest
+/// identifier it has heard whenever that value improves. The wave of the
+/// maximum id sweeps the network in at most D+1 rounds, after which the
+/// network is quiescent; the unique node whose own id equals its known
+/// maximum is the leader.
+///
+/// This is the "standard method" Section 3 assumes for electing a leader in
+/// O(D) classical rounds with O(log n) bits of state per node. (Distributed
+/// termination *detection* would add a convergecast; like the paper, we let
+/// the synchronous model's quiescence end the phase.)
+ElectionOutcome elect_leader(const graph::Graph& g,
+                             congest::NetworkConfig cfg = {});
+
+/// The node program behind elect_leader, exposed for tests.
+class FloodMaxProgram : public congest::NodeProgram {
+ public:
+  void on_start(congest::NodeContext& ctx) override;
+  void on_round(congest::NodeContext& ctx) override;
+  std::uint64_t memory_bits() const override;
+
+  graph::NodeId max_seen() const { return max_seen_; }
+
+ private:
+  graph::NodeId max_seen_ = graph::kInvalidNode;
+};
+
+}  // namespace qc::algos

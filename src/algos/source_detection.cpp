@@ -1,0 +1,172 @@
+#include "algos/source_detection.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace qc::algos {
+
+using congest::Message;
+using congest::Network;
+using congest::NodeContext;
+using graph::NodeId;
+
+void SourceDetectionProgram::learn(NodeId src, std::uint32_t dist,
+                                   NodeId hop) {
+  auto it = dist_.find(src);
+  if (it != dist_.end() && it->second <= dist) return;
+  if (it != dist_.end()) {
+    unsent_.erase({it->second, src});
+    it->second = dist;
+  } else {
+    dist_.emplace(src, dist);
+  }
+  hop_[src] = hop;
+  unsent_[{dist, src}] = true;
+}
+
+void SourceDetectionProgram::on_start(NodeContext& ctx) {
+  if (is_source_) {
+    learn(ctx.id(), 0, ctx.id());
+  }
+  on_round(ctx);
+}
+
+void SourceDetectionProgram::on_round(NodeContext& ctx) {
+  for (const auto& in : ctx.inbox()) {
+    const auto src = static_cast<NodeId>(in.msg.field(0));
+    const auto d = static_cast<std::uint32_t>(in.msg.field(1));
+    const auto hop = static_cast<NodeId>(in.msg.field(2));
+    // A depth-1 node is its own branch label; deeper nodes inherit.
+    learn(src, d + 1, d == 0 ? ctx.id() : hop);
+  }
+  if (!unsent_.empty()) {
+    const auto [key, _] = *unsent_.begin();
+    unsent_.erase(unsent_.begin());
+    const auto [d, src] = key;
+    ctx.broadcast(Message()
+                      .push(src, ctx.id_bits())
+                      .push(d, ctx.id_bits() + 1)
+                      .push(hop_.at(src), ctx.id_bits()));
+  } else {
+    ctx.vote_halt();
+  }
+}
+
+std::uint64_t SourceDetectionProgram::memory_bits() const {
+  // Theta(|known sources| * log n) bits — deliberately *not* polylog; this
+  // is the polynomial-classical-memory preparation phase.
+  return (dist_.size() + hop_.size() + unsent_.size()) * 2ULL * 32;
+}
+
+SourceDetectionOutcome detect_sources(const graph::Graph& g,
+                                      const std::vector<bool>& is_source,
+                                      congest::NetworkConfig cfg) {
+  require(is_source.size() == g.n(), "detect_sources: mask size mismatch");
+  std::uint32_t num_sources = 0;
+  for (bool b : is_source) num_sources += b ? 1 : 0;
+  require(num_sources >= 1, "detect_sources: need at least one source");
+
+  Network net(g, cfg);
+  net.init_programs([&](NodeId v) {
+    return std::make_unique<SourceDetectionProgram>(is_source[v]);
+  });
+  SourceDetectionOutcome out;
+  // O(|S| + D) with a generous constant; the hard ceiling only guards
+  // against protocol bugs.
+  const std::uint32_t cap = 4 * (num_sources + g.n()) + 16;
+  out.stats = net.run_until_quiescent(cap);
+  check_internal(out.stats.quiesced, "detect_sources: did not quiesce");
+
+  out.distances.resize(g.n());
+  out.first_hops.resize(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto& prog = net.program_as<SourceDetectionProgram>(v);
+    check_internal(prog.distances().size() == num_sources,
+                   "detect_sources: node missed a source");
+    out.distances[v] = prog.distances();
+    out.first_hops[v] = prog.first_hops();
+  }
+  return out;
+}
+
+BatchedMaxConvergecastProgram::BatchedMaxConvergecastProgram(
+    NodeId parent, std::uint32_t num_children, std::uint32_t depth,
+    std::uint32_t height,
+    std::vector<std::pair<NodeId, std::uint32_t>> values, std::uint32_t n)
+    : parent_(parent),
+      num_children_(num_children),
+      depth_(depth),
+      height_(height),
+      values_(std::move(values)),
+      n_(n) {
+  check_internal(std::is_sorted(values_.begin(), values_.end()),
+                 "BatchedMaxConvergecast: values must be sorted by source");
+}
+
+void BatchedMaxConvergecastProgram::on_round(NodeContext& ctx) {
+  const std::uint32_t id_bits = ctx.id_bits();
+  for (const auto& in : ctx.inbox()) {
+    const auto src = static_cast<NodeId>(in.msg.field(0));
+    const auto value = static_cast<std::uint32_t>(in.msg.field(1));
+    const auto it = std::lower_bound(
+        values_.begin(), values_.end(), src,
+        [](const auto& p, NodeId s) { return p.first < s; });
+    check_internal(it != values_.end() && it->first == src,
+                   "BatchedMaxConvergecast: stream misaligned");
+    it->second = std::max(it->second, value);
+  }
+  // Stream item i leaves a depth-k node at local round (height-k) + i + 1.
+  const std::uint32_t r = ctx.round();
+  if (next_to_send_ < values_.size() &&
+      r == (height_ - depth_) + static_cast<std::uint32_t>(next_to_send_) + 1) {
+    if (parent_ != graph::kInvalidNode) {
+      const auto& [src, value] = values_[next_to_send_];
+      ctx.send_to(parent_,
+                  Message().push(src, id_bits).push(value, id_bits + 1));
+    }
+    // The root's "send" slot is where its i-th maximum becomes final.
+    ++next_to_send_;
+  }
+  if (next_to_send_ >= values_.size()) ctx.vote_halt();
+}
+
+std::uint64_t BatchedMaxConvergecastProgram::memory_bits() const {
+  return values_.size() * 2ULL * 32 + 64;
+}
+
+BatchedEccOutcome batched_eccentricities(
+    const graph::Graph& g, const TreeState& tree,
+    const std::vector<std::map<NodeId, std::uint32_t>>& distances,
+    congest::NetworkConfig cfg) {
+  require(distances.size() == g.n(),
+          "batched_eccentricities: distances size mismatch");
+  const std::size_t num_sources = distances.empty() ? 0 : distances[0].size();
+  require(num_sources >= 1, "batched_eccentricities: no sources");
+
+  Network net(g, cfg);
+  net.init_programs([&](NodeId v) {
+    std::vector<std::pair<NodeId, std::uint32_t>> vals(distances[v].begin(),
+                                                       distances[v].end());
+    check_internal(vals.size() == num_sources,
+                   "batched_eccentricities: ragged distance table");
+    return std::make_unique<BatchedMaxConvergecastProgram>(
+        tree.parent[v],
+        static_cast<std::uint32_t>(tree.children[v].size()), tree.depth[v],
+        tree.height, std::move(vals), g.n());
+  });
+  BatchedEccOutcome out;
+  const auto total = tree.height + static_cast<std::uint32_t>(num_sources) + 2;
+  out.stats = net.run_until_quiescent(total);
+  check_internal(out.stats.quiesced,
+                 "batched_eccentricities: did not quiesce");
+  const auto& rootp =
+      net.program_as<BatchedMaxConvergecastProgram>(tree.root);
+  check_internal(rootp.done(), "batched_eccentricities: root incomplete");
+  out.ecc = rootp.maxima();
+  return out;
+}
+
+}  // namespace qc::algos

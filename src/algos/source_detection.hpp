@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "algos/tree_state.hpp"
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace qc::algos {
+
+/// Lenzen-Peleg style source detection [LP13]: given a set S of source
+/// vertices, after O(|S| + D) rounds *every* node knows the exact distance
+/// d(v, s) to *every* source s.
+///
+/// Protocol: each node maintains the set of (dist, source) pairs it
+/// currently believes, and each round broadcasts the lexicographically
+/// smallest pair it has not transmitted yet (re-transmitting a pair whose
+/// distance improved). The lexicographic discipline pipelines the |S|
+/// simultaneous BFS waves through each edge without congestion: the wave
+/// for the i-th closest source is delayed at most i rounds.
+///
+/// This needs Theta(|S| log n) bits of state per node — the "polynomial
+/// amount of classical memory" Section 4 of the paper explicitly notes the
+/// preparation phase of Figure 3 requires (only the quantum phase is
+/// polylog-memory).
+class SourceDetectionProgram : public congest::NodeProgram {
+ public:
+  explicit SourceDetectionProgram(bool is_source) : is_source_(is_source) {}
+
+  void on_start(congest::NodeContext& ctx) override;
+  void on_round(congest::NodeContext& ctx) override;
+  std::uint64_t memory_bits() const override;
+
+  /// dist per source id, sorted by source id.
+  const std::map<graph::NodeId, std::uint32_t>& distances() const {
+    return dist_;
+  }
+
+  /// First hop (the depth-1 vertex) of the adopted shortest path from each
+  /// source; the source itself maps to itself. Used by the girth census
+  /// (the Itai-Rodeh branch labels of [PRT12]).
+  const std::map<graph::NodeId, graph::NodeId>& first_hops() const {
+    return hop_;
+  }
+
+ private:
+  void learn(graph::NodeId src, std::uint32_t dist, graph::NodeId hop);
+
+  bool is_source_;
+  std::map<graph::NodeId, std::uint32_t> dist_;
+  std::map<graph::NodeId, graph::NodeId> hop_;
+  // Pairs not yet (re)broadcast, kept in lexicographic (dist, src) order.
+  std::map<std::pair<std::uint32_t, graph::NodeId>, bool> unsent_;
+};
+
+struct SourceDetectionOutcome {
+  /// distances[v] maps source id -> d(v, source), for every node v.
+  std::vector<std::map<graph::NodeId, std::uint32_t>> distances;
+  /// first_hops[v] maps source id -> the depth-1 vertex of v's adopted
+  /// shortest path from that source (v itself if v is the source).
+  std::vector<std::map<graph::NodeId, graph::NodeId>> first_hops;
+  congest::RunStats stats;
+};
+
+/// Runs source detection with the given source set (by mask).
+SourceDetectionOutcome detect_sources(const graph::Graph& g,
+                                      const std::vector<bool>& is_source,
+                                      congest::NetworkConfig cfg = {});
+
+/// Batched maximum convergecast: every node holds one value per source
+/// (its distance to that source); the root learns, for each source s, the
+/// maximum over all nodes — i.e. ecc(s) — in height + |S| + 1 rounds.
+///
+/// The streams are aligned by sorted source id with a deterministic
+/// schedule: a depth-k node forwards the i-th source's running maximum at
+/// local round (height - k) + i + 1, exactly one round after its children
+/// forwarded theirs. One message per tree edge per round: no congestion.
+class BatchedMaxConvergecastProgram : public congest::NodeProgram {
+ public:
+  BatchedMaxConvergecastProgram(graph::NodeId parent,
+                                std::uint32_t num_children,
+                                std::uint32_t depth, std::uint32_t height,
+                                std::vector<std::pair<graph::NodeId, std::uint32_t>>
+                                    values,  ///< (source id, own value) sorted
+                                std::uint32_t n);
+
+  void on_round(congest::NodeContext& ctx) override;
+  std::uint64_t memory_bits() const override;
+
+  /// At the root after completion: (source id, max value) per source.
+  const std::vector<std::pair<graph::NodeId, std::uint32_t>>& maxima() const {
+    return values_;
+  }
+  bool done() const { return next_to_send_ >= values_.size(); }
+
+ private:
+  graph::NodeId parent_;
+  std::uint32_t num_children_, depth_, height_;
+  std::vector<std::pair<graph::NodeId, std::uint32_t>> values_;
+  std::uint32_t n_;
+  std::size_t next_to_send_ = 0;
+};
+
+struct BatchedEccOutcome {
+  /// (source id, eccentricity) for each source, sorted by source id.
+  std::vector<std::pair<graph::NodeId, std::uint32_t>> ecc;
+  congest::RunStats stats;
+};
+
+/// Computes ecc(s) for every source via detect_sources' output and a
+/// batched convergecast over `tree`.
+BatchedEccOutcome batched_eccentricities(
+    const graph::Graph& g, const TreeState& tree,
+    const std::vector<std::map<graph::NodeId, std::uint32_t>>& distances,
+    congest::NetworkConfig cfg = {});
+
+}  // namespace qc::algos

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/algorithms.hpp"
+
+namespace qc::algos {
+
+using congest::RunStats;
+using graph::NodeId;
+
+/// Distributed knowledge produced by the Initialization phase (Proposition 1
+/// plus the standard leader-election/eccentricity preliminaries of Section 3)
+/// and consumed by the later phases.
+///
+/// Conceptually each node only holds *its own* row of these vectors (its
+/// parent, its depth, its child list); the driver keeps them together so it
+/// can hand the right slice to each NodeProgram it constructs. Per-node
+/// working memory claims are audited separately via NodeProgram::memory_bits.
+struct TreeState {
+  NodeId root = graph::kInvalidNode;
+  std::vector<NodeId> parent;                 ///< kInvalidNode at root
+  std::vector<std::uint32_t> depth;           ///< distance to root
+  std::vector<std::vector<NodeId>> children;  ///< sorted by id
+  std::uint32_t height = 0;                   ///< max depth = ecc(root)
+
+  std::uint32_t n() const { return static_cast<std::uint32_t>(parent.size()); }
+
+  graph::BfsTree to_bfs_tree() const {
+    graph::BfsTree t;
+    t.root = root;
+    t.parent = parent;
+    t.depth = depth;
+    t.children = children;
+    t.height = height;
+    return t;
+  }
+
+  static TreeState from_bfs_tree(const graph::BfsTree& t) {
+    TreeState s;
+    s.root = t.root;
+    s.parent = t.parent;
+    s.depth = t.depth;
+    s.children = t.children;
+    s.height = t.height;
+    return s;
+  }
+};
+
+}  // namespace qc::algos

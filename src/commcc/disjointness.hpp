@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qc::commcc {
+
+/// The set-disjointness function of Section 2.2: DISJ_k(x, y) = 0 iff some
+/// index i has x_i = y_i = 1; 1 (disjoint) otherwise.
+inline bool disjoint(const std::vector<bool>& x, const std::vector<bool>& y) {
+  require(x.size() == y.size(), "disjoint: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] && y[i]) return false;
+  }
+  return true;
+}
+
+/// A random DISJ_k instance with a forced answer. For `intersecting`
+/// instances exactly one common index is planted (the hard regime of the
+/// [KS92, Raz92, BGK+15] bounds); each other coordinate pair is drawn from
+/// the disjoint distribution {00, 01, 10}.
+inline std::pair<std::vector<bool>, std::vector<bool>> random_disj_instance(
+    std::size_t k, bool intersecting, Rng& rng) {
+  require(k >= 1, "random_disj_instance: k must be positive");
+  std::vector<bool> x(k, false), y(k, false);
+  for (std::size_t i = 0; i < k; ++i) {
+    switch (rng.next_below(3)) {
+      case 0: break;
+      case 1: x[i] = true; break;
+      default: y[i] = true; break;
+    }
+  }
+  if (intersecting) {
+    const std::size_t i = static_cast<std::size_t>(rng.next_below(k));
+    x[i] = y[i] = true;
+  }
+  return {x, y};
+}
+
+}  // namespace qc::commcc

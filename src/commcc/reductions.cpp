@@ -1,0 +1,207 @@
+#include "commcc/reductions.hpp"
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace qc::commcc {
+
+std::vector<bool> Reduction::u_mask() const {
+  std::vector<bool> mask(num_nodes, false);
+  for (NodeId v : u_side) mask[v] = true;
+  return mask;
+}
+
+graph::Graph Reduction::instantiate(const std::vector<bool>& x,
+                                    const std::vector<bool>& y) const {
+  require(x.size() == k && y.size() == k,
+          "Reduction::instantiate: input length must be k");
+  std::vector<Edge> edges = fixed_edges;
+  const auto lx = left_edges(x);
+  const auto ry = right_edges(y);
+  edges.insert(edges.end(), lx.begin(), lx.end());
+  edges.insert(edges.end(), ry.begin(), ry.end());
+  return graph::Graph::from_edges(num_nodes, edges);
+}
+
+Reduction hw12_reduction(std::uint32_t s) {
+  require(s >= 2, "hw12_reduction: need s >= 2");
+  Reduction red;
+  red.name = "hw12";
+  red.k = s * s;
+  red.d1 = 2;
+  red.d2 = 3;
+  // Layout (Figure 4): L = [0, s), L' = [s, 2s), a = 2s on the U side;
+  // R = [2s+1, 3s+1), R' = [3s+1, 4s+1), b = 4s+1 on the V side.
+  const NodeId L = 0, Lp = s, a = 2 * s;
+  const NodeId R = 2 * s + 1, Rp = 3 * s + 1, bnode = 4 * s + 1;
+  red.num_nodes = 4 * s + 2;
+  for (NodeId v = 0; v <= a; ++v) red.u_side.push_back(v);
+  for (NodeId v = R; v <= bnode; ++v) red.v_side.push_back(v);
+
+  auto& E = red.fixed_edges;
+  for (std::uint32_t i = 0; i < s; ++i) {
+    for (std::uint32_t j = i + 1; j < s; ++j) {
+      E.push_back({L + i, L + j});    // L clique
+      E.push_back({Lp + i, Lp + j});  // L' clique
+      E.push_back({R + i, R + j});    // R clique
+      E.push_back({Rp + i, Rp + j});  // R' clique
+    }
+    E.push_back({a, L + i});
+    E.push_back({a, Lp + i});
+    E.push_back({bnode, R + i});
+    E.push_back({bnode, Rp + i});
+    // The Theta(n) cut: l_i - r_i and l'_i - r'_i.
+    red.cut_edges.push_back({L + i, R + i});
+    red.cut_edges.push_back({Lp + i, Rp + i});
+  }
+  red.cut_edges.push_back({a, bnode});
+  E.insert(E.end(), red.cut_edges.begin(), red.cut_edges.end());
+
+  // x_{i,j} = 0 adds {l_i, l'_j}; y_{i,j} = 0 adds {r_i, r'_j}.
+  red.left_edges = [s, L, Lp](const std::vector<bool>& x) {
+    std::vector<Edge> out;
+    for (std::uint32_t i = 0; i < s; ++i) {
+      for (std::uint32_t j = 0; j < s; ++j) {
+        if (!x[i * s + j]) out.push_back({L + i, Lp + j});
+      }
+    }
+    return out;
+  };
+  red.right_edges = [s, R, Rp](const std::vector<bool>& y) {
+    std::vector<Edge> out;
+    for (std::uint32_t i = 0; i < s; ++i) {
+      for (std::uint32_t j = 0; j < s; ++j) {
+        if (!y[i * s + j]) out.push_back({R + i, Rp + j});
+      }
+    }
+    return out;
+  };
+  return red;
+}
+
+Reduction achk16_reduction(std::uint32_t k) {
+  require(k >= 2, "achk16_reduction: need k >= 2");
+  const std::uint32_t B = qc::ceil_log2(k) == 0 ? 1 : qc::ceil_log2(k);
+  Reduction red;
+  red.name = "achk16";
+  red.k = k;
+  red.d1 = 4;
+  red.d2 = 5;
+
+  // U side: l_1..l_k, bit nodes u_h^c, hubs p_l (adjacent to all l_i) and
+  // p_u (adjacent to all u_h^c). V side mirrors with r/v/q_r/q_v.
+  const NodeId Lbase = 0;
+  const NodeId Ubit = k;             // u_h^c at Ubit + 2h + c
+  const NodeId p_l = k + 2 * B, p_u = p_l + 1;
+  const NodeId Rbase = p_u + 1;
+  const NodeId Vbit = Rbase + k;     // v_h^c at Vbit + 2h + c
+  const NodeId q_r = Rbase + k + 2 * B, q_v = q_r + 1;
+  red.num_nodes = q_v + 1;
+  for (NodeId v = 0; v <= p_u; ++v) red.u_side.push_back(v);
+  for (NodeId v = Rbase; v <= q_v; ++v) red.v_side.push_back(v);
+
+  auto ubit = [Ubit](std::uint32_t h, std::uint32_t c) {
+    return Ubit + 2 * h + c;
+  };
+  auto vbit = [Vbit](std::uint32_t h, std::uint32_t c) {
+    return Vbit + 2 * h + c;
+  };
+
+  auto& E = red.fixed_edges;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    E.push_back({p_l, Lbase + i});
+    E.push_back({q_r, Rbase + i});
+    for (std::uint32_t h = 0; h < B; ++h) {
+      E.push_back({Lbase + i, ubit(h, qc::bit_at(i, h))});
+      E.push_back({Rbase + i, vbit(h, qc::bit_at(i, h))});
+    }
+  }
+  E.push_back({p_l, p_u});
+  E.push_back({q_r, q_v});
+  for (std::uint32_t h = 0; h < B; ++h) {
+    for (std::uint32_t c = 0; c < 2; ++c) {
+      E.push_back({p_u, ubit(h, c)});
+      E.push_back({q_v, vbit(h, c)});
+      // The bit-gadget cut: u_h^c -- v_h^{1-c}.
+      if (c == 0) {
+        red.cut_edges.push_back({ubit(h, 0), vbit(h, 1)});
+        red.cut_edges.push_back({ubit(h, 1), vbit(h, 0)});
+      }
+    }
+  }
+  red.cut_edges.push_back({p_u, q_v});
+  E.insert(E.end(), red.cut_edges.begin(), red.cut_edges.end());
+
+  // x_i = 0 shortcuts l_i to the complement bit nodes (all of them, so the
+  // d(l_i, r_i) = 3 path exists through any position); same on the right.
+  red.left_edges = [k, B, Lbase, ubit](const std::vector<bool>& x) {
+    std::vector<Edge> out;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      if (x[i]) continue;
+      for (std::uint32_t h = 0; h < B; ++h) {
+        out.push_back({Lbase + i, ubit(h, 1 - qc::bit_at(i, h))});
+      }
+    }
+    return out;
+  };
+  red.right_edges = [k, B, Rbase, vbit](const std::vector<bool>& y) {
+    std::vector<Edge> out;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      if (y[i]) continue;
+      for (std::uint32_t h = 0; h < B; ++h) {
+        out.push_back({Rbase + i, vbit(h, 1 - qc::bit_at(i, h))});
+      }
+    }
+    return out;
+  };
+  return red;
+}
+
+graph::Graph subdivide_cut(const Reduction& red, const std::vector<bool>& x,
+                           const std::vector<bool>& y, std::uint32_t d,
+                           std::vector<bool>* u_mask_out) {
+  require(d >= 1, "subdivide_cut: need d >= 1");
+  // Assemble all edges except the cut, then path-expand each cut edge.
+  graph::GraphBuilder builder(red.num_nodes);
+  auto is_cut = [&](const Edge& e) {
+    const Edge canon{std::min(e.first, e.second),
+                     std::max(e.first, e.second)};
+    for (const auto& c : red.cut_edges) {
+      if (Edge{std::min(c.first, c.second), std::max(c.first, c.second)} ==
+          canon) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& e : red.fixed_edges) {
+    if (!is_cut(e)) builder.add_edge(e.first, e.second);
+  }
+  for (const auto& e : red.left_edges(x)) builder.add_edge(e.first, e.second);
+  for (const auto& e : red.right_edges(y)) builder.add_edge(e.first, e.second);
+
+  const auto umask_base = red.u_mask();
+  std::vector<bool> umask = umask_base;
+  for (const auto& [cu, cv] : red.cut_edges) {
+    // Orient each path from the U endpoint to the V endpoint so the first
+    // half of the dummies belongs to Alice's simulation layers.
+    const NodeId from = umask_base[cu] ? cu : cv;
+    const NodeId to = umask_base[cu] ? cv : cu;
+    auto inner = builder.add_path_between(from, to, d);
+    umask.resize(builder.num_nodes(), false);
+    for (std::uint32_t j = 0; j < inner.size(); ++j) {
+      umask[inner[j]] = j < (d + 1) / 2;
+    }
+  }
+  if (u_mask_out != nullptr) *u_mask_out = umask;
+  return builder.build();
+}
+
+graph::Graph path_network(std::uint32_t d) {
+  return graph::make_path(d + 2);
+}
+
+}  // namespace qc::commcc

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qc::commcc {
+
+using graph::Edge;
+using graph::NodeId;
+
+/// A (b, k, d1, d2)-reduction from disjointness to diameter computation
+/// (Definition 3): a fixed two-sided graph, b cut edges, and input maps
+/// g_n / h_n that add edges *within* each side so that
+///   DISJ_k(x, y) = 1  =>  diameter(G_n(x, y)) <= d1,
+///   DISJ_k(x, y) = 0  =>  diameter(G_n(x, y)) >= d2.
+///
+/// (Definition 3 states the conditions on Delta(G), the largest U-V
+/// distance; in both constructions used here the intra-side distances never
+/// exceed d1, so Delta and the full diameter coincide on the relevant
+/// threshold — the tests verify the diameter form directly.)
+struct Reduction {
+  std::string name;
+  std::uint32_t k = 0;   ///< DISJ input length
+  std::uint32_t d1 = 0;  ///< diameter when disjoint
+  std::uint32_t d2 = 0;  ///< diameter when intersecting
+  std::uint32_t num_nodes = 0;
+
+  std::vector<NodeId> u_side;  ///< Alice's vertices
+  std::vector<NodeId> v_side;  ///< Bob's vertices
+
+  std::vector<Edge> fixed_edges;  ///< input-independent edges (both kinds)
+  std::vector<Edge> cut_edges;    ///< the b fixed edges crossing the partition
+
+  /// Input-dependent edges within U (resp. V).
+  std::function<std::vector<Edge>(const std::vector<bool>&)> left_edges;
+  std::function<std::vector<Edge>(const std::vector<bool>&)> right_edges;
+
+  std::uint32_t b() const {
+    return static_cast<std::uint32_t>(cut_edges.size());
+  }
+
+  /// side_of[v] == true iff v is on the U (Alice) side.
+  std::vector<bool> u_mask() const;
+
+  /// Builds G_n(x, y).
+  graph::Graph instantiate(const std::vector<bool>& x,
+                           const std::vector<bool>& y) const;
+};
+
+/// Theorem 8 [HW12] (Figure 4): a (Theta(n), Theta(n^2), 2, 3)-reduction.
+/// `s` is the per-clique size; n = 4s + 2 nodes, k = s^2.
+Reduction hw12_reduction(std::uint32_t s);
+
+/// Theorem 9 [ACHK16]: a (Theta(log n), Theta(n), 4, 5)-reduction with only
+/// b = 2*ceil(log2 k) + 1 cut edges.
+///
+/// ACHK16's construction is cited but not spelled out in the paper; this is
+/// a bit-gadget reconstruction with the same (b, k, d1, d2) parameters (see
+/// DESIGN.md §1): side hubs p_l/p_u (resp. q_r/q_v), bit nodes u_h^c
+/// (resp. v_h^c) wired so that d(l_i, r_j) = 3 whenever i != j via any
+/// differing bit, while d(l_i, r_i) = 5 unless an input edge (x_i = 0 or
+/// y_i = 0) shortcuts it to 3. Conditions (i)/(ii) are verified
+/// exhaustively in the tests.
+Reduction achk16_reduction(std::uint32_t k);
+
+/// The Figure 8 construction: instantiate G_n(x, y) and replace each of the
+/// b cut edges by a path of d+1 edges (d fresh nodes each), turning the
+/// (b, k, d1, d2)-reduction into a decision between diameter d+d1 and
+/// d+d2 on a Theta(n + b*d)-node network. If `u_mask_out` is non-null it
+/// receives the Alice-side mask of the *subdivided* graph, with each path's
+/// first half assigned to Alice (matching the P_1..P_d layering of
+/// Section 6.2).
+graph::Graph subdivide_cut(const Reduction& red, const std::vector<bool>& x,
+                           const std::vector<bool>& y, std::uint32_t d,
+                           std::vector<bool>* u_mask_out = nullptr);
+
+/// The path network G_d of Figure 5: nodes A = 0, P_1..P_d = 1..d,
+/// B = d+1; d+2 nodes, d+1 edges.
+graph::Graph path_network(std::uint32_t d);
+
+}  // namespace qc::commcc

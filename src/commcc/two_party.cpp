@@ -1,0 +1,319 @@
+#include "commcc/two_party.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "commcc/disjointness.hpp"
+#include "congest/trace.hpp"
+#include "graph/algorithms.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace qc::commcc {
+
+using congest::Message;
+using congest::Network;
+using congest::NodeContext;
+
+TwoPartyCosts theorem10_transform(std::uint32_t rounds, std::uint32_t b,
+                                  std::uint32_t bw) {
+  TwoPartyCosts c;
+  c.distributed_rounds = rounds;
+  c.messages = 2ULL * rounds;
+  c.qubits = 2ULL * rounds * b * bw;
+  return c;
+}
+
+TwoPartyCosts theorem11_transform(std::uint32_t rounds, std::uint32_t d,
+                                  std::uint32_t bw, std::uint64_t s_memory) {
+  require(d >= 1, "theorem11_transform: d must be positive");
+  TwoPartyCosts c;
+  c.distributed_rounds = rounds;
+  const std::uint64_t blocks = (rounds + d - 1) / d;
+  // Each block ships ~d message registers (bw qubits) plus d private
+  // registers (s qubits), concatenated into one message; one extra message
+  // carries the final output (end of the Theorem 11 proof).
+  c.messages = blocks + 1;
+  c.qubits = blocks * static_cast<std::uint64_t>(d) * (bw + s_memory);
+  return c;
+}
+
+double bgk_lower_bound(double k, double messages) {
+  require(k > 0 && messages > 0, "bgk_lower_bound: positive inputs required");
+  return k / messages + messages;
+}
+
+double theorem10_round_floor(double k, double b) {
+  require(k > 0 && b > 0, "theorem10_round_floor: positive inputs required");
+  return std::sqrt(k / b);
+}
+
+double theorem3_round_floor(double n, double diameter, double s_memory) {
+  require(n > 0 && diameter > 0 && s_memory > 0,
+          "theorem3_round_floor: positive inputs required");
+  return std::sqrt(n * diameter / s_memory);
+}
+
+CutMeter::CutMeter(std::vector<bool> u_mask)
+    : state_(std::make_shared<State>()) {
+  state_->u_mask = std::move(u_mask);
+}
+
+congest::NetworkConfig CutMeter::arm(congest::NetworkConfig base) const {
+  base.engine = congest::Engine::kSequential;
+  auto state = state_;
+  base.on_deliver = [state](graph::NodeId from, graph::NodeId to,
+                            const Message& msg, std::uint32_t round) {
+    if (from >= state->u_mask.size() || to >= state->u_mask.size()) return;
+    if (state->u_mask[from] != state->u_mask[to]) {
+      state->bits += msg.size_bits();
+      ++state->messages;
+      state->last_round = std::max(state->last_round, round);
+    }
+  };
+  return base;
+}
+
+TwoPartyRun two_party_diameter_protocol(const Reduction& red,
+                                        const std::vector<bool>& x,
+                                        const std::vector<bool>& y,
+                                        const DiameterSolver& solver,
+                                        congest::NetworkConfig base) {
+  auto g = red.instantiate(x, y);
+  CutMeter meter(red.u_mask());
+  const auto cfg = meter.arm(base);
+  const auto [diameter, rounds] = solver(g, cfg);
+
+  TwoPartyRun run;
+  run.diameter = diameter;
+  run.rounds = rounds;
+  run.decided_disjoint = diameter <= red.d1;
+  run.cut_bits = meter.crossing_bits();
+  run.costs = theorem10_transform(
+      rounds, red.b(),
+      cfg.bandwidth_bits != 0 ? cfg.bandwidth_bits
+                              : qc::congest_bandwidth_bits(g.n()));
+  return run;
+}
+
+namespace {
+
+/// CONGEST programs realizing the path-DISJ protocol of
+/// run_path_disjointness. Node 0 is A (holds x), node d+1 is B (holds y);
+/// the intermediates only relay.
+class PathDisjProgram : public congest::NodeProgram {
+ public:
+  PathDisjProgram(std::vector<bool> input, std::uint32_t k, bool is_a,
+                  bool is_b, std::uint32_t chunk_bits)
+      : input_(std::move(input)),
+        k_(k),
+        is_a_(is_a),
+        is_b_(is_b),
+        chunk_bits_(chunk_bits) {}
+
+  void on_start(NodeContext& ctx) override {
+    if (is_a_) send_next_chunk(ctx);
+  }
+
+  void on_round(NodeContext& ctx) override {
+    for (const auto& in : ctx.inbox()) {
+      if (is_b_) {
+        if (in.msg.num_fields() == 1) {
+          absorb_chunk(in.msg.field(0));
+          if (received_bits_ >= k_) {
+            answer_ = disjoint(peer_bits_, input_);
+            have_answer_ = true;
+            // Answer travels back as a 2-field message.
+            ctx.send(in.port, Message().push(answer_ ? 1 : 0, 1).push(0, 1));
+          }
+        }
+      } else if (is_a_) {
+        if (in.msg.num_fields() == 2) {
+          answer_ = in.msg.field(0) == 1;
+          have_answer_ = true;
+        }
+      } else {
+        // Relay away from the arrival port.
+        const std::uint32_t out = in.port == 0 ? 1 : 0;
+        if (out < ctx.degree()) {
+          relay_bits_ = in.msg.size_bits();
+          ctx.send(out, in.msg);
+        }
+      }
+    }
+    if (is_a_ && next_chunk_ * chunk_bits_ < k_) {
+      send_next_chunk(ctx);
+    }
+    // A must stay awake (a halted node is only re-activated by incoming
+    // messages) until its whole input has been streamed out.
+    if (!is_a_ || next_chunk_ * chunk_bits_ >= k_) ctx.vote_halt();
+  }
+
+  std::uint64_t memory_bits() const override {
+    if (is_a_ || is_b_) return k_ + 8;  // the players hold their inputs
+    return relay_bits_ + 4;             // intermediates hold one message
+  }
+
+  bool have_answer() const { return have_answer_; }
+  bool answer() const { return answer_; }
+
+ private:
+  void send_next_chunk(NodeContext& ctx) {
+    std::uint64_t payload = 0;
+    const std::uint32_t base = next_chunk_ * chunk_bits_;
+    for (std::uint32_t j = 0; j < chunk_bits_ && base + j < k_; ++j) {
+      if (input_[base + j]) payload |= 1ULL << j;
+    }
+    ctx.send(0, Message().push(payload, chunk_bits_));
+    ++next_chunk_;
+  }
+
+  void absorb_chunk(std::uint64_t payload) {
+    for (std::uint32_t j = 0; j < chunk_bits_ && received_bits_ < k_; ++j) {
+      peer_bits_.push_back((payload >> j) & 1ULL);
+      ++received_bits_;
+    }
+  }
+
+  std::vector<bool> input_;
+  std::uint32_t k_;
+  bool is_a_, is_b_;
+  std::uint32_t chunk_bits_;
+  std::uint32_t next_chunk_ = 0;
+  std::uint32_t received_bits_ = 0;
+  std::vector<bool> peer_bits_;
+  std::uint64_t relay_bits_ = 0;
+  bool have_answer_ = false;
+  bool answer_ = false;
+};
+
+}  // namespace
+
+PathDisjOutcome run_path_disjointness(const std::vector<bool>& x,
+                                      const std::vector<bool>& y,
+                                      std::uint32_t d,
+                                      congest::NetworkConfig cfg) {
+  require(x.size() == y.size() && !x.empty(),
+          "run_path_disjointness: inputs must be equal nonempty length");
+  require(d >= 1, "run_path_disjointness: need d >= 1");
+  const auto k = static_cast<std::uint32_t>(x.size());
+  auto g = path_network(d);
+  const std::uint32_t bw = cfg.bandwidth_bits != 0
+                               ? cfg.bandwidth_bits
+                               : qc::congest_bandwidth_bits(g.n());
+  const std::uint32_t chunk_bits = std::min(bw, 64u);
+
+  Network net(g, cfg);
+  const graph::NodeId a = 0, b = d + 1;
+  net.init_programs([&](graph::NodeId v) {
+    return std::make_unique<PathDisjProgram>(
+        v == a ? x : (v == b ? y : std::vector<bool>{}), k, v == a, v == b,
+        chunk_bits);
+  });
+  const std::uint32_t cap = 2 * (d + 2) + 2 * (k / chunk_bits + 2) + 8;
+  auto stats = net.run_until_quiescent(cap);
+  check_internal(stats.quiesced, "run_path_disjointness: did not quiesce");
+
+  const auto& pa = net.program_as<PathDisjProgram>(a);
+  check_internal(pa.have_answer(), "run_path_disjointness: A has no answer");
+
+  PathDisjOutcome out;
+  out.is_disjoint = pa.answer();
+  out.rounds = stats.rounds;
+  // Intermediate memory: the relays held one bw-bit message at a time.
+  std::uint64_t s_mem = 0;
+  for (graph::NodeId v = 1; v <= d; ++v) {
+    s_mem = std::max(s_mem, net.program(v).memory_bits());
+  }
+  out.max_intermediate_memory_bits = s_mem;
+  out.theorem11 = theorem11_transform(out.rounds, d, bw, s_mem);
+  return out;
+}
+
+Theorem11Audit audit_path_trace(const std::vector<congest::TraceEvent>& trace,
+                                std::uint32_t d) {
+  require(d >= 1, "audit_path_trace: need d >= 1");
+  const std::uint32_t positions = d + 2;
+  Theorem11Audit audit;
+  audit.earliest_influence.assign(positions, graph::kUnreachable);
+  audit.earliest_influence[0] = 0;  // A holds its input from round 0
+
+  // Influence chase: a message delivered to p at round r carries
+  // A-influence iff its sender was already influenced at round r-1. Events
+  // arrive in round order, and same-round deliveries only depend on
+  // previous-round state, so a single pass suffices.
+  for (const auto& e : trace) {
+    require(e.from < positions && e.to < positions,
+            "audit_path_trace: event outside the path");
+    audit.rounds = std::max(audit.rounds, e.round);
+    if (audit.earliest_influence[e.from] < e.round) {
+      audit.earliest_influence[e.to] =
+          std::min(audit.earliest_influence[e.to], e.round);
+    }
+  }
+
+  // The light cone: position p cannot be influenced before round p.
+  audit.light_cone_respected = true;
+  for (std::uint32_t p = 0; p < positions; ++p) {
+    if (audit.earliest_influence[p] != graph::kUnreachable &&
+        audit.earliest_influence[p] < p) {
+      audit.light_cone_respected = false;
+    }
+  }
+
+  // Block decomposition (Figure 7): blocks of d rounds; the frontier is
+  // the middle edge of the path, whose per-block traffic bounds what one
+  // block shipment must carry.
+  audit.blocks = (audit.rounds + d - 1) / d;
+  const std::uint32_t mid = positions / 2;
+  std::vector<std::uint64_t> block_bits(audit.blocks + 1, 0);
+  for (const auto& e : trace) {
+    const bool crosses = (e.from < mid) != (e.to < mid);
+    if (!crosses) continue;
+    const std::uint32_t b = (e.round + d - 1) / d;
+    block_bits[std::min<std::uint32_t>(b, audit.blocks)] += e.bits;
+  }
+  for (auto bits : block_bits) {
+    audit.max_block_frontier_bits =
+        std::max(audit.max_block_frontier_bits, bits);
+  }
+  return audit;
+}
+
+QuantumDisjRun quantum_disjointness_protocol(const std::vector<bool>& x,
+                                             const std::vector<bool>& y,
+                                             double delta, Rng& rng) {
+  require(x.size() == y.size() && !x.empty(),
+          "quantum_disjointness_protocol: equal nonempty inputs required");
+  const std::size_t k = x.size();
+
+  // Alice's search register lives over [k]; the joint oracle marks the
+  // common indices. Alice can apply her own x-phase locally; Bob's y-phase
+  // needs the register shipped over and back — two messages of
+  // ceil(log2 k) + O(1) qubits per amplification iterate. The diffusion
+  // is local to Alice.
+  auto setup = qsim::AmplitudeVector::uniform(k);
+  auto marked = [&](std::size_t i) { return x[i] && y[i]; };
+  auto res = qsim::amplitude_amplification_search(setup, marked, 1.0 / k,
+                                                  delta, rng);
+
+  QuantumDisjRun run;
+  run.costs = res.costs;
+  const std::uint64_t reg_qubits = qc::bit_width_for(k) + 1;
+  // Per iterate: register to Bob and back. Per measurement candidate:
+  // Alice sends the classical index, Bob answers one bit (the classical
+  // verification both players can do).
+  run.messages =
+      2 * res.costs.grover_iterations + 2 * res.costs.candidate_evaluations;
+  run.qubits = 2 * res.costs.grover_iterations * reg_qubits +
+               res.costs.candidate_evaluations * (reg_qubits + 1);
+  if (res.found) {
+    run.is_disjoint = false;
+    run.witness = res.item;
+  } else {
+    run.is_disjoint = true;
+  }
+  return run;
+}
+
+}  // namespace qc::commcc

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace qc::congest {
+
+/// A single CONGEST message: an ordered list of unsigned fields, each with
+/// an explicit bit width. The size of a message is the sum of its field
+/// widths; the network enforces that at most one message crosses each edge
+/// per direction per round and that its size does not exceed the model
+/// bandwidth (bw = O(log n) bits).
+///
+/// Carrying explicit widths (instead of, say, always 64-bit words) is what
+/// makes the bandwidth constraint *checkable*: a protocol that tries to
+/// smuggle too much information through an edge fails loudly.
+class Message {
+ public:
+  Message() = default;
+
+  /// Appends a field. `bits` must be in [1, 64] and `value` must fit.
+  Message& push(std::uint64_t value, std::uint32_t bits) {
+    require(bits >= 1 && bits <= 64, "Message::push: bits must be in [1,64]");
+    require(bits == 64 || value < (1ULL << bits),
+            "Message::push: value does not fit in declared width");
+    values_.push_back(value);
+    widths_.push_back(bits);
+    return *this;
+  }
+
+  std::uint64_t field(std::size_t i) const {
+    require(i < values_.size(), "Message::field: index out of range");
+    return values_[i];
+  }
+
+  std::size_t num_fields() const { return values_.size(); }
+
+  std::uint32_t size_bits() const {
+    std::uint32_t total = 0;
+    for (std::uint32_t w : widths_) total += w;
+    return total;
+  }
+
+  bool operator==(const Message& other) const {
+    return values_ == other.values_ && widths_ == other.widths_;
+  }
+
+ private:
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint32_t> widths_;
+};
+
+}  // namespace qc::congest

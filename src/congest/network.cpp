@@ -1,0 +1,272 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <sstream>
+#include <thread>
+
+namespace qc::congest {
+
+std::uint32_t NodeContext::port_to(NodeId v) const {
+  const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), v);
+  require(it != neighbors_.end() && *it == v,
+          "NodeContext::port_to: not adjacent to that node");
+  return static_cast<std::uint32_t>(it - neighbors_.begin());
+}
+
+void NodeContext::send(std::uint32_t port, Message msg) {
+  require(port < degree(), "NodeContext::send: port out of range");
+  require(!port_used_[port],
+          "NodeContext::send: at most one message per port per round");
+  outbox_[port] = std::move(msg);
+  port_used_[port] = true;
+}
+
+void NodeContext::broadcast(const Message& msg) {
+  for (std::uint32_t p = 0; p < degree(); ++p) send(p, msg);
+}
+
+RunStats& RunStats::operator+=(const RunStats& other) {
+  rounds += other.rounds;
+  messages += other.messages;
+  bits += other.bits;
+  max_edge_bits = std::max(max_edge_bits, other.max_edge_bits);
+  violations += other.violations;
+  quiesced = other.quiesced;
+  max_node_memory_bits =
+      std::max(max_node_memory_bits, other.max_node_memory_bits);
+  return *this;
+}
+
+Network::Network(const graph::Graph& g, NetworkConfig cfg)
+    : graph_(&g), cfg_(std::move(cfg)) {
+  require(!(cfg_.on_deliver && cfg_.engine == Engine::kParallel),
+          "Network: delivery observers require the sequential engine");
+  bandwidth_bits_ = cfg_.bandwidth_bits != 0
+                        ? cfg_.bandwidth_bits
+                        : qc::congest_bandwidth_bits(g.n());
+  contexts_.resize(g.n());
+  Rng master(cfg_.seed);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    auto& ctx = contexts_[v];
+    ctx.id_ = v;
+    ctx.n_ = g.n();
+    const auto nb = g.neighbors(v);
+    ctx.neighbors_.assign(nb.begin(), nb.end());
+    ctx.outbox_.resize(ctx.neighbors_.size());
+    ctx.port_used_.assign(ctx.neighbors_.size(), false);
+    ctx.rng_ = master.child(v);
+  }
+  programs_.resize(g.n());
+}
+
+void Network::init_programs(
+    const std::function<std::unique_ptr<NodeProgram>(NodeId)>& make) {
+  for (NodeId v = 0; v < n(); ++v) {
+    programs_[v] = make(v);
+    require(programs_[v] != nullptr,
+            "Network::init_programs: factory returned null");
+    auto& ctx = contexts_[v];
+    ctx.round_ = 0;
+    ctx.inbox_.clear();
+    std::fill(ctx.port_used_.begin(), ctx.port_used_.end(), false);
+    ctx.halted_ = false;
+  }
+  round_ = 0;
+  stats_ = RunStats{};
+  started_ = false;
+}
+
+bool Network::all_quiet() const {
+  for (NodeId v = 0; v < n(); ++v) {
+    const auto& ctx = contexts_[v];
+    if (!ctx.halted_) return false;
+    for (bool used : ctx.port_used_) {
+      if (used) return false;
+    }
+  }
+  return true;
+}
+
+void Network::deliver_range(std::uint32_t begin, std::uint32_t end,
+                            RunStats& local) {
+  // Receiver-driven delivery: node w pulls, in port order, the message its
+  // neighbor queued for it last round. Port-order assembly makes the inbox
+  // deterministic regardless of engine or thread count.
+  for (NodeId w = begin; w < end; ++w) {
+    auto& ctx = contexts_[w];
+    ctx.round_ = round_;
+    ctx.inbox_.clear();
+    for (std::uint32_t p = 0; p < ctx.degree(); ++p) {
+      const NodeId u = ctx.neighbors_[p];
+      const auto& sender = contexts_[u];
+      const std::uint32_t q = sender.port_to(w);
+      if (!sender.port_used_[q]) continue;
+      const Message& msg = sender.outbox_[q];
+      const std::uint32_t sz = msg.size_bits();
+      if (sz > bandwidth_bits_) {
+        if (cfg_.policy == BandwidthPolicy::kEnforce) {
+          std::ostringstream os;
+          os << "bandwidth violation: " << sz << " bits on edge " << u << "->"
+             << w << " in round " << round_ << " (bw=" << bandwidth_bits_
+             << ")";
+          throw BandwidthViolationError(os.str());
+        }
+        ++local.violations;
+      }
+      ++local.messages;
+      local.bits += sz;
+      local.max_edge_bits = std::max(local.max_edge_bits, sz);
+      if (cfg_.on_deliver) cfg_.on_deliver(u, w, msg, round_);
+      ctx.inbox_.push_back(Incoming{p, msg});
+      ctx.halted_ = false;  // a message re-activates a halted node
+    }
+  }
+}
+
+void Network::compute_range(std::uint32_t begin, std::uint32_t end) {
+  for (NodeId v = begin; v < end; ++v) {
+    auto& ctx = contexts_[v];
+    // The outbox slots were consumed by every receiver in the deliver
+    // phase of this round; clear them before the program writes new ones.
+    std::fill(ctx.port_used_.begin(), ctx.port_used_.end(), false);
+    if (ctx.halted_ && ctx.inbox_.empty()) continue;
+    programs_[v]->on_round(ctx);
+  }
+}
+
+void Network::step_round() {
+  ++round_;
+  RunStats local;
+  deliver_range(0, n(), local);
+  compute_range(0, n());
+  for (NodeId v = 0; v < n(); ++v) {
+    local.max_node_memory_bits =
+        std::max(local.max_node_memory_bits, programs_[v]->memory_bits());
+  }
+  local.rounds = 1;
+  stats_ += local;
+}
+
+std::uint32_t Network::run_parallel_block(std::uint32_t max_rounds,
+                                          bool until_quiet) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned requested = cfg_.num_threads != 0 ? cfg_.num_threads : hw;
+  const unsigned T = std::max(1u, std::min(requested, n() == 0 ? 1u : n()));
+  if (T == 1) {
+    std::uint32_t executed = 0;
+    while (executed < max_rounds && !(until_quiet && all_quiet())) {
+      step_round();
+      ++executed;
+    }
+    return executed;
+  }
+
+  std::vector<RunStats> local(T);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint32_t> executed{0};
+  std::barrier sync(static_cast<std::ptrdiff_t>(T));
+  auto slice = [&](unsigned t) {
+    const std::uint32_t per = (n() + T - 1) / T;
+    const std::uint32_t b = std::min(n(), t * per);
+    const std::uint32_t e = std::min(n(), b + per);
+    return std::pair<std::uint32_t, std::uint32_t>{b, e};
+  };
+  // Persistent workers: one spawn per block, three barriers per round.
+  auto work = [&](unsigned t) {
+    const auto [b, e] = slice(t);
+    for (std::uint32_t i = 0; i < max_rounds; ++i) {
+      if (t == 0) {
+        if (until_quiet && all_quiet()) done.store(true);
+        if (!done.load()) {
+          ++round_;
+          executed.fetch_add(1);
+        }
+      }
+      sync.arrive_and_wait();  // round_ visible / stop decision visible
+      if (done.load()) break;
+      deliver_range(b, e, local[t]);
+      sync.arrive_and_wait();  // all inboxes assembled
+      compute_range(b, e);
+      for (NodeId v = b; v < e; ++v) {
+        local[t].max_node_memory_bits = std::max(
+            local[t].max_node_memory_bits, programs_[v]->memory_bits());
+      }
+      sync.arrive_and_wait();  // all outboxes written
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(T - 1);
+  for (unsigned t = 1; t < T; ++t) threads.emplace_back(work, t);
+  work(0);
+  for (auto& th : threads) th.join();
+
+  RunStats merged;
+  for (const auto& l : local) {
+    merged.messages += l.messages;
+    merged.bits += l.bits;
+    merged.violations += l.violations;
+    merged.max_edge_bits = std::max(merged.max_edge_bits, l.max_edge_bits);
+    merged.max_node_memory_bits =
+        std::max(merged.max_node_memory_bits, l.max_node_memory_bits);
+  }
+  merged.rounds = executed.load();
+  stats_ += merged;
+  return executed.load();
+}
+
+RunStats Network::run_rounds(std::uint32_t rounds) {
+  RunStats before = stats_;
+  if (!started_) {
+    for (NodeId v = 0; v < n(); ++v) {
+      require(programs_[v] != nullptr,
+              "Network::run: init_programs was not called");
+      programs_[v]->on_start(contexts_[v]);
+    }
+    started_ = true;
+  }
+  if (cfg_.engine == Engine::kParallel) {
+    run_parallel_block(rounds, /*until_quiet=*/false);
+  } else {
+    for (std::uint32_t i = 0; i < rounds; ++i) step_round();
+  }
+  RunStats delta = stats_;
+  delta.rounds -= before.rounds;
+  delta.messages -= before.messages;
+  delta.bits -= before.bits;
+  delta.violations -= before.violations;
+  return delta;
+}
+
+RunStats Network::run_until_quiescent(std::uint32_t max_rounds) {
+  RunStats before = stats_;
+  if (!started_) {
+    for (NodeId v = 0; v < n(); ++v) {
+      require(programs_[v] != nullptr,
+              "Network::run: init_programs was not called");
+      programs_[v]->on_start(contexts_[v]);
+    }
+    started_ = true;
+  }
+  if (cfg_.engine == Engine::kParallel) {
+    run_parallel_block(max_rounds, /*until_quiet=*/true);
+  } else {
+    std::uint32_t executed = 0;
+    while (executed < max_rounds && !all_quiet()) {
+      step_round();
+      ++executed;
+    }
+  }
+  const bool quiesced = all_quiet();
+  stats_.quiesced = quiesced;
+  RunStats delta = stats_;
+  delta.rounds -= before.rounds;
+  delta.messages -= before.messages;
+  delta.bits -= before.bits;
+  delta.violations -= before.violations;
+  delta.quiesced = quiesced;
+  return delta;
+}
+
+}  // namespace qc::congest

@@ -1,0 +1,228 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qc::congest {
+
+using graph::NodeId;
+
+class Network;
+
+/// A message delivered to a node, tagged with the port it arrived on.
+struct Incoming {
+  std::uint32_t port;
+  Message msg;
+};
+
+/// Per-round view a NodeProgram gets of its node. This is the *entire*
+/// interface a distributed algorithm may use: local identity, local ports,
+/// the global value n (which the CONGEST model grants every node), the
+/// current round number, this round's inbox, and send primitives.
+class NodeContext {
+ public:
+  NodeId id() const { return id_; }
+
+  /// Number of incident edges (= number of ports).
+  std::uint32_t degree() const { return static_cast<std::uint32_t>(neighbors_.size()); }
+
+  /// Identifier of the neighbor on `port` (nodes know their incident edges).
+  NodeId neighbor(std::uint32_t port) const {
+    require(port < degree(), "NodeContext::neighbor: port out of range");
+    return neighbors_[port];
+  }
+
+  /// Port leading to neighbor `v`; throws if v is not adjacent.
+  std::uint32_t port_to(NodeId v) const;
+
+  /// Number of nodes in the network (known a priori in the model).
+  std::uint32_t n() const { return n_; }
+
+  /// Bit width of a node identifier (= ceil(log2 n)).
+  std::uint32_t id_bits() const { return qc::bit_width_for(n_); }
+
+  /// Current round, starting at 1 for the first round with deliveries.
+  std::uint32_t round() const { return round_; }
+
+  /// Messages delivered this round (sent by neighbors last round).
+  std::span<const Incoming> inbox() const { return inbox_; }
+
+  /// Queues a message on `port` for delivery next round. At most one
+  /// message per port per round.
+  void send(std::uint32_t port, Message msg);
+
+  /// Queues a message to the neighbor with id `v`.
+  void send_to(NodeId v, Message msg) { send(port_to(v), std::move(msg)); }
+
+  /// Sends a copy of `msg` on every port.
+  void broadcast(const Message& msg);
+
+  /// Signals that this node has no further work; the quiescence run mode
+  /// stops when every node has halted and no message is in flight. A halted
+  /// node is re-activated automatically if a message arrives.
+  void vote_halt() { halted_ = true; }
+
+  /// Deterministic per-node randomness (seeded from the network seed and
+  /// the node id).
+  Rng& rng() { return rng_; }
+
+ private:
+  friend class Network;
+  NodeId id_ = 0;
+  std::uint32_t n_ = 0;
+  std::uint32_t round_ = 0;
+  std::vector<NodeId> neighbors_;
+  std::vector<Incoming> inbox_;
+  std::vector<Message> outbox_;    // one slot per port
+  std::vector<bool> port_used_;    // whether the slot holds a message
+  bool halted_ = false;
+  Rng rng_{0};
+};
+
+/// A distributed algorithm, written once per node. Implementations hold the
+/// node's local state as member data; the simulator guarantees they can
+/// observe nothing beyond their NodeContext.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Called once before round 1; typical use: originators send the first
+  /// messages (e.g. the BFS root of Figure 1 activating its neighbors).
+  virtual void on_start(NodeContext& /*ctx*/) {}
+
+  /// Called every round after delivery; read ctx.inbox(), update state,
+  /// send messages.
+  virtual void on_round(NodeContext& ctx) = 0;
+
+  /// Number of bits of local working state the program currently holds;
+  /// used to audit the paper's per-node memory claims (e.g. O(log n) for
+  /// Figures 1-2). Zero means "not reported".
+  virtual std::uint64_t memory_bits() const { return 0; }
+};
+
+/// How the network reacts to a bandwidth violation.
+enum class BandwidthPolicy {
+  kEnforce,  ///< throw BandwidthViolationError immediately (default)
+  kRecord,   ///< count violations in the stats but deliver anyway
+};
+
+/// Execution engine choice; both produce bit-identical traces.
+enum class Engine {
+  kSequential,
+  kParallel,  ///< one worker per hardware thread, std::barrier synchronized
+};
+
+struct NetworkConfig {
+  /// Per-edge per-direction per-round bandwidth in bits. Zero means "use
+  /// the model default" congest_bandwidth_bits(n).
+  std::uint32_t bandwidth_bits = 0;
+  BandwidthPolicy policy = BandwidthPolicy::kEnforce;
+  Engine engine = Engine::kSequential;
+  std::uint64_t seed = 1;
+  std::uint32_t num_threads = 0;  ///< 0 = hardware_concurrency
+
+  /// Optional observer invoked for every delivered message (sender,
+  /// receiver, message, round). Used by the lower-bound harness to tally
+  /// traffic crossing a vertex partition (Theorems 10/11). Only invoked by
+  /// the sequential engine; configuring it with Engine::kParallel is
+  /// rejected at construction.
+  std::function<void(NodeId from, NodeId to, const Message& msg,
+                     std::uint32_t round)>
+      on_deliver;
+};
+
+/// Aggregate statistics of one execution.
+struct RunStats {
+  std::uint32_t rounds = 0;        ///< rounds actually executed
+  std::uint64_t messages = 0;      ///< messages delivered
+  std::uint64_t bits = 0;          ///< total bits delivered
+  std::uint32_t max_edge_bits = 0; ///< max bits on one edge-direction in a round
+  std::uint64_t violations = 0;    ///< bandwidth violations (kRecord only)
+  bool quiesced = false;           ///< true if the run ended by quiescence
+  std::uint64_t max_node_memory_bits = 0;  ///< high-water mark of memory_bits()
+
+  /// Merges stats of a later phase into this one (rounds add up).
+  RunStats& operator+=(const RunStats& other);
+};
+
+/// A synchronous CONGEST network over a Graph topology.
+///
+/// Usage:
+///   Network net(g, cfg);
+///   net.init_programs([&](NodeId v) { return std::make_unique<MyProg>(...); });
+///   RunStats st = net.run_rounds(T);            // time-driven
+///   auto& out = net.program_as<MyProg>(v);      // read outputs
+class Network {
+ public:
+  Network(const graph::Graph& g, NetworkConfig cfg = {});
+
+  /// Instantiates one program per node. `make(v)` returns the program for
+  /// node v. Clears any previous programs and resets round/state.
+  void init_programs(
+      const std::function<std::unique_ptr<NodeProgram>(NodeId)>& make);
+
+  /// Runs exactly `rounds` rounds (time-driven procedures such as Figure 2,
+  /// which executes for a fixed 6d-round budget, use this mode).
+  RunStats run_rounds(std::uint32_t rounds);
+
+  /// Runs until every node has halted and no message is in flight, or
+  /// until `max_rounds` elapses. stats.quiesced tells which happened.
+  RunStats run_until_quiescent(std::uint32_t max_rounds);
+
+  const graph::Graph& topology() const { return *graph_; }
+  std::uint32_t n() const { return graph_->n(); }
+  std::uint32_t bandwidth_bits() const { return bandwidth_bits_; }
+
+  NodeProgram& program(NodeId v) {
+    require(v < n() && programs_[v] != nullptr, "Network::program: no program");
+    return *programs_[v];
+  }
+  const NodeProgram& program(NodeId v) const {
+    require(v < n() && programs_[v] != nullptr, "Network::program: no program");
+    return *programs_[v];
+  }
+
+  /// Typed access to a node's program (the caller knows what it installed).
+  template <typename T>
+  T& program_as(NodeId v) {
+    auto* p = dynamic_cast<T*>(&program(v));
+    require(p != nullptr, "Network::program_as: wrong program type");
+    return *p;
+  }
+
+  /// Stats accumulated since init_programs.
+  const RunStats& stats() const { return stats_; }
+
+ private:
+  void step_round();
+  void compute_range(std::uint32_t begin, std::uint32_t end);
+  void deliver_range(std::uint32_t begin, std::uint32_t end,
+                     RunStats& local_stats);
+  bool all_quiet() const;
+  /// Runs up to `max_rounds` with persistent worker threads (one spawn per
+  /// call, 3 barriers per round); stops early at quiescence when
+  /// `until_quiet`. Returns rounds executed.
+  std::uint32_t run_parallel_block(std::uint32_t max_rounds,
+                                   bool until_quiet);
+
+  const graph::Graph* graph_;
+  NetworkConfig cfg_;
+  std::uint32_t bandwidth_bits_ = 0;
+  std::uint32_t round_ = 0;
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  std::vector<NodeContext> contexts_;
+  RunStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace qc::congest

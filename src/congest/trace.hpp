@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "congest/network.hpp"
+
+namespace qc::congest {
+
+/// One delivered message, as seen by a TraceRecorder.
+struct TraceEvent {
+  std::uint32_t round = 0;
+  graph::NodeId from = 0;
+  graph::NodeId to = 0;
+  std::uint32_t bits = 0;
+};
+
+/// Records every delivery of the executions it observes — the raw material
+/// for the lower-bound audits (information light cones, per-block cut
+/// traffic) and for debugging distributed algorithms round by round.
+///
+/// Like commcc::CutMeter, arm() returns a NetworkConfig with the observer
+/// installed (sequential engine enforced); the recorder accumulates across
+/// all executions run under that config.
+class TraceRecorder {
+ public:
+  TraceRecorder() : events_(std::make_shared<std::vector<TraceEvent>>()) {}
+
+  NetworkConfig arm(NetworkConfig base) const {
+    base.engine = Engine::kSequential;
+    auto events = events_;
+    base.on_deliver = [events](graph::NodeId from, graph::NodeId to,
+                               const Message& msg, std::uint32_t round) {
+      events->push_back(TraceEvent{round, from, to, msg.size_bits()});
+    };
+    return base;
+  }
+
+  const std::vector<TraceEvent>& events() const { return *events_; }
+
+  std::uint32_t last_round() const {
+    std::uint32_t r = 0;
+    for (const auto& e : *events_) r = std::max(r, e.round);
+    return r;
+  }
+
+  /// Total delivered bits per round (index 0 unused; rounds are 1-based).
+  std::vector<std::uint64_t> bits_per_round() const {
+    std::vector<std::uint64_t> out(last_round() + 1, 0);
+    for (const auto& e : *events_) out[e.round] += e.bits;
+    return out;
+  }
+
+  void clear() { events_->clear(); }
+
+ private:
+  std::shared_ptr<std::vector<TraceEvent>> events_;
+};
+
+}  // namespace qc::congest

@@ -1,0 +1,76 @@
+#include "core/detail.hpp"
+
+#include "algos/bfs_tree.hpp"
+#include "algos/leader_election.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace qc::core::detail {
+
+using graph::NodeId;
+
+InitPhase run_initialization(const graph::Graph& g,
+                             const congest::NetworkConfig& net) {
+  InitPhase init;
+  congest::RunStats acc;
+
+  const auto election = algos::elect_leader(g, net);
+  acc += election.stats;
+  init.leader = election.leader;
+
+  auto ecc = algos::compute_eccentricity(g, init.leader, net);
+  acc += ecc.stats;
+  init.tree = std::move(ecc.tree);
+  init.d = ecc.ecc;
+
+  const std::uint32_t id_bits = qc::bit_width_for(g.n()) + 1;
+  acc += algos::broadcast_from_root(g, init.tree, init.d, id_bits, net);
+  init.rounds = acc.rounds;
+
+  // Proposition 2: Setup broadcasts the internal register down BFS(leader)
+  // with CNOT copies — per branch this is exactly a value broadcast, so
+  // measure its round cost with one instrumentation run (not charged).
+  init.t_setup =
+      algos::broadcast_from_root(g, init.tree, 0, id_bits, net).rounds;
+  return init;
+}
+
+WindowOracle::WindowOracle(const graph::Graph& g,
+                           const algos::TreeState& tree, std::uint32_t steps,
+                           OracleMode mode, congest::NetworkConfig net,
+                           std::vector<bool> mask)
+    : g_(&g),
+      tree_(&tree),
+      steps_(steps),
+      mode_(mode),
+      net_(std::move(net)),
+      mask_(std::move(mask)) {
+  graph::BfsTree walk_tree =
+      mask_.empty() ? tree.to_bfs_tree()
+                    : graph::induced_subtree(tree.to_bfs_tree(), mask_);
+  num_ = graph::dfs_numbering(walk_tree);
+  // Figure 2's round budget is oblivious to u0: Step 1 runs 3*steps rounds
+  // (token + probe/reply cycles), Step 2 its fixed pipeline window,
+  // Steps 3-4 one convergecast. Every branch costs the same.
+  t_eval_forward_ = algos::EvaluationProgram::token_phase_rounds(steps_) +
+                    (2 * steps_ + 2 * tree.height + 2) + tree.height + 1;
+}
+
+std::int64_t WindowOracle::operator()(std::size_t u0) {
+  const auto node = static_cast<NodeId>(u0);
+  const std::uint32_t reference =
+      graph::max_ecc_in_segment(*g_, num_, node, steps_);
+  if (mode_ == OracleMode::kSimulate || !validated_once_) {
+    auto eval = algos::evaluate_window_ecc(*g_, *tree_, node, steps_, net_,
+                                           mask_.empty() ? nullptr : &mask_);
+    check_internal(eval.stats.rounds == t_eval_forward_,
+                   "WindowOracle: evaluation round budget mismatch");
+    check_internal(eval.max_ecc == reference,
+                   "WindowOracle: distributed Evaluation disagrees with "
+                   "centralized reference");
+    validated_once_ = true;
+  }
+  return static_cast<std::int64_t>(reference);
+}
+
+}  // namespace qc::core::detail

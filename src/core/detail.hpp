@@ -1,0 +1,62 @@
+#pragma once
+
+// Internal building blocks shared by the quantum diameter/radius/decision
+// front-ends: the classical initialization phase of Section 3 and the
+// Figure 2 branch oracle. Not part of the public API surface.
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/evaluation.hpp"
+#include "algos/tree_state.hpp"
+#include "congest/network.hpp"
+#include "core/quantum_diameter.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+
+namespace qc::core::detail {
+
+/// The classical preliminaries of Section 3: elect a leader, build
+/// BFS(leader) with distances (Proposition 1), learn d = ecc(leader), and
+/// broadcast d so every node can compute the Figure 2 schedule lengths.
+/// Also measures the Proposition 2 Setup cost with one instrumentation
+/// broadcast (not charged).
+struct InitPhase {
+  graph::NodeId leader = graph::kInvalidNode;
+  std::uint32_t d = 0;
+  algos::TreeState tree;
+  std::uint32_t rounds = 0;
+  std::uint32_t t_setup = 0;
+};
+
+InitPhase run_initialization(const graph::Graph& g,
+                             const congest::NetworkConfig& net);
+
+/// The branch oracle for f(u) = max_{v in segment window of u} ecc(v),
+/// with the two evaluation modes of OracleMode. Cross-checks the
+/// distributed Figure 2 execution against the centralized reference (on
+/// every branch in kSimulate mode, at least once in kDirect mode).
+class WindowOracle {
+ public:
+  WindowOracle(const graph::Graph& g, const algos::TreeState& tree,
+               std::uint32_t steps, OracleMode mode,
+               congest::NetworkConfig net, std::vector<bool> mask = {});
+
+  std::uint32_t t_eval_forward() const { return t_eval_forward_; }
+
+  /// f(u0), per the configured mode.
+  std::int64_t operator()(std::size_t u0);
+
+ private:
+  const graph::Graph* g_;
+  const algos::TreeState* tree_;
+  std::uint32_t steps_;
+  OracleMode mode_;
+  congest::NetworkConfig net_;
+  std::vector<bool> mask_;
+  graph::DfsNumbering num_;
+  std::uint32_t t_eval_forward_ = 0;
+  bool validated_once_ = false;
+};
+
+}  // namespace qc::core::detail

@@ -1,0 +1,105 @@
+#include "core/optimizer.hpp"
+
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+
+#include "qsim/amplitude_vector.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace qc::core {
+
+OptimizationReport distributed_quantum_optimize(const OptimizationProblem& p,
+                                                Rng& rng) {
+  require(p.domain_size >= 1, "optimize: empty domain");
+  require(p.evaluate != nullptr, "optimize: no objective");
+  require(p.epsilon > 0 && p.epsilon <= 1, "optimize: epsilon out of range");
+
+  const auto setup_state =
+      p.support.empty()
+          ? qsim::AmplitudeVector::uniform(p.domain_size)
+          : qsim::AmplitudeVector::over_support(p.domain_size, p.support);
+
+  // Memoization mirrors the determinism of the Evaluation unitary: the
+  // same basis branch always evaluates to the same value, so the branch
+  // simulation needs to run once per distinct x (the *quantum* cost is
+  // still charged per oracle application via the counters).
+  auto memo = std::make_shared<std::unordered_map<std::size_t, std::int64_t>>();
+  auto f = [memo, &p](std::size_t x) {
+    auto it = memo->find(x);
+    if (it != memo->end()) return it->second;
+    const std::int64_t v = p.evaluate(x);
+    memo->emplace(x, v);
+    return v;
+  };
+
+  auto m = qsim::quantum_maximize(setup_state, f, p.epsilon, p.delta, rng);
+
+  OptimizationReport rep;
+  rep.argmax = m.argmax;
+  rep.value = m.value;
+  rep.budget_exhausted = m.budget_exhausted;
+  rep.costs = m.costs;
+  rep.distinct_evaluations = memo->size();
+
+  const std::uint64_t t_eval_unitary = 2ULL * p.t_eval_forward;
+  rep.total_rounds =
+      p.t_init + m.costs.setup_invocations * static_cast<std::uint64_t>(p.t_setup) +
+      m.costs.grover_iterations * (2ULL * t_eval_unitary + 2ULL * p.t_setup) +
+      m.costs.candidate_evaluations * static_cast<std::uint64_t>(p.t_eval_forward);
+
+  // Theorem 7 memory analysis. |X| <= domain_size; the working counters of
+  // Figures 1-2 are a constant number of O(log domain)-bit registers.
+  const std::uint64_t x_bits = qc::bit_width_for(p.domain_size);
+  rep.per_node_memory_qubits = x_bits + 4ULL * (x_bits + 2);
+  const auto outcome_slots = static_cast<std::uint64_t>(
+      std::ceil(std::log2(1.0 / p.epsilon)) + 1);
+  rep.leader_memory_qubits =
+      rep.per_node_memory_qubits + x_bits * outcome_slots;
+  return rep;
+}
+
+SearchReport distributed_quantum_search(const SearchProblem& p, Rng& rng) {
+  require(p.domain_size >= 1, "search: empty domain");
+  require(p.marked != nullptr, "search: no predicate");
+  require(p.epsilon > 0 && p.epsilon <= 1, "search: epsilon out of range");
+
+  const auto setup_state =
+      p.support.empty()
+          ? qsim::AmplitudeVector::uniform(p.domain_size)
+          : qsim::AmplitudeVector::over_support(p.domain_size, p.support);
+
+  auto memo = std::make_shared<std::unordered_map<std::size_t, bool>>();
+  auto pred = [memo, &p](std::size_t x) {
+    auto it = memo->find(x);
+    if (it != memo->end()) return it->second;
+    const bool v = p.marked(x);
+    memo->emplace(x, v);
+    return v;
+  };
+
+  auto s = qsim::amplitude_amplification_search(setup_state, pred, p.epsilon,
+                                                p.delta, rng);
+
+  SearchReport rep;
+  rep.found = s.found;
+  rep.witness = s.item;
+  rep.costs = s.costs;
+  rep.distinct_evaluations = memo->size();
+
+  const std::uint64_t t_eval_unitary = 2ULL * p.t_eval_forward;
+  rep.total_rounds =
+      p.t_init +
+      s.costs.setup_invocations * static_cast<std::uint64_t>(p.t_setup) +
+      s.costs.grover_iterations * (2ULL * t_eval_unitary + 2ULL * p.t_setup) +
+      s.costs.candidate_evaluations *
+          static_cast<std::uint64_t>(p.t_eval_forward);
+
+  const std::uint64_t x_bits = qc::bit_width_for(p.domain_size);
+  rep.per_node_memory_qubits = x_bits + 4ULL * (x_bits + 2);
+  rep.leader_memory_qubits = rep.per_node_memory_qubits + x_bits;
+  return rep;
+}
+
+}  // namespace qc::core

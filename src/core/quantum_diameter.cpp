@@ -1,0 +1,78 @@
+#include "core/quantum_diameter.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/detail.hpp"
+#include "util/error.hpp"
+
+namespace qc::core {
+
+using graph::NodeId;
+
+namespace {
+
+QuantumDiameterReport run_diameter_optimization(const graph::Graph& g,
+                                                const QuantumConfig& cfg,
+                                                bool windowed) {
+  QuantumDiameterReport rep;
+  if (g.n() <= 1) {
+    rep.diameter = 0;
+    rep.leader = g.n() == 1 ? 0 : graph::kInvalidNode;
+    return rep;
+  }
+
+  detail::InitPhase init = detail::run_initialization(g, cfg.net);
+  rep.leader = init.leader;
+  rep.ecc_leader = init.d;
+  rep.init_rounds = init.rounds;
+  rep.t_setup = init.t_setup;
+
+  // Section 3.1 takes S(u) = {u} (f = ecc), Section 3.2 takes windows of
+  // width 2d; Lemma 1 gives P_opt >= d/2n for the latter, the trivial
+  // bound P_opt >= 1/n for the former.
+  const std::uint32_t steps = windowed ? 2 * init.d : 0;
+  const double n = static_cast<double>(g.n());
+  const double epsilon =
+      windowed ? std::min(1.0, static_cast<double>(init.d) / (2.0 * n))
+               : 1.0 / n;
+
+  auto oracle = std::make_shared<detail::WindowOracle>(
+      g, init.tree, steps, cfg.oracle, cfg.net);
+  rep.t_eval_forward = oracle->t_eval_forward();
+
+  OptimizationProblem prob;
+  prob.domain_size = g.n();
+  prob.evaluate = [oracle](std::size_t x) { return (*oracle)(x); };
+  prob.t_init = init.rounds;
+  prob.t_setup = init.t_setup;
+  prob.t_eval_forward = oracle->t_eval_forward();
+  prob.epsilon = epsilon;
+  prob.delta = cfg.delta;
+
+  Rng rng(cfg.seed);
+  auto opt = distributed_quantum_optimize(prob, rng);
+
+  rep.diameter = static_cast<std::uint32_t>(opt.value);
+  rep.total_rounds = opt.total_rounds;
+  rep.costs = opt.costs;
+  rep.distinct_branch_evaluations = opt.distinct_evaluations;
+  rep.budget_exhausted = opt.budget_exhausted;
+  rep.per_node_memory_qubits = opt.per_node_memory_qubits;
+  rep.leader_memory_qubits = opt.leader_memory_qubits;
+  return rep;
+}
+
+}  // namespace
+
+QuantumDiameterReport quantum_diameter_simple(const graph::Graph& g,
+                                              const QuantumConfig& cfg) {
+  return run_diameter_optimization(g, cfg, /*windowed=*/false);
+}
+
+QuantumDiameterReport quantum_diameter_exact(const graph::Graph& g,
+                                             const QuantumConfig& cfg) {
+  return run_diameter_optimization(g, cfg, /*windowed=*/true);
+}
+
+}  // namespace qc::core

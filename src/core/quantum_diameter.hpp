@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+
+#include "congest/network.hpp"
+#include "core/optimizer.hpp"
+#include "graph/graph.hpp"
+
+namespace qc::core {
+
+/// How the branch oracle f(u0) is obtained.
+enum class OracleMode {
+  /// Every distinct branch runs the full Figure 2 procedure on the CONGEST
+  /// simulator and is cross-checked against the centralized reference.
+  /// This is the default and what the test suite exercises.
+  kSimulate,
+  /// Branches are evaluated with the centralized reference
+  /// (graph::max_ecc_in_segment); one CONGEST execution still runs to
+  /// measure the round costs and validate that branch. Bit-for-bit the
+  /// same values as kSimulate (the procedures agree — tested), at a
+  /// fraction of the wall-clock cost; intended for large benchmark sweeps.
+  kDirect,
+};
+
+struct QuantumConfig {
+  congest::NetworkConfig net;
+  double delta = 0.01;       ///< failure probability target
+  OracleMode oracle = OracleMode::kSimulate;
+  std::uint64_t seed = 7;    ///< drives the quantum sampling
+};
+
+/// Full report of a quantum diameter computation; "rounds" quantities are
+/// CONGEST rounds of the simulated distributed execution, everything else
+/// is bookkeeping for the benchmark harness.
+struct QuantumDiameterReport {
+  std::uint32_t diameter = 0;      ///< the algorithm's output
+  graph::NodeId leader = graph::kInvalidNode;
+  std::uint32_t ecc_leader = 0;    ///< the d with d <= D <= 2d
+
+  std::uint64_t total_rounds = 0;  ///< init + quantum phase
+  std::uint32_t init_rounds = 0;   ///< measured classical initialization
+  std::uint32_t t_setup = 0;       ///< measured Setup cost (Prop. 2)
+  std::uint32_t t_eval_forward = 0;///< measured Figure 2 Steps 1-4 cost
+
+  qsim::SearchCosts costs;
+  std::uint64_t distinct_branch_evaluations = 0;
+  bool budget_exhausted = false;
+
+  std::uint64_t per_node_memory_qubits = 0;
+  std::uint64_t leader_memory_qubits = 0;
+};
+
+/// The simpler algorithm of Section 3.1: quantum maximization of
+/// f(u) = ecc(u) with P_opt >= 1/n. O(sqrt(n) * D) rounds.
+QuantumDiameterReport quantum_diameter_simple(const graph::Graph& g,
+                                              const QuantumConfig& cfg = {});
+
+/// Theorem 1 (Section 3.2): quantum maximization of
+/// f(u) = max_{v in S(u)} ecc(v) over DFS windows of width 2d, with
+/// P_opt >= d/2n by Lemma 1. O(sqrt(n * D)) rounds, O(log^2 n) qubits of
+/// memory per node.
+QuantumDiameterReport quantum_diameter_exact(const graph::Graph& g,
+                                             const QuantumConfig& cfg = {});
+
+}  // namespace qc::core

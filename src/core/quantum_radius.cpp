@@ -1,0 +1,52 @@
+#include "core/quantum_radius.hpp"
+
+#include <memory>
+
+#include "core/detail.hpp"
+#include "util/error.hpp"
+
+namespace qc::core {
+
+RadiusReport quantum_radius(const graph::Graph& g, const QuantumConfig& cfg) {
+  RadiusReport rep;
+  if (g.n() <= 1) {
+    rep.radius = 0;
+    rep.center = g.n() == 1 ? 0 : graph::kInvalidNode;
+    return rep;
+  }
+
+  detail::InitPhase init = detail::run_initialization(g, cfg.net);
+  rep.leader = init.leader;
+  rep.init_rounds = init.rounds;
+  rep.t_setup = init.t_setup;
+
+  // steps = 0: the window is {u}, so the oracle returns ecc(u) exactly
+  // (the Section 3.1 objective); we maximize its negation.
+  auto oracle = std::make_shared<detail::WindowOracle>(
+      g, init.tree, /*steps=*/0, cfg.oracle, cfg.net);
+  rep.t_eval_forward = oracle->t_eval_forward();
+
+  OptimizationProblem prob;
+  prob.domain_size = g.n();
+  prob.evaluate = [oracle](std::size_t x) { return -(*oracle)(x); };
+  prob.t_init = init.rounds;
+  prob.t_setup = init.t_setup;
+  prob.t_eval_forward = oracle->t_eval_forward();
+  prob.epsilon = 1.0 / static_cast<double>(g.n());
+  prob.delta = cfg.delta;
+
+  Rng rng(cfg.seed ^ 0x5ad105ULL);
+  auto opt = distributed_quantum_optimize(prob, rng);
+
+  rep.radius = static_cast<std::uint32_t>(-opt.value);
+  rep.center = static_cast<graph::NodeId>(opt.argmax);
+  rep.total_rounds = opt.total_rounds;
+  rep.costs = opt.costs;
+  rep.distinct_branch_evaluations = opt.distinct_evaluations;
+  rep.budget_exhausted = opt.budget_exhausted;
+  rep.per_node_memory_qubits = opt.per_node_memory_qubits;
+  rep.leader_memory_qubits = opt.leader_memory_qubits;
+  return rep;
+}
+
+}  // namespace qc::core

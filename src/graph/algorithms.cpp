@@ -1,0 +1,258 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace qc::graph {
+
+BfsResult bfs(const Graph& g, NodeId root) {
+  require(root < g.n(), "bfs: root out of range");
+  BfsResult r;
+  r.root = root;
+  r.dist.assign(g.n(), kUnreachable);
+  r.parent.assign(g.n(), kInvalidNode);
+  r.dist[root] = 0;
+  std::deque<NodeId> queue{root};
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : g.neighbors(u)) {
+      if (r.dist[v] == kUnreachable) {
+        r.dist[v] = r.dist[u] + 1;
+        r.ecc = std::max(r.ecc, r.dist[v]);
+        queue.push_back(v);
+      }
+    }
+  }
+  // Parent rule: the smallest-id neighbor in the previous BFS level. In the
+  // distributed wave of Figure 1 every previous-level neighbor activates a
+  // node in the same round and the node adopts the smallest id among them,
+  // so this rule makes centralized and CONGEST executions build the exact
+  // same tree (the DFS-numbering of Definition 1 depends on tree shape).
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (v == root || r.dist[v] == kUnreachable) continue;
+    for (NodeId u : g.neighbors(v)) {  // sorted ascending
+      if (r.dist[u] + 1 == r.dist[v]) {
+        r.parent[v] = u;
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId v) {
+  return bfs(g, v).ecc;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  require(g.n() > 0, "diameter: empty graph");
+  require(g.is_connected(), "diameter: graph must be connected");
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    best = std::max(best, eccentricity(g, v));
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> all_eccentricities(const Graph& g) {
+  require(g.n() > 0, "all_eccentricities: empty graph");
+  require(g.is_connected(), "all_eccentricities: graph must be connected");
+  std::vector<std::uint32_t> ecc(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) ecc[v] = eccentricity(g, v);
+  return ecc;
+}
+
+std::uint32_t radius(const Graph& g) {
+  const auto ecc = all_eccentricities(g);
+  return *std::min_element(ecc.begin(), ecc.end());
+}
+
+NodeId center(const Graph& g) {
+  const auto ecc = all_eccentricities(g);
+  return static_cast<NodeId>(
+      std::min_element(ecc.begin(), ecc.end()) - ecc.begin());
+}
+
+std::uint32_t girth(const Graph& g) {
+  std::uint32_t best = kUnreachable;
+  const auto all_edges = g.edges();
+  for (const auto& removed : all_edges) {
+    // BFS in G - e from one endpoint to the other.
+    std::vector<std::uint32_t> dist(g.n(), kUnreachable);
+    std::deque<NodeId> queue{removed.first};
+    dist[removed.first] = 0;
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      if (u == removed.second) break;
+      for (NodeId v : g.neighbors(u)) {
+        const bool is_removed =
+            (u == removed.first && v == removed.second) ||
+            (u == removed.second && v == removed.first);
+        if (is_removed || dist[v] != kUnreachable) continue;
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+    if (dist[removed.second] != kUnreachable) {
+      best = std::min(best, dist[removed.second] + 1);
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<std::uint32_t>> apsp(const Graph& g) {
+  std::vector<std::vector<std::uint32_t>> d;
+  d.reserve(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    d.push_back(bfs(g, v).dist);
+  }
+  return d;
+}
+
+std::uint32_t max_cross_distance(const Graph& g, std::span<const NodeId> us,
+                                 std::span<const NodeId> vs) {
+  std::uint32_t best = 0;
+  for (NodeId u : us) {
+    const auto r = bfs(g, u);
+    for (NodeId v : vs) {
+      require(r.dist[v] != kUnreachable,
+              "max_cross_distance: graph not connected across partition");
+      best = std::max(best, r.dist[v]);
+    }
+  }
+  return best;
+}
+
+BfsTree bfs_tree(const Graph& g, NodeId root) {
+  const BfsResult r = bfs(g, root);
+  BfsTree t;
+  t.root = root;
+  t.parent = r.parent;
+  t.depth = r.dist;
+  t.height = r.ecc;
+  t.children.assign(g.n(), {});
+  for (NodeId v = 0; v < g.n(); ++v) {
+    require(r.dist[v] != kUnreachable, "bfs_tree: graph must be connected");
+    if (v != root) t.children[r.parent[v]].push_back(v);
+  }
+  for (auto& c : t.children) std::sort(c.begin(), c.end());
+  return t;
+}
+
+DfsNumbering dfs_numbering(const BfsTree& tree) {
+  const std::uint32_t n = tree.n();
+  require(n > 0, "dfs_numbering: empty tree");
+  DfsNumbering num;
+  num.tau.assign(n, 0);
+  num.in_walk.assign(n, false);
+  num.walk.clear();
+  num.walk.reserve(2 * n);
+
+  // Iterative Euler tour: visit children in increasing id order; each move
+  // along a tree edge advances the clock by one.
+  std::uint32_t clock = 0;
+  num.walk.push_back(tree.root);
+  // frame: (node, index of next child to visit)
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  stack.emplace_back(tree.root, 0);
+  num.tau[tree.root] = 0;
+  num.in_walk[tree.root] = true;
+  while (!stack.empty()) {
+    auto& [u, next] = stack.back();
+    if (next < tree.children[u].size()) {
+      const NodeId c = tree.children[u][next++];
+      ++clock;
+      num.tau[c] = clock;
+      num.in_walk[c] = true;
+      num.walk.push_back(c);
+      stack.emplace_back(c, 0);
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) {
+        ++clock;
+        num.walk.push_back(stack.back().first);
+      }
+    }
+  }
+  return num;
+}
+
+BfsTree induced_subtree(const BfsTree& tree, const std::vector<bool>& keep) {
+  require(keep.size() == tree.n(), "induced_subtree: mask size mismatch");
+  require(keep[tree.root], "induced_subtree: root must be kept");
+  BfsTree out = tree;
+  out.height = 0;
+  for (NodeId v = 0; v < tree.n(); ++v) {
+    if (!keep[v]) {
+      out.children[v].clear();
+      continue;
+    }
+    if (v != tree.root) {
+      require(keep[tree.parent[v]],
+              "induced_subtree: kept set must be ancestor-closed");
+    }
+    out.height = std::max(out.height, tree.depth[v]);
+    auto& kids = out.children[v];
+    kids.erase(std::remove_if(kids.begin(), kids.end(),
+                              [&](NodeId c) { return !keep[c]; }),
+               kids.end());
+  }
+  return out;
+}
+
+std::vector<NodeId> window_set(const DfsNumbering& num, NodeId u,
+                               std::uint32_t width, std::uint32_t modulus) {
+  const auto n = static_cast<std::uint32_t>(num.tau.size());
+  require(u < n, "window_set: node out of range");
+  require(modulus > 0, "window_set: modulus must be positive");
+  require(num.in_walk[u], "window_set: u is not on the traversal");
+  std::vector<NodeId> out;
+  const std::uint32_t start = num.tau[u] % modulus;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!num.in_walk[v]) continue;
+    const std::uint32_t offset =
+        (num.tau[v] % modulus + modulus - start) % modulus;
+    if (offset <= width) out.push_back(v);
+  }
+  return out;
+}
+
+SegmentWindow segment_window(const DfsNumbering& num, NodeId u,
+                             std::uint32_t steps) {
+  const auto n = static_cast<std::uint32_t>(num.tau.size());
+  require(u < n && num.in_walk[u], "segment_window: u not on the traversal");
+  SegmentWindow out;
+  out.tau_prime.assign(n, -1);
+  const std::uint32_t len = num.walk_length();
+  if (len == 0) {  // single-vertex tree
+    out.members = {u};
+    out.tau_prime[u] = 0;
+    return out;
+  }
+  const std::uint32_t start = num.tau[u];
+  const std::uint32_t moves = std::min(steps, len);
+  for (std::uint32_t t = 0; t <= moves; ++t) {
+    const NodeId v = num.walk[(start + t) % len];
+    if (out.tau_prime[v] < 0) {
+      out.tau_prime[v] = static_cast<std::int64_t>(t);
+      out.members.push_back(v);
+    }
+  }
+  std::sort(out.members.begin(), out.members.end());
+  return out;
+}
+
+std::uint32_t max_ecc_in_segment(const Graph& g, const DfsNumbering& num,
+                                 NodeId u, std::uint32_t steps) {
+  std::uint32_t best = 0;
+  for (NodeId v : segment_window(num, u, steps).members) {
+    best = std::max(best, eccentricity(g, v));
+  }
+  return best;
+}
+
+}  // namespace qc::graph

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qc::graph {
+
+/// Sentinel distance for unreachable vertices.
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// Result of a breadth-first search from a root.
+struct BfsResult {
+  NodeId root = kInvalidNode;
+  std::vector<std::uint32_t> dist;  ///< dist[v], kUnreachable if disconnected
+  std::vector<NodeId> parent;       ///< BFS-tree parent, kInvalidNode at root
+  std::uint32_t ecc = 0;            ///< max finite distance from root
+};
+
+/// BFS from `root`. Ties in parent choice go to the smallest-id neighbor,
+/// matching the deterministic tie-break used by the distributed BFS of
+/// Figure 1 (so centralized and CONGEST executions build the same tree).
+BfsResult bfs(const Graph& g, NodeId root);
+
+/// Eccentricity of `v` (max distance to any reachable vertex).
+std::uint32_t eccentricity(const Graph& g, NodeId v);
+
+/// Exact diameter by n BFS runs. Requires a connected graph.
+std::uint32_t diameter(const Graph& g);
+
+/// All eccentricities (indexed by vertex). Requires a connected graph.
+std::vector<std::uint32_t> all_eccentricities(const Graph& g);
+
+/// Exact radius (minimum eccentricity). Requires a connected graph.
+std::uint32_t radius(const Graph& g);
+
+/// A center vertex (minimum eccentricity, smallest id on ties).
+NodeId center(const Graph& g);
+
+/// Exact girth (length of a shortest cycle), or kUnreachable for forests.
+/// Reference implementation by edge deletion: for every edge {u,v}, the
+/// shortest cycle through it has length d_{G-e}(u,v) + 1. O(m) BFS runs.
+std::uint32_t girth(const Graph& g);
+
+/// All-pairs shortest-path distances (n x n), kUnreachable where applicable.
+std::vector<std::vector<std::uint32_t>> apsp(const Graph& g);
+
+/// Largest distance between a vertex in `us` and a vertex in `vs`; this is
+/// the Δ(G) of Section 5 when `us`/`vs` are the two sides of a bipartition.
+std::uint32_t max_cross_distance(const Graph& g, std::span<const NodeId> us,
+                                 std::span<const NodeId> vs);
+
+/// A rooted BFS tree with explicit child lists (children sorted by id).
+struct BfsTree {
+  NodeId root = kInvalidNode;
+  std::vector<NodeId> parent;                  ///< kInvalidNode at root
+  std::vector<std::uint32_t> depth;            ///< = distance to root
+  std::vector<std::vector<NodeId>> children;   ///< sorted by id
+  std::uint32_t height = 0;                    ///< = ecc(root)
+
+  std::uint32_t n() const { return static_cast<std::uint32_t>(parent.size()); }
+};
+
+/// Builds the BFS tree from `root` (same tie-break as bfs()).
+BfsTree bfs_tree(const Graph& g, NodeId root);
+
+/// DFS-numbering of a BFS tree, Definition 1 of the paper.
+///
+/// A depth-first traversal of the tree is a closed walk from the root using
+/// tree edges (an Euler tour with 2(n-1) moves). tau[v] is the time step at
+/// which the walk first reaches v; tau[root] = 0. `walk[t]` is the vertex
+/// occupied after t moves, with walk.size() == 2(n-1)+1 and
+/// walk.front() == walk.back() == root.
+///
+/// Children are visited in increasing id order so that the centralized
+/// numbering matches the distributed DFS-token traversal exactly.
+struct DfsNumbering {
+  std::vector<std::uint32_t> tau;
+  std::vector<NodeId> walk;
+  std::vector<bool> in_walk;  ///< vertices the traversal actually reaches
+
+  /// Length of the full closed walk (2(k-1) for a k-vertex (sub)tree).
+  std::uint32_t walk_length() const {
+    return static_cast<std::uint32_t>(walk.size()) - 1;
+  }
+};
+
+DfsNumbering dfs_numbering(const BfsTree& tree);
+
+/// Restriction of `tree` to the vertices with keep[v] == true. The kept set
+/// must contain the root and be ancestor-closed (if v is kept, so is its
+/// parent); this is exactly the shape of the set R of Figure 3, the s
+/// closest vertices to w in BFS(w). Dropped vertices get empty child lists
+/// and are never reached by dfs_numbering of the returned tree.
+BfsTree induced_subtree(const BfsTree& tree, const std::vector<bool>& keep);
+
+/// The set S(u) of Definition 2: all v whose tau lies in the cyclic window
+/// [tau(u), tau(u)+width] taken modulo `modulus` (the paper uses width = 2d
+/// and modulus = 2n). Returned sorted by id.
+std::vector<NodeId> window_set(const DfsNumbering& num, NodeId u,
+                               std::uint32_t width, std::uint32_t modulus);
+
+/// The set S actually computed by Figure 2 Step 1: the nodes visited by a
+/// `steps`-move segment of the (circular) Euler tour starting at u's first
+/// visit, with tau'(v) = the segment position of v's first visit.
+///
+/// This is a *superset* of Definition 2's S(u): a bottom-up move can revisit
+/// a node whose global tau lies before tau(u) (e.g. u's ancestors), and the
+/// wrap-around re-enters the tour from the leader. Lemma 2's claim
+/// "S = S(u0)" implicitly ignores those revisits; the algorithm is correct
+/// either way (every member's eccentricity is still a true eccentricity and
+/// the coverage bound of Lemma 1 only improves), and the scheduling bound
+/// d(v,w) <= tau'(w) - tau'(v) holds for *any* walk. We therefore use the
+/// segment semantics as the ground truth that the distributed Evaluation
+/// procedure must reproduce exactly.
+struct SegmentWindow {
+  std::vector<NodeId> members;           ///< sorted by id
+  std::vector<std::int64_t> tau_prime;   ///< per node; -1 if not visited
+};
+
+SegmentWindow segment_window(const DfsNumbering& num, NodeId u,
+                             std::uint32_t steps);
+
+/// max_{v in S} ecc(v) for the Figure 2 segment window: the objective f(u)
+/// of Equation (2) as the distributed procedure actually evaluates it.
+/// Reference (centralized) implementation used to validate Figure 2 and as
+/// the branch oracle of the quantum algorithms.
+std::uint32_t max_ecc_in_segment(const Graph& g, const DfsNumbering& num,
+                                 NodeId u, std::uint32_t steps);
+
+}  // namespace qc::graph

@@ -1,0 +1,236 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace qc::graph {
+
+Graph make_path(std::uint32_t n) {
+  require(n >= 1, "make_path: need n >= 1");
+  GraphBuilder b(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return b.build();
+}
+
+Graph make_cycle(std::uint32_t n) {
+  require(n >= 3, "make_cycle: need n >= 3");
+  GraphBuilder b(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  b.add_edge(n - 1, 0);
+  return b.build();
+}
+
+Graph make_star(std::uint32_t n) {
+  require(n >= 2, "make_star: need n >= 2");
+  GraphBuilder b(n);
+  for (std::uint32_t i = 1; i < n; ++i) b.add_edge(0, i);
+  return b.build();
+}
+
+Graph make_complete(std::uint32_t n) {
+  require(n >= 2, "make_complete: need n >= 2");
+  GraphBuilder b(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) b.add_edge(i, j);
+  }
+  return b.build();
+}
+
+Graph make_grid(std::uint32_t rows, std::uint32_t cols) {
+  require(rows >= 1 && cols >= 1, "make_grid: need rows, cols >= 1");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph make_torus(std::uint32_t rows, std::uint32_t cols) {
+  require(rows >= 3 && cols >= 3, "make_torus: need rows, cols >= 3");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      b.add_edge(id(r, c), id(r, (c + 1) % cols));
+      b.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return b.build();
+}
+
+Graph make_balanced_tree(std::uint32_t n, std::uint32_t arity) {
+  require(n >= 1, "make_balanced_tree: need n >= 1");
+  require(arity >= 1, "make_balanced_tree: need arity >= 1");
+  GraphBuilder b(n);
+  for (std::uint32_t v = 1; v < n; ++v) {
+    b.add_edge((v - 1) / arity, v);
+  }
+  return b.build();
+}
+
+Graph make_barbell(std::uint32_t k, std::uint32_t path_len) {
+  require(k >= 2, "make_barbell: need clique size >= 2");
+  GraphBuilder b;
+  std::vector<NodeId> left(k), right(k);
+  for (auto& v : left) v = b.add_node();
+  for (auto& v : right) v = b.add_node();
+  b.add_clique(left);
+  b.add_clique(right);
+  // Gateways are left[0] and right[0]; path_len edges between them means
+  // path_len - 1 intermediate vertices.
+  if (path_len == 0) {
+    b.add_edge(left[0], right[0]);
+  } else {
+    b.add_path_between(left[0], right[0], path_len - 1);
+  }
+  return b.build();
+}
+
+Graph make_connected_er(std::uint32_t n, double p, Rng& rng) {
+  require(n >= 1, "make_connected_er: need n >= 1");
+  GraphBuilder b(n);
+  // Uniform random labelled spanning tree is overkill; a random attachment
+  // tree (each vertex links to a uniform earlier vertex after a random
+  // relabelling) suffices to guarantee connectivity without biasing p.
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const auto j = static_cast<std::uint32_t>(rng.next_below(i));
+    b.add_edge(perm[i], perm[j]);
+  }
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      if (rng.next_bool(p)) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+Graph make_random_with_diameter(std::uint32_t n, std::uint32_t d, Rng& rng) {
+  require(d >= 2, "make_random_with_diameter: need diameter >= 2");
+  require(n >= d + 1, "make_random_with_diameter: need n >= d+1");
+  GraphBuilder b(n);
+  // Backbone path 0..d.
+  for (std::uint32_t i = 0; i < d; ++i) b.add_edge(i, i + 1);
+  // Extras attach to interior positions only (1..d-1): an extra at
+  // position p has distance p+1 <= d to endpoint 0 and d-p+1 <= d to
+  // endpoint d, and two extras are within (d-2)+2 = d of each other, so the
+  // diameter remains exactly d (endpoints 0 and d realize it).
+  std::vector<std::uint32_t> position(n, 0);
+  std::vector<NodeId> at_position_prev(d + 1, kInvalidNode);
+  for (std::uint32_t v = d + 1; v < n; ++v) {
+    const auto p =
+        static_cast<std::uint32_t>(rng.next_in(1, static_cast<std::int64_t>(d) - 1));
+    position[v] = p;
+    b.add_edge(v, p);
+    // Occasional sibling edge between consecutive extras at one position;
+    // same-position edges cannot shorten backbone distances.
+    if (at_position_prev[p] != kInvalidNode && rng.next_bool(0.3)) {
+      b.add_edge(v, at_position_prev[p]);
+    }
+    at_position_prev[p] = v;
+  }
+  return b.build();
+}
+
+Graph make_hypercube(std::uint32_t dims) {
+  require(dims >= 1 && dims <= 20, "make_hypercube: dims must be in [1,20]");
+  const std::uint32_t n = 1u << dims;
+  GraphBuilder b(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint32_t bit = 0; bit < dims; ++bit) {
+      const std::uint32_t w = v ^ (1u << bit);
+      if (v < w) b.add_edge(v, w);
+    }
+  }
+  return b.build();
+}
+
+Graph make_random_regular(std::uint32_t n, std::uint32_t d, Rng& rng) {
+  require(d >= 2, "make_random_regular: need d >= 2");
+  require(n >= d + 1, "make_random_regular: need n >= d+1");
+  GraphBuilder b(n);
+  // Hamiltonian cycle guarantees connectivity and degree >= 2 ...
+  for (std::uint32_t i = 0; i < n; ++i) b.add_edge(i, (i + 1) % n);
+  // ... then a configuration-model pass adds the remaining d-2 stubs per
+  // vertex; collisions are simply dropped (degrees d or slightly less).
+  std::vector<NodeId> stubs;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint32_t j = 2; j < d; ++j) stubs.push_back(v);
+  }
+  rng.shuffle(stubs);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] != stubs[i + 1]) b.add_edge(stubs[i], stubs[i + 1]);
+  }
+  return b.build();
+}
+
+Graph make_preferential_attachment(std::uint32_t n, std::uint32_t m,
+                                   Rng& rng) {
+  require(m >= 1, "make_preferential_attachment: need m >= 1");
+  require(n >= m + 1, "make_preferential_attachment: need n >= m+1");
+  GraphBuilder b(n);
+  // Degree-proportional sampling via the endpoint-list trick: every edge
+  // contributes both endpoints, so a uniform pick is degree-weighted.
+  std::vector<NodeId> endpoints;
+  for (std::uint32_t v = 1; v <= m; ++v) {
+    b.add_edge(v - 1, v);  // seed path so early picks are well-defined
+    endpoints.push_back(v - 1);
+    endpoints.push_back(v);
+  }
+  for (std::uint32_t v = m + 1; v < n; ++v) {
+    std::vector<NodeId> targets;
+    for (std::uint32_t e = 0; e < m; ++e) {
+      const NodeId t = endpoints[rng.next_below(endpoints.size())];
+      if (t != v &&
+          std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    if (targets.empty()) targets.push_back(v - 1);
+    for (NodeId t : targets) {
+      b.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+Graph make_two_clusters(std::uint32_t k, std::uint32_t bridges, Rng& rng) {
+  require(k >= 4, "make_two_clusters: need cluster size >= 4");
+  require(bridges >= 1, "make_two_clusters: need at least one bridge");
+  auto left = make_random_regular(k, 4, rng);
+  auto right = make_random_regular(k, 4, rng);
+  GraphBuilder b(2 * k);
+  for (const auto& [u, v] : left.edges()) b.add_edge(u, v);
+  for (const auto& [u, v] : right.edges()) b.add_edge(k + u, k + v);
+  for (std::uint32_t i = 0; i < bridges; ++i) {
+    b.add_edge(static_cast<NodeId>(rng.next_below(k)),
+               static_cast<NodeId>(k + rng.next_below(k)));
+  }
+  return b.build();
+}
+
+Graph make_caterpillar(std::uint32_t n, std::uint32_t spine) {
+  require(spine >= 2, "make_caterpillar: need spine >= 2");
+  require(n >= spine, "make_caterpillar: need n >= spine");
+  GraphBuilder b(n);
+  for (std::uint32_t i = 0; i + 1 < spine; ++i) b.add_edge(i, i + 1);
+  for (std::uint32_t v = spine; v < n; ++v) {
+    // Spread legs evenly along the interior of the spine.
+    const std::uint32_t slot =
+        spine <= 2 ? 0 : 1 + (v - spine) % (spine - 2);
+    b.add_edge(v, slot);
+  }
+  return b.build();
+}
+
+}  // namespace qc::graph

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace qc::graph {
+
+/// Deterministic topology families used by tests, examples and benchmarks.
+/// All generators produce connected graphs.
+
+/// Path v0 - v1 - ... - v_{n-1}; diameter n-1.
+Graph make_path(std::uint32_t n);
+
+/// Cycle on n >= 3 vertices; diameter floor(n/2).
+Graph make_cycle(std::uint32_t n);
+
+/// Star with center 0; diameter 2 (for n >= 3).
+Graph make_star(std::uint32_t n);
+
+/// Complete graph; diameter 1 (for n >= 2).
+Graph make_complete(std::uint32_t n);
+
+/// rows x cols grid; diameter rows+cols-2.
+Graph make_grid(std::uint32_t rows, std::uint32_t cols);
+
+/// rows x cols torus (wrap-around grid); requires rows, cols >= 3.
+Graph make_torus(std::uint32_t rows, std::uint32_t cols);
+
+/// Complete `arity`-ary tree with n vertices (root 0, level order).
+Graph make_balanced_tree(std::uint32_t n, std::uint32_t arity);
+
+/// Two k-cliques joined by a path of `path_len` edges between designated
+/// gateway vertices; diameter path_len + 2 (for k >= 2). A classic
+/// "hard for diameter" shape: most mass far from the long path.
+Graph make_barbell(std::uint32_t k, std::uint32_t path_len);
+
+/// Connected Erdos-Renyi-style graph: a uniform random spanning tree plus
+/// each non-tree edge independently with probability p.
+Graph make_connected_er(std::uint32_t n, double p, Rng& rng);
+
+/// Random connected graph with *exactly* the requested diameter.
+///
+/// Construction: a backbone path v0..vD realizes the diameter; the
+/// remaining n-D-1 vertices attach to uniformly random interior backbone
+/// positions (each by a single edge, so no backbone shortcut can appear),
+/// with occasional sibling edges between vertices on the same position for
+/// local richness. Requires n >= D+1 and D >= 2.
+///
+/// This is the main workload family of the benchmark harness: it decouples
+/// n from D, which is exactly the knob Table 1's bounds (O(n) vs O(sqrt(nD)))
+/// are about.
+Graph make_random_with_diameter(std::uint32_t n, std::uint32_t d, Rng& rng);
+
+/// Caterpillar: a backbone path of `spine` vertices, with leg leaves spread
+/// evenly until n vertices total. Diameter close to spine+1.
+Graph make_caterpillar(std::uint32_t n, std::uint32_t spine);
+
+/// Hypercube on 2^dims vertices; diameter = dims, degree = dims.
+Graph make_hypercube(std::uint32_t dims);
+
+/// Random d-regular-ish graph via the configuration model with retry
+/// (self-loops/duplicates dropped and patched by a Hamiltonian cycle, so
+/// degrees are d or d±1 and the graph is connected). Expander-like:
+/// diameter O(log n / log d). Requires d >= 2 and n >= d+1.
+Graph make_random_regular(std::uint32_t n, std::uint32_t d, Rng& rng);
+
+/// Preferential-attachment tree-plus (Barabasi-Albert flavor): each new
+/// vertex attaches `m` edges to existing vertices sampled by degree.
+/// Connected, heavy-tailed degrees, small diameter. Requires m >= 1.
+Graph make_preferential_attachment(std::uint32_t n, std::uint32_t m,
+                                   Rng& rng);
+
+/// Two expander-ish clusters of size k joined by `bridges` random edges —
+/// a "community" topology with small diameter but a sparse cut, the shape
+/// that separates diameter from congestion.
+Graph make_two_clusters(std::uint32_t k, std::uint32_t bridges, Rng& rng);
+
+}  // namespace qc::graph

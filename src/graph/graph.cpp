@@ -1,0 +1,126 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace qc::graph {
+
+Graph Graph::from_edges(std::uint32_t n, std::span<const Edge> edges) {
+  std::vector<Edge> canon;
+  canon.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    require(u < n && v < n, "Graph::from_edges: endpoint out of range");
+    require(u != v, "Graph::from_edges: self-loops are not allowed");
+    canon.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+
+  Graph g;
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : canon) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+  g.neighbors_.resize(g.offsets_[n]);
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : canon) {
+    g.neighbors_[cursor[u]++] = v;
+    g.neighbors_[cursor[v]++] = u;
+  }
+  // Sorted input edge list plus two passes keeps each adjacency list sorted
+  // for the u side but not necessarily the v side; sort to be safe.
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::sort(g.neighbors_.begin() + g.offsets_[v],
+              g.neighbors_.begin() + g.offsets_[v + 1]);
+  }
+  return g;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  require(u < n() && v < n(), "Graph::has_edge: node out of range");
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(m());
+  for (NodeId u = 0; u < n(); ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+bool Graph::is_connected() const {
+  if (n() == 0) return true;
+  std::vector<bool> seen(n(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::uint32_t count = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId v : neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        stack.push_back(v);
+      }
+    }
+  }
+  return count == n();
+}
+
+std::string Graph::describe() const {
+  std::ostringstream os;
+  os << "Graph(n=" << n() << ", m=" << m() << ")";
+  return os.str();
+}
+
+void GraphBuilder::reserve_nodes(std::uint32_t n) { n_ = std::max(n_, n); }
+
+NodeId GraphBuilder::add_node() { return n_++; }
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  require(u != v, "GraphBuilder::add_edge: self-loops are not allowed");
+  reserve_nodes(std::max(u, v) + 1);
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::add_clique(std::span<const NodeId> nodes) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      add_edge(nodes[i], nodes[j]);
+    }
+  }
+}
+
+void GraphBuilder::add_star(NodeId center, std::span<const NodeId> leaves) {
+  for (NodeId leaf : leaves) add_edge(center, leaf);
+}
+
+std::vector<NodeId> GraphBuilder::add_path_between(NodeId u, NodeId v,
+                                                   std::uint32_t length) {
+  std::vector<NodeId> inner;
+  inner.reserve(length);
+  NodeId prev = u;
+  for (std::uint32_t i = 0; i < length; ++i) {
+    const NodeId w = add_node();
+    add_edge(prev, w);
+    inner.push_back(w);
+    prev = w;
+  }
+  add_edge(prev, v);
+  return inner;
+}
+
+Graph GraphBuilder::build() const { return Graph::from_edges(n_, edges_); }
+
+}  // namespace qc::graph

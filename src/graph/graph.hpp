@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qc::graph {
+
+/// Node identifier; nodes of an n-node graph are 0..n-1.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (e.g. the parent of a BFS root).
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// An undirected edge; canonical form has first <= second.
+using Edge = std::pair<NodeId, NodeId>;
+
+/// Immutable undirected simple graph in compressed-sparse-row form.
+///
+/// This is the topology substrate everything else builds on: the CONGEST
+/// simulator instantiates one network node per vertex and one bidirectional
+/// channel per edge, and the reference (centralized) algorithms used to
+/// validate distributed executions run directly on it.
+///
+/// Neighbor lists are sorted by node id, which fixes a deterministic port
+/// ordering for the simulator and a deterministic child ordering for DFS
+/// traversals.
+class Graph {
+ public:
+  /// Builds a graph with `n` vertices from an edge list. Self-loops are
+  /// rejected; duplicate edges are coalesced.
+  static Graph from_edges(std::uint32_t n, std::span<const Edge> edges);
+
+  /// Number of vertices.
+  std::uint32_t n() const { return static_cast<std::uint32_t>(offsets_.size() - 1); }
+
+  /// Number of (undirected) edges.
+  std::uint64_t m() const { return neighbors_.size() / 2; }
+
+  std::uint32_t degree(NodeId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Sorted neighbor list of v.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// O(log deg) membership test.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// All edges in canonical (u < v) order.
+  std::vector<Edge> edges() const;
+
+  bool is_connected() const;
+
+  /// Human-readable one-line summary ("Graph(n=.., m=..)").
+  std::string describe() const;
+
+ private:
+  Graph() = default;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<NodeId> neighbors_;
+};
+
+/// Incremental edge-list builder; the common way generators and gadget
+/// constructions assemble a Graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::uint32_t n = 0) : n_(n) {}
+
+  /// Ensures at least `n` vertices exist.
+  void reserve_nodes(std::uint32_t n);
+
+  /// Adds a fresh vertex and returns its id.
+  NodeId add_node();
+
+  /// Adds an undirected edge; duplicates are fine (coalesced at build).
+  void add_edge(NodeId u, NodeId v);
+
+  /// Connects every pair within `nodes` (clique).
+  void add_clique(std::span<const NodeId> nodes);
+
+  /// Connects `center` to each node in `leaves`.
+  void add_star(NodeId center, std::span<const NodeId> leaves);
+
+  /// Adds `length` new vertices forming a path from u to v (so the u-v
+  /// distance through the new path is length+1). Returns the new vertices
+  /// in order from u's side to v's side. length==0 simply adds edge {u,v}.
+  std::vector<NodeId> add_path_between(NodeId u, NodeId v,
+                                       std::uint32_t length);
+
+  std::uint32_t num_nodes() const { return n_; }
+  std::uint64_t num_edges() const { return edges_.size(); }
+
+  Graph build() const;
+
+ private:
+  std::uint32_t n_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace qc::graph

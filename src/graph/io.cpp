@@ -1,0 +1,148 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace qc::graph {
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  bool have_n = false;
+  std::uint32_t n = 0;
+  std::vector<Edge> edges;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    if (!have_n) {
+      require(static_cast<bool>(ls >> n),
+              "read_edge_list: expected vertex count on line " +
+                  std::to_string(lineno));
+      have_n = true;
+      continue;
+    }
+    std::uint64_t u, v;
+    require(static_cast<bool>(ls >> u >> v),
+            "read_edge_list: expected 'u v' on line " +
+                std::to_string(lineno));
+    require(u < n && v < n, "read_edge_list: vertex id out of range on line " +
+                                std::to_string(lineno));
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
+  }
+  require(have_n, "read_edge_list: empty input");
+  return Graph::from_edges(n, edges);
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "read_edge_list_file: cannot open " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g,
+                     const std::string& comment) {
+  if (!comment.empty()) out << "# " << comment << "\n";
+  out << "# " << g.describe() << "\n" << g.n() << "\n";
+  for (const auto& [u, v] : g.edges()) out << u << ' ' << v << "\n";
+}
+
+void write_edge_list_file(const std::string& path, const Graph& g,
+                          const std::string& comment) {
+  std::ofstream out(path);
+  require(out.good(), "write_edge_list_file: cannot open " + path);
+  write_edge_list(out, g, comment);
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+std::uint64_t arg_int(const std::vector<std::string>& parts, std::size_t i,
+                      const std::string& spec) {
+  require(i < parts.size(), "make_from_spec: missing argument in '" + spec +
+                                "'\n" + spec_help());
+  return std::strtoull(parts[i].c_str(), nullptr, 10);
+}
+
+double arg_double(const std::vector<std::string>& parts, std::size_t i,
+                  const std::string& spec) {
+  require(i < parts.size(), "make_from_spec: missing argument in '" + spec +
+                                "'\n" + spec_help());
+  return std::strtod(parts[i].c_str(), nullptr);
+}
+
+std::uint64_t opt_seed(const std::vector<std::string>& parts, std::size_t i) {
+  return i < parts.size() ? std::strtoull(parts[i].c_str(), nullptr, 10)
+                          : 12345;
+}
+
+}  // namespace
+
+Graph make_from_spec(const std::string& spec) {
+  const auto p = split(spec, ':');
+  const std::string& fam = p[0];
+  auto u32 = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(arg_int(p, i, spec));
+  };
+  if (fam == "path") return make_path(u32(1));
+  if (fam == "cycle") return make_cycle(u32(1));
+  if (fam == "star") return make_star(u32(1));
+  if (fam == "complete") return make_complete(u32(1));
+  if (fam == "grid") return make_grid(u32(1), u32(2));
+  if (fam == "torus") return make_torus(u32(1), u32(2));
+  if (fam == "tree") return make_balanced_tree(u32(1), u32(2));
+  if (fam == "hypercube") return make_hypercube(u32(1));
+  if (fam == "barbell") return make_barbell(u32(1), u32(2));
+  if (fam == "caterpillar") return make_caterpillar(u32(1), u32(2));
+  if (fam == "er") {
+    Rng rng(opt_seed(p, 3));
+    return make_connected_er(u32(1), arg_double(p, 2, spec), rng);
+  }
+  if (fam == "regular") {
+    Rng rng(opt_seed(p, 3));
+    return make_random_regular(u32(1), u32(2), rng);
+  }
+  if (fam == "pa") {
+    Rng rng(opt_seed(p, 3));
+    return make_preferential_attachment(u32(1), u32(2), rng);
+  }
+  if (fam == "clusters") {
+    Rng rng(opt_seed(p, 3));
+    return make_two_clusters(u32(1), u32(2), rng);
+  }
+  if (fam == "diam") {
+    Rng rng(opt_seed(p, 3));
+    return make_random_with_diameter(u32(1), u32(2), rng);
+  }
+  throw InvalidArgumentError("make_from_spec: unknown family '" + fam +
+                             "'\n" + spec_help());
+}
+
+std::string spec_help() {
+  return "generator specs (family:args[:seed]):\n"
+         "  path:N cycle:N star:N complete:N hypercube:DIMS\n"
+         "  grid:R:C torus:R:C tree:N:ARITY barbell:K:LEN\n"
+         "  caterpillar:N:SPINE er:N:P[:seed] regular:N:D[:seed]\n"
+         "  pa:N:M[:seed] clusters:K:BRIDGES[:seed] diam:N:D[:seed]";
+}
+
+}  // namespace qc::graph

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace qc::graph {
+
+/// Plain-text edge-list format:
+///   # comment lines start with '#'
+///   <n>              — first non-comment line: number of vertices
+///   <u> <v>          — one undirected edge per line, 0-based ids
+///
+/// Deliberately minimal and diff-friendly; round-trips through
+/// write_edge_list / read_edge_list.
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+void write_edge_list(std::ostream& out, const Graph& g,
+                     const std::string& comment = "");
+void write_edge_list_file(const std::string& path, const Graph& g,
+                          const std::string& comment = "");
+
+/// Parses a generator spec of the form "family:arg1:arg2[:seed]" and
+/// builds the graph. Supported families (see generators.hpp):
+///   path:N            cycle:N           star:N         complete:N
+///   grid:R:C          torus:R:C         tree:N:ARITY   hypercube:DIMS
+///   barbell:K:LEN     caterpillar:N:SPINE
+///   er:N:P[:seed]     regular:N:D[:seed]
+///   pa:N:M[:seed]     clusters:K:BRIDGES[:seed]
+///   diam:N:D[:seed]
+/// Throws InvalidArgumentError with a helpful message on bad specs.
+Graph make_from_spec(const std::string& spec);
+
+/// Human-readable list of supported spec families (for CLI help).
+std::string spec_help();
+
+}  // namespace qc::graph

@@ -1,0 +1,87 @@
+#include "qsim/amplitude_vector.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qc::qsim {
+
+AmplitudeVector AmplitudeVector::uniform(std::size_t dim) {
+  require(dim >= 1, "AmplitudeVector::uniform: dim must be positive");
+  const double a = 1.0 / std::sqrt(static_cast<double>(dim));
+  return AmplitudeVector(
+      std::vector<std::complex<double>>(dim, std::complex<double>(a, 0)));
+}
+
+AmplitudeVector AmplitudeVector::over_support(
+    std::size_t dim, const std::vector<std::size_t>& support) {
+  require(dim >= 1, "AmplitudeVector::over_support: dim must be positive");
+  require(!support.empty(), "AmplitudeVector::over_support: empty support");
+  std::vector<std::complex<double>> amps(dim, {0, 0});
+  const double a = 1.0 / std::sqrt(static_cast<double>(support.size()));
+  for (std::size_t i : support) {
+    require(i < dim, "AmplitudeVector::over_support: index out of range");
+    require(amps[i] == std::complex<double>(0, 0),
+            "AmplitudeVector::over_support: duplicate support index");
+    amps[i] = {a, 0};
+  }
+  return AmplitudeVector(std::move(amps));
+}
+
+double AmplitudeVector::probability(const BasisPredicate& pred) const {
+  double p = 0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    // Exactly-zero branches are never populated (support states stay on
+    // their support under Grover iterates), so the predicate need not be
+    // defined there — e.g. f of Figure 3 is only defined on R.
+    if (amps_[i] == std::complex<double>(0, 0)) continue;
+    if (pred(i)) p += std::norm(amps_[i]);
+  }
+  return p;
+}
+
+double AmplitudeVector::norm_sq() const {
+  double p = 0;
+  for (const auto& a : amps_) p += std::norm(a);
+  return p;
+}
+
+void AmplitudeVector::phase_flip(const BasisPredicate& pred) {
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    // Flipping a zero amplitude is a no-op; skipping keeps the marked
+    // predicate restricted to the populated domain (see probability()).
+    if (amps_[i] == std::complex<double>(0, 0)) continue;
+    if (pred(i)) amps_[i] = -amps_[i];
+  }
+}
+
+void AmplitudeVector::reflect_about(const AmplitudeVector& psi0) {
+  require(psi0.dim() == dim(), "reflect_about: dimension mismatch");
+  // 2 |psi0><psi0| - I applied to |this>: overlap = <psi0|this>.
+  std::complex<double> overlap{0, 0};
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    overlap += std::conj(psi0.amps_[i]) * amps_[i];
+  }
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    amps_[i] = 2.0 * overlap * psi0.amps_[i] - amps_[i];
+  }
+}
+
+void AmplitudeVector::grover_iterate(const BasisPredicate& pred,
+                                     const AmplitudeVector& psi0) {
+  phase_flip(pred);
+  reflect_about(psi0);
+  // The amplitude-amplification operator is -S_psi0 S_M; the global minus
+  // sign is physically irrelevant and omitted.
+}
+
+std::size_t AmplitudeVector::sample(Rng& rng) const {
+  double u = rng.next_double() * norm_sq();
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    u -= std::norm(amps_[i]);
+    if (u <= 0) return i;
+  }
+  return amps_.size() - 1;  // numerical tail
+}
+
+}  // namespace qc::qsim

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qc::qsim {
+
+/// Predicate over basis indices (the "marked set" M of Section 2.3).
+using BasisPredicate = std::function<bool(std::size_t)>;
+
+/// Exact amplitude-level simulation of the internal register.
+///
+/// The distributed algorithms of Sections 3-4 keep the *global* network
+/// state in the invariant form  sum_x alpha_x |x>_I (x) |data(x)> |init>:
+/// everything outside the leader's internal register I is a classical
+/// function of the basis value x. Amplitude amplification therefore acts on
+/// the coefficient vector (alpha_x) exactly as on the full state, and
+/// tracking that vector is a *lossless* simulation of the quantum
+/// evolution — not an approximation (see DESIGN.md §4.1).
+///
+/// The gate-level qsim::StateVector validates these operators on small
+/// power-of-two dimensions.
+class AmplitudeVector {
+ public:
+  /// Uniform superposition over [0, dim) — the Setup state of Section 3.1.
+  static AmplitudeVector uniform(std::size_t dim);
+
+  /// Uniform superposition over `support` within a dim-sized basis — the
+  /// Setup state of the Figure 3 quantum phase (uniform over R).
+  static AmplitudeVector over_support(std::size_t dim,
+                                      const std::vector<std::size_t>& support);
+
+  std::size_t dim() const { return amps_.size(); }
+  std::complex<double> amp(std::size_t i) const { return amps_[i]; }
+
+  /// Sum of |alpha_x|^2 over x with pred(x) — the P_M of Section 2.3.
+  double probability(const BasisPredicate& pred) const;
+
+  /// Total squared norm (should stay 1 up to rounding; tested).
+  double norm_sq() const;
+
+  /// Oracle: alpha_x -> -alpha_x for marked x. This is what the
+  /// Evaluation/Checking unitary pair (compute f, phase, uncompute f)
+  /// does to the internal register.
+  void phase_flip(const BasisPredicate& pred);
+
+  /// Reflection 2|psi0><psi0| - I about a reference state — the
+  /// Setup^-1 (reflect about |0>) Setup sandwich of amplitude
+  /// amplification.
+  void reflect_about(const AmplitudeVector& psi0);
+
+  /// One Grover/amplitude-amplification iterate: phase_flip then
+  /// reflect_about(psi0).
+  void grover_iterate(const BasisPredicate& pred,
+                      const AmplitudeVector& psi0);
+
+  /// Samples a basis state from |alpha|^2 (a measurement of register I;
+  /// the state is not collapsed because every use in the framework
+  /// discards the register and re-runs Setup afterwards).
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  explicit AmplitudeVector(std::vector<std::complex<double>> amps)
+      : amps_(std::move(amps)) {}
+  std::vector<std::complex<double>> amps_;
+};
+
+}  // namespace qc::qsim

@@ -1,0 +1,171 @@
+#include "qsim/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qc::qsim {
+
+namespace {
+
+/// One BBHT phase: randomized iteration counts with the classic m <- 6m/5
+/// growth, capped at sqrt(1/epsilon). Returns when a marked item is
+/// sampled or when the phase's iteration budget is spent.
+SearchResult bbht_phase(const AmplitudeVector& setup_state,
+                        const BasisPredicate& marked, double epsilon,
+                        Rng& rng) {
+  SearchResult res;
+  const double m_cap = std::max(1.0, std::sqrt(1.0 / epsilon));
+  // A phase succeeds with constant probability when P_M >= epsilon and
+  // spends O(sqrt(1/epsilon)) iterations; the caller repeats phases to
+  // drive the failure probability below delta.
+  const auto budget =
+      static_cast<std::uint64_t>(std::ceil(3.0 * m_cap)) + 3;
+  double m = 1.0;
+  while (res.costs.grover_iterations < budget) {
+    const auto j = static_cast<std::uint64_t>(
+        rng.next_below(static_cast<std::uint64_t>(std::floor(m)) + 1));
+    AmplitudeVector state = setup_state;  // a fresh Setup
+    ++res.costs.setup_invocations;
+    for (std::uint64_t it = 0; it < j; ++it) {
+      state.grover_iterate(marked, setup_state);
+    }
+    res.costs.grover_iterations += j;
+    const std::size_t sampled = state.sample(rng);
+    ++res.costs.candidate_evaluations;  // classical check of the sample
+    if (marked(sampled)) {
+      res.found = true;
+      res.item = sampled;
+      return res;
+    }
+    m = std::min(m * 6.0 / 5.0, m_cap);
+  }
+  return res;
+}
+
+}  // namespace
+
+SearchResult amplitude_amplification_search(const AmplitudeVector& setup_state,
+                                            const BasisPredicate& marked,
+                                            double epsilon, double delta,
+                                            Rng& rng) {
+  require(epsilon > 0 && epsilon <= 1,
+          "amplitude_amplification_search: epsilon must be in (0, 1]");
+  require(delta > 0 && delta < 1,
+          "amplitude_amplification_search: delta must be in (0, 1)");
+  SearchResult total;
+  const auto phases = static_cast<std::uint32_t>(
+      std::ceil(std::log2(1.0 / delta))) + 1;
+  for (std::uint32_t p = 0; p < phases; ++p) {
+    SearchResult res = bbht_phase(setup_state, marked, epsilon, rng);
+    total.costs += res.costs;
+    if (res.found) {
+      total.found = true;
+      total.item = res.item;
+      return total;
+    }
+  }
+  return total;  // declared empty
+}
+
+MaximizationResult quantum_maximize(
+    const AmplitudeVector& setup_state,
+    const std::function<std::int64_t(std::size_t)>& f, double epsilon,
+    double delta, Rng& rng) {
+  require(epsilon > 0 && epsilon <= 1,
+          "quantum_maximize: epsilon must be in (0, 1]");
+  require(delta > 0 && delta < 1, "quantum_maximize: delta must be in (0, 1)");
+
+  MaximizationResult res;
+
+  // Line (1) of Corollary 1: start from a sample of the setup state (one
+  // Setup, one classical evaluation to learn f(a)).
+  std::size_t a = setup_state.sample(rng);
+  ++res.costs.setup_invocations;
+  std::int64_t fa = f(a);
+  ++res.costs.candidate_evaluations;
+
+  // Worst-case abort (the final paragraph of the Corollary 1 proof):
+  // cap the total work at a constant multiple of the expected
+  // sqrt(log(1/delta)/epsilon) iteration count.
+  const double log_term = std::log2(1.0 / delta) + 1.0;
+  const auto iteration_budget = static_cast<std::uint64_t>(
+      std::ceil(24.0 * std::sqrt(1.0 / epsilon) * log_term)) + 24;
+
+  double eps_prime = 0.5;
+  for (;;) {
+    if (res.costs.grover_iterations >= iteration_budget) {
+      res.budget_exhausted = true;
+      break;
+    }
+    const auto marked = [&](std::size_t x) { return f(x) > fa; };
+    // A missed improvement at a shallow level gets retried at the next
+    // (deeper) level, so intermediate searches only need constant
+    // confidence; the full delta budget is spent at the final level
+    // eps' <= eps, whose "empty" verdict terminates the algorithm.
+    const double delta_level = eps_prime > epsilon ? 1.0 / 3.0 : delta;
+    SearchResult srch = amplitude_amplification_search(
+        setup_state, marked, eps_prime, delta_level, rng);
+    res.costs += srch.costs;
+    if (srch.found) {
+      a = srch.item;           // line (3): raise the threshold
+      fa = f(a);
+      ++res.costs.candidate_evaluations;
+    } else if (eps_prime > epsilon) {
+      eps_prime /= 2;          // line (4): search deeper
+    } else {
+      break;                   // line (5): no improvement at full depth
+    }
+  }
+  res.argmax = a;
+  res.value = fa;
+  return res;
+}
+
+CountEstimate estimate_marked_fraction(const AmplitudeVector& setup_state,
+                                       const BasisPredicate& marked,
+                                       std::uint32_t shots,
+                                       std::uint32_t max_depth, Rng& rng) {
+  require(shots >= 1, "estimate_marked_fraction: need at least one shot");
+  CountEstimate est;
+
+  // Gather success counts per amplification depth.
+  std::vector<std::uint32_t> successes(max_depth + 1, 0);
+  for (std::uint32_t j = 0; j <= max_depth; ++j) {
+    for (std::uint32_t s = 0; s < shots; ++s) {
+      AmplitudeVector state = setup_state;
+      ++est.costs.setup_invocations;
+      for (std::uint32_t it = 0; it < j; ++it) {
+        state.grover_iterate(marked, setup_state);
+      }
+      est.costs.grover_iterations += j;
+      const std::size_t sampled = state.sample(rng);
+      ++est.costs.candidate_evaluations;
+      if (marked(sampled)) ++successes[j];
+    }
+  }
+
+  // Maximum-likelihood fit of theta: Pr[success at depth j] =
+  // sin^2((2j+1) theta). Grid search is plenty at this precision.
+  const int grid = 4000;
+  double best_theta = 0, best_ll = -1e300;
+  for (int i = 1; i <= grid; ++i) {
+    const double theta = (M_PI / 2) * i / (grid + 1.0);
+    double ll = 0;
+    for (std::uint32_t j = 0; j <= max_depth; ++j) {
+      double p = std::pow(std::sin((2.0 * j + 1.0) * theta), 2);
+      p = std::min(1.0 - 1e-9, std::max(1e-9, p));
+      ll += successes[j] * std::log(p) +
+            (shots - successes[j]) * std::log(1 - p);
+    }
+    if (ll > best_ll) {
+      best_ll = ll;
+      best_theta = theta;
+    }
+  }
+  est.fraction = std::pow(std::sin(best_theta), 2);
+  return est;
+}
+
+}  // namespace qc::qsim

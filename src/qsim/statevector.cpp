@@ -1,0 +1,167 @@
+#include "qsim/statevector.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qc::qsim {
+
+namespace {
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+}
+
+StateVector::StateVector(std::uint32_t num_qubits) : num_qubits_(num_qubits) {
+  require(num_qubits >= 1 && num_qubits <= 24,
+          "StateVector: supports 1..24 qubits");
+  amps_.assign(1ULL << num_qubits, {0, 0});
+  amps_[0] = {1, 0};
+}
+
+double StateVector::probability(std::uint64_t basis) const {
+  require(basis < dim(), "StateVector::probability: basis out of range");
+  return std::norm(amps_[basis]);
+}
+
+double StateVector::norm_sq() const {
+  double p = 0;
+  for (const auto& a : amps_) p += std::norm(a);
+  return p;
+}
+
+void StateVector::h(std::uint32_t q) {
+  require(q < num_qubits_, "StateVector::h: qubit out of range");
+  const std::uint64_t bit = 1ULL << q;
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    if (i & bit) continue;
+    const auto a0 = amps_[i];
+    const auto a1 = amps_[i | bit];
+    amps_[i] = (a0 + a1) * kInvSqrt2;
+    amps_[i | bit] = (a0 - a1) * kInvSqrt2;
+  }
+}
+
+void StateVector::x(std::uint32_t q) {
+  require(q < num_qubits_, "StateVector::x: qubit out of range");
+  const std::uint64_t bit = 1ULL << q;
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    if (!(i & bit)) std::swap(amps_[i], amps_[i | bit]);
+  }
+}
+
+void StateVector::z(std::uint32_t q) {
+  require(q < num_qubits_, "StateVector::z: qubit out of range");
+  const std::uint64_t bit = 1ULL << q;
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    if (i & bit) amps_[i] = -amps_[i];
+  }
+}
+
+void StateVector::phase(std::uint32_t q, double theta) {
+  require(q < num_qubits_, "StateVector::phase: qubit out of range");
+  const std::complex<double> ph{std::cos(theta), std::sin(theta)};
+  const std::uint64_t bit = 1ULL << q;
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    if (i & bit) amps_[i] *= ph;
+  }
+}
+
+void StateVector::cnot(std::uint32_t control, std::uint32_t target) {
+  require(control < num_qubits_ && target < num_qubits_ && control != target,
+          "StateVector::cnot: bad qubits");
+  const std::uint64_t cbit = 1ULL << control;
+  const std::uint64_t tbit = 1ULL << target;
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    if ((i & cbit) && !(i & tbit)) std::swap(amps_[i], amps_[i | tbit]);
+  }
+}
+
+void StateVector::cz(std::uint32_t control, std::uint32_t target) {
+  require(control < num_qubits_ && target < num_qubits_ && control != target,
+          "StateVector::cz: bad qubits");
+  const std::uint64_t mask = (1ULL << control) | (1ULL << target);
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    if ((i & mask) == mask) amps_[i] = -amps_[i];
+  }
+}
+
+void StateVector::mcz_all() {
+  amps_.back() = -amps_.back();
+}
+
+void StateVector::oracle(const std::function<bool(std::uint64_t)>& pred) {
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    if (pred(i)) amps_[i] = -amps_[i];
+  }
+}
+
+void StateVector::h_all() {
+  for (std::uint32_t q = 0; q < num_qubits_; ++q) h(q);
+}
+
+void StateVector::grover_diffusion() {
+  h_all();
+  for (std::uint32_t q = 0; q < num_qubits_; ++q) x(q);
+  mcz_all();
+  for (std::uint32_t q = 0; q < num_qubits_; ++q) x(q);
+  h_all();
+  // H X MCZ X H = -(2|s><s| - I); absorb the global -1 so this matches the
+  // algebraic reflection exactly.
+  for (auto& a : amps_) a = -a;
+}
+
+void StateVector::cnot_copy(const std::vector<std::uint32_t>& src,
+                            const std::vector<std::uint32_t>& dst) {
+  require(src.size() == dst.size(), "cnot_copy: register size mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    cnot(src[i], dst[i]);
+  }
+}
+
+std::uint64_t StateVector::sample(Rng& rng) const {
+  double u = rng.next_double() * norm_sq();
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    u -= std::norm(amps_[i]);
+    if (u <= 0) return i;
+  }
+  return dim() - 1;
+}
+
+std::uint32_t StateVector::measure_qubit(std::uint32_t q, Rng& rng) {
+  require(q < num_qubits_, "StateVector::measure_qubit: qubit out of range");
+  const std::uint64_t bit = 1ULL << q;
+  double p1 = 0;
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    if (i & bit) p1 += std::norm(amps_[i]);
+  }
+  const std::uint32_t outcome = rng.next_double() < p1 ? 1 : 0;
+  const double keep_prob = outcome == 1 ? p1 : 1.0 - p1;
+  check_internal(keep_prob > 1e-15,
+                 "StateVector::measure_qubit: measured a zero-probability "
+                 "branch");
+  const double scale = 1.0 / std::sqrt(keep_prob);
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    const bool matches = ((i & bit) != 0) == (outcome == 1);
+    amps_[i] = matches ? amps_[i] * scale : std::complex<double>{0, 0};
+  }
+  return outcome;
+}
+
+std::uint64_t StateVector::measure_all(Rng& rng) {
+  const std::uint64_t outcome = sample(rng);
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    amps_[i] = i == outcome ? std::complex<double>{1, 0}
+                            : std::complex<double>{0, 0};
+  }
+  return outcome;
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  require(other.dim() == dim(), "StateVector::fidelity: dimension mismatch");
+  std::complex<double> overlap{0, 0};
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    overlap += std::conj(amps_[i]) * other.amps_[i];
+  }
+  return std::norm(overlap);
+}
+
+}  // namespace qc::qsim

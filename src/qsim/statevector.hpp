@@ -1,0 +1,78 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qc::qsim {
+
+/// Small dense state-vector simulator (up to ~24 qubits).
+///
+/// Used as an independent gate-level implementation of the quantum-search
+/// building blocks: tests check that Grover iterations composed from
+/// H / X / multi-controlled-Z gates act on the full 2^k-dimensional state
+/// exactly as AmplitudeVector's algebraic operators do. It also implements
+/// the CNOT-copy operation of Section 2 (the broadcast primitive of
+/// Proposition 2) so its "classical copy" semantics can be verified.
+class StateVector {
+ public:
+  /// |0...0> on `num_qubits` qubits.
+  explicit StateVector(std::uint32_t num_qubits);
+
+  std::uint32_t num_qubits() const { return num_qubits_; }
+  std::size_t dim() const { return amps_.size(); }
+  std::complex<double> amp(std::uint64_t basis) const { return amps_[basis]; }
+  double probability(std::uint64_t basis) const;
+  double norm_sq() const;
+
+  // -- single-qubit gates (qubit 0 is the least significant bit) --
+  void h(std::uint32_t q);
+  void x(std::uint32_t q);
+  void z(std::uint32_t q);
+  void phase(std::uint32_t q, double theta);
+
+  // -- two-qubit gates --
+  void cnot(std::uint32_t control, std::uint32_t target);
+  void cz(std::uint32_t control, std::uint32_t target);
+
+  /// Multi-controlled Z over *all* qubits: flips the phase of |1...1>.
+  void mcz_all();
+
+  /// Phase oracle |x> -> (-1)^{pred(x)} |x>. In the real machine this is
+  /// Evaluation, a phase kick on the result ancilla, and Evaluation^-1.
+  void oracle(const std::function<bool(std::uint64_t)>& pred);
+
+  /// Hadamard on every qubit.
+  void h_all();
+
+  /// The Grover diffusion operator built from gates:
+  /// H^n X^n (MCZ) X^n H^n = 2|s><s| - I up to global phase.
+  void grover_diffusion();
+
+  /// CNOT copy of Section 2: for two disjoint m-qubit registers
+  /// src[i] -> dst[i], maps |u>|v> to |u>|u xor v>.
+  void cnot_copy(const std::vector<std::uint32_t>& src,
+                 const std::vector<std::uint32_t>& dst);
+
+  /// Samples a basis state from the |amplitude|^2 distribution.
+  std::uint64_t sample(Rng& rng) const;
+
+  /// Projectively measures qubit q: returns the outcome bit and collapses
+  /// (and renormalizes) the state.
+  std::uint32_t measure_qubit(std::uint32_t q, Rng& rng);
+
+  /// Measures every qubit (collapses to one basis state).
+  std::uint64_t measure_all(Rng& rng);
+
+  /// |<this|other>|^2 — used by tests to compare preparation routes.
+  double fidelity(const StateVector& other) const;
+
+ private:
+  std::uint32_t num_qubits_;
+  std::vector<std::complex<double>> amps_;
+};
+
+}  // namespace qc::qsim

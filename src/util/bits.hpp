@@ -1,0 +1,38 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace qc {
+
+/// Number of bits needed to represent values in [0, n-1]; bit_width_for(1)
+/// is 1 by convention (a single value still occupies one wire/qubit).
+constexpr std::uint32_t bit_width_for(std::uint64_t n) {
+  if (n <= 2) return 1;
+  return static_cast<std::uint32_t>(std::bit_width(n - 1));
+}
+
+/// ceil(log2(n)) for n >= 1.
+constexpr std::uint32_t ceil_log2(std::uint64_t n) {
+  if (n <= 1) return 0;
+  return static_cast<std::uint32_t>(std::bit_width(n - 1));
+}
+
+/// The CONGEST bandwidth in bits for an n-node network: c * ceil(log2 n)
+/// with the conventional constant c = 4 (enough for a constant number of
+/// node ids / distances per message, as the paper's procedures require).
+/// Floored at 4c bits so that O(log n)-bit protocols remain runnable on the
+/// tiny graphs used in unit tests (constants are free under O(log n)).
+constexpr std::uint32_t congest_bandwidth_bits(std::uint64_t n, int c = 4) {
+  const std::uint32_t lg = ceil_log2(n < 2 ? 2 : n);
+  const std::uint32_t bw = static_cast<std::uint32_t>(c) * (lg < 1 ? 1 : lg);
+  const auto floor_bits = static_cast<std::uint32_t>(4 * c);
+  return bw < floor_bits ? floor_bits : bw;
+}
+
+/// Bit at position `pos` (LSB = 0) of `v`.
+constexpr std::uint32_t bit_at(std::uint64_t v, std::uint32_t pos) {
+  return static_cast<std::uint32_t>((v >> pos) & 1ULL);
+}
+
+}  // namespace qc

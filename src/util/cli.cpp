@@ -1,0 +1,52 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace qc {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Cli::get_string(const std::string& name, std::string def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second;
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace qc

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qc {
+
+/// Tiny command-line flag parser for the bench/example binaries.
+///
+/// Accepts flags of the form `--name=value`; bare `--name` is treated as
+/// boolean true. Anything not starting with "--" is a positional argument.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// True if the flag appeared on the command line at all.
+  bool has(const std::string& name) const;
+
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  std::string get_string(const std::string& name, std::string def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace qc

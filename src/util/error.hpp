@@ -1,0 +1,43 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qc {
+
+/// Base class for all errors raised by the qcongest library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// A simulated CONGEST round tried to push more bits through an edge than
+/// the model's bandwidth allows (see congest::BandwidthPolicy).
+class BandwidthViolationError : public Error {
+ public:
+  explicit BandwidthViolationError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed; indicates a bug in the library itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgumentError with `msg` unless `cond` holds.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgumentError(msg);
+}
+
+/// Throws InternalError with `msg` unless `cond` holds.
+inline void check_internal(bool cond, const std::string& msg) {
+  if (!cond) throw InternalError(msg);
+}
+
+}  // namespace qc

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qc {
+
+/// Deterministic pseudo-random generator (xoshiro256**), seeded via
+/// splitmix64 so that nearby seeds give independent streams.
+///
+/// All randomness in the library flows through this type so that every
+/// simulation, test and benchmark is reproducible from a single seed.
+/// Satisfies the UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Derives an independent child stream; child(i) streams are pairwise
+  /// decorrelated. Used to give each simulated node its own RNG.
+  Rng child(std::uint64_t stream_id) const;
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A uniformly random k-subset of {0,...,n-1}, in increasing order.
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                        std::uint32_t k);
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace qc

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace qc {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+};
+
+/// Computes summary statistics. Empty input yields a zeroed Summary.
+Summary summarize(std::span<const double> xs);
+
+/// Result of an ordinary least-squares fit y = a + b*x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// OLS fit of y against x. Requires xs.size() == ys.size() >= 2.
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Fits y = C * x^e by OLS on (log x, log y); returns e as `slope`, log C as
+/// `intercept`. All xs and ys must be strictly positive.
+///
+/// This is how scaling exponents in the benchmark harness are estimated:
+/// e.g. classical exact diameter should fit e ~ 1.0 in n, the quantum
+/// algorithm of Theorem 1 should fit e ~ 0.5.
+LinearFit fit_power_law(std::span<const double> xs,
+                        std::span<const double> ys);
+
+/// Pearson correlation coefficient; requires sizes equal and >= 2.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Exact p-quantile (linear interpolation) of the sample, p in [0,1].
+double quantile(std::vector<double> xs, double p);
+
+}  // namespace qc

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qc {
+
+/// Minimal ASCII table formatter used by the benchmark harness to print
+/// paper-style result tables.
+///
+///   Table t({"n", "classical rounds", "quantum rounds"});
+///   t.add_row({"256", "311", "97"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line at this position.
+  void add_separator();
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming noise.
+std::string fmt(double value, int digits = 2);
+
+/// Formats an integer count.
+std::string fmt(std::int64_t value);
+std::string fmt(std::uint64_t value);
+std::string fmt(int value);
+std::string fmt(unsigned value);
+
+}  // namespace qc

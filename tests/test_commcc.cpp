@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "algos/diameter_classical.hpp"
+#include "commcc/disjointness.hpp"
+#include "commcc/reductions.hpp"
+#include "commcc/two_party.hpp"
+#include "graph/algorithms.hpp"
+#include "util/rng.hpp"
+
+namespace qc::commcc {
+namespace {
+
+using graph::NodeId;
+
+TEST(Disjointness, Basics) {
+  EXPECT_TRUE(disjoint({0, 1, 0}, {1, 0, 0}));
+  EXPECT_FALSE(disjoint({0, 1, 0}, {0, 1, 0}));
+  EXPECT_TRUE(disjoint({0, 0}, {0, 0}));
+  EXPECT_THROW(disjoint({0}, {0, 1}), InvalidArgumentError);
+}
+
+TEST(Disjointness, RandomInstancesHaveForcedAnswer) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    auto [x0, y0] = random_disj_instance(20, false, rng);
+    EXPECT_TRUE(disjoint(x0, y0));
+    auto [x1, y1] = random_disj_instance(20, true, rng);
+    EXPECT_FALSE(disjoint(x1, y1));
+  }
+}
+
+/// Exhaustively (or by dense random sampling for larger k) checks the
+/// Definition 3 conditions of a reduction.
+void check_reduction(const Reduction& red, int random_trials,
+                     std::uint64_t seed) {
+  // Structural checks.
+  EXPECT_EQ(red.u_side.size() + red.v_side.size(), red.num_nodes);
+  const auto mask = red.u_mask();
+  for (const auto& [a, b] : red.cut_edges) {
+    EXPECT_NE(mask[a], mask[b]) << "cut edge does not cross";
+  }
+  // Fixed non-cut edges must not cross the partition.
+  auto is_cut = [&](Edge e) {
+    Edge canon{std::min(e.first, e.second), std::max(e.first, e.second)};
+    return std::any_of(red.cut_edges.begin(), red.cut_edges.end(),
+                       [&](Edge c) {
+                         return Edge{std::min(c.first, c.second),
+                                     std::max(c.first, c.second)} == canon;
+                       });
+  };
+  for (const auto& e : red.fixed_edges) {
+    if (!is_cut(e)) {
+      EXPECT_EQ(mask[e.first], mask[e.second]);
+    }
+  }
+
+  Rng rng(seed);
+  auto check_instance = [&](const std::vector<bool>& x,
+                            const std::vector<bool>& y) {
+    auto g = red.instantiate(x, y);
+    ASSERT_TRUE(g.is_connected());
+    // Input edges stay within their side.
+    for (const auto& e : red.left_edges(x)) {
+      EXPECT_TRUE(mask[e.first] && mask[e.second]);
+    }
+    for (const auto& e : red.right_edges(y)) {
+      EXPECT_TRUE(!mask[e.first] && !mask[e.second]);
+    }
+    const auto diam = graph::diameter(g);
+    if (disjoint(x, y)) {
+      EXPECT_LE(diam, red.d1) << red.name;
+    } else {
+      EXPECT_GE(diam, red.d2) << red.name;
+    }
+  };
+
+  if (red.k <= 4) {  // exhaustive
+    for (std::uint32_t xb = 0; xb < (1u << red.k); ++xb) {
+      for (std::uint32_t yb = 0; yb < (1u << red.k); ++yb) {
+        std::vector<bool> x(red.k), y(red.k);
+        for (std::uint32_t i = 0; i < red.k; ++i) {
+          x[i] = (xb >> i) & 1;
+          y[i] = (yb >> i) & 1;
+        }
+        check_instance(x, y);
+      }
+    }
+  }
+  for (int t = 0; t < random_trials; ++t) {
+    auto [x, y] = random_disj_instance(red.k, t % 2 == 0, rng);
+    check_instance(x, y);
+  }
+}
+
+TEST(Hw12Reduction, Definition3HoldsExhaustivelyForS2) {
+  check_reduction(hw12_reduction(2), 10, 1);  // k = 4: exhaustive
+}
+
+TEST(Hw12Reduction, Definition3HoldsRandomized) {
+  check_reduction(hw12_reduction(4), 40, 2);
+  check_reduction(hw12_reduction(6), 20, 3);
+}
+
+TEST(Hw12Reduction, ParametersMatchTheorem8) {
+  for (std::uint32_t s : {2u, 5u, 9u}) {
+    auto red = hw12_reduction(s);
+    EXPECT_EQ(red.num_nodes, 4 * s + 2);
+    EXPECT_EQ(red.k, s * s);
+    EXPECT_EQ(red.d1, 2u);
+    EXPECT_EQ(red.d2, 3u);
+    EXPECT_EQ(red.b(), 2 * s + 1);  // Theta(n) cut
+  }
+}
+
+TEST(Hw12Reduction, DistanceWitnessPairs) {
+  // The proof's witness: d(l_i, r'_j) = 3 iff x_ij = y_ij = 1, else 2.
+  const std::uint32_t s = 3;
+  auto red = hw12_reduction(s);
+  std::vector<bool> x(s * s, false), y(s * s, false);
+  x[1 * s + 2] = true;
+  y[1 * s + 2] = true;  // only (i=1, j=2) intersects
+  auto g = red.instantiate(x, y);
+  auto d = graph::apsp(g);
+  const NodeId l1 = 1, rp2 = 3 * s + 1 + 2;
+  EXPECT_EQ(d[l1][rp2], 3u);
+  const NodeId l0 = 0, rp1 = 3 * s + 1 + 1;
+  EXPECT_EQ(d[l0][rp1], 2u);
+}
+
+TEST(Achk16Reduction, Definition3HoldsExhaustivelyForSmallK) {
+  check_reduction(achk16_reduction(2), 10, 4);
+  check_reduction(achk16_reduction(3), 10, 5);
+  check_reduction(achk16_reduction(4), 10, 6);
+}
+
+TEST(Achk16Reduction, Definition3HoldsRandomized) {
+  check_reduction(achk16_reduction(8), 30, 7);
+  check_reduction(achk16_reduction(16), 30, 8);
+  check_reduction(achk16_reduction(33), 20, 9);
+}
+
+TEST(Achk16Reduction, CutIsLogarithmic) {
+  for (std::uint32_t k : {4u, 16u, 64u, 256u}) {
+    auto red = achk16_reduction(k);
+    const auto lg = static_cast<std::uint32_t>(std::ceil(std::log2(k)));
+    EXPECT_EQ(red.b(), 2 * lg + 1);
+    EXPECT_EQ(red.d1, 4u);
+    EXPECT_EQ(red.d2, 5u);
+    // n = 2k + 4 log k + 4 = Theta(k).
+    EXPECT_LE(red.num_nodes, 2 * k + 4 * lg + 4);
+  }
+}
+
+TEST(SubdivideCut, ShiftsDiameterByD) {
+  auto red = achk16_reduction(4);
+  Rng rng(10);
+  for (std::uint32_t d : {1u, 2u, 4u, 7u}) {
+    auto [x0, y0] = random_disj_instance(red.k, false, rng);
+    auto g0 = subdivide_cut(red, x0, y0, d);
+    EXPECT_EQ(graph::diameter(g0), red.d1 + d) << "d=" << d;
+
+    auto [x1, y1] = random_disj_instance(red.k, true, rng);
+    auto g1 = subdivide_cut(red, x1, y1, d);
+    EXPECT_EQ(graph::diameter(g1), red.d2 + d) << "d=" << d;
+  }
+}
+
+TEST(SubdivideCut, NodeCountAndMask) {
+  auto red = achk16_reduction(8);
+  std::vector<bool> x(red.k, true), y(red.k, true);
+  std::vector<bool> mask;
+  const std::uint32_t d = 6;
+  auto g = subdivide_cut(red, x, y, d, &mask);
+  EXPECT_EQ(g.n(), red.num_nodes + red.b() * d);
+  EXPECT_EQ(mask.size(), g.n());
+  // Half of each dummy path is on Alice's side.
+  std::uint32_t alice_dummies = 0;
+  for (NodeId v = red.num_nodes; v < g.n(); ++v) alice_dummies += mask[v];
+  EXPECT_EQ(alice_dummies, red.b() * ((d + 1) / 2));
+}
+
+TEST(PathNetwork, Shape) {
+  auto g = path_network(5);
+  EXPECT_EQ(g.n(), 7u);
+  EXPECT_EQ(g.m(), 6u);
+  EXPECT_EQ(graph::diameter(g), 6u);
+}
+
+TEST(Transforms, Theorem10Formula) {
+  auto c = theorem10_transform(100, 7, 20);
+  EXPECT_EQ(c.messages, 200u);
+  EXPECT_EQ(c.qubits, 2ULL * 100 * 7 * 20);
+}
+
+TEST(Transforms, Theorem11Formula) {
+  auto c = theorem11_transform(100, 10, 16, 64);
+  EXPECT_EQ(c.messages, 11u);  // ceil(100/10) + 1
+  EXPECT_EQ(c.qubits, 10ULL * 10 * (16 + 64));
+  // Message count shrinks linearly in d at fixed r.
+  EXPECT_LT(theorem11_transform(100, 50, 16, 64).messages, c.messages);
+}
+
+TEST(Transforms, BgkBoundShape) {
+  // k/m + m is minimized at m = sqrt(k).
+  const double k = 10000;
+  const double at_opt = bgk_lower_bound(k, std::sqrt(k));
+  EXPECT_LT(at_opt, bgk_lower_bound(k, 10.0));
+  EXPECT_LT(at_opt, bgk_lower_bound(k, 5000.0));
+  EXPECT_NEAR(at_opt, 2 * std::sqrt(k), 1e-9);
+}
+
+TEST(Transforms, Floors) {
+  EXPECT_NEAR(theorem10_round_floor(10000, 100), 10.0, 1e-9);
+  EXPECT_NEAR(theorem3_round_floor(1000, 40, 10), std::sqrt(4000.0), 1e-9);
+}
+
+TEST(CutMeter, CountsOnlyCrossingTraffic) {
+  auto red = hw12_reduction(3);
+  Rng rng(11);
+  auto [x, y] = random_disj_instance(red.k, false, rng);
+  auto g = red.instantiate(x, y);
+  CutMeter meter(red.u_mask());
+  auto cfg = meter.arm(congest::NetworkConfig{});
+  auto out = algos::classical_exact_diameter(g, cfg);
+  EXPECT_EQ(out.diameter, red.d1);
+  EXPECT_GT(meter.crossing_bits(), 0u);
+  EXPECT_LE(meter.crossing_bits(), out.stats.bits);
+  EXPECT_GT(meter.crossing_messages(), 0u);
+}
+
+TEST(TwoPartyProtocol, DecidesDisjointnessViaDiameter) {
+  auto red = hw12_reduction(3);
+  DiameterSolver solver = [](const graph::Graph& g,
+                             const congest::NetworkConfig& cfg) {
+    auto out = algos::classical_exact_diameter(g, cfg);
+    return std::pair{out.diameter, out.stats.rounds};
+  };
+  Rng rng(12);
+  for (int t = 0; t < 6; ++t) {
+    const bool intersecting = t % 2 == 0;
+    auto [x, y] = random_disj_instance(red.k, intersecting, rng);
+    auto run = two_party_diameter_protocol(red, x, y, solver);
+    EXPECT_EQ(run.decided_disjoint, !intersecting);
+    EXPECT_EQ(run.costs.messages, 2ULL * run.rounds);
+    // The capacity charge dominates the actual traffic.
+    EXPECT_GE(run.costs.qubits, run.cut_bits);
+  }
+}
+
+class PathDisjSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(PathDisjSweep, ComputesDisjAndScales) {
+  const auto [k, d] = GetParam();
+  Rng rng(13 + k + d);
+  for (bool intersecting : {false, true}) {
+    auto [x, y] = random_disj_instance(k, intersecting, rng);
+    auto out = run_path_disjointness(x, y, d);
+    EXPECT_EQ(out.is_disjoint, !intersecting) << "k=" << k << " d=" << d;
+    // r = Theta(d + k/bw).
+    EXPECT_GE(out.rounds, 2 * d);
+    EXPECT_LE(out.rounds, 2 * d + k + 10);
+    // Intermediates stay at message-size memory (the small-s regime of
+    // Theorem 3).
+    EXPECT_LE(out.max_intermediate_memory_bits, 80u);
+    // Theorem 11 charge: O(r/d) messages.
+    EXPECT_LE(out.theorem11.messages, out.rounds / d + 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PathDisjSweep,
+    ::testing::Values(std::pair{8u, 2u}, std::pair{16u, 4u},
+                      std::pair{64u, 8u}, std::pair{128u, 16u},
+                      std::pair{256u, 5u}));
+
+class QuantumDisjSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuantumDisjSweep, DecidesCorrectlyWithHighProbability) {
+  const std::size_t k = GetParam();
+  Rng rng(600 + k);
+  int correct = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    const bool inter = t % 2 == 0;
+    auto [x, y] = random_disj_instance(k, inter, rng);
+    auto run = quantum_disjointness_protocol(x, y, 0.05, rng);
+    if (run.is_disjoint == !inter) {
+      ++correct;
+      if (inter) {
+        EXPECT_TRUE(x[run.witness] && y[run.witness]);
+      }
+    }
+  }
+  EXPECT_GE(correct, trials - 1) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuantumDisjSweep,
+                         ::testing::Values(8u, 32u, 128u, 512u));
+
+TEST(QuantumDisj, CommunicationScalesAsSqrtK) {
+  // Empty instances pay the full Theta(sqrt(k)) search budget; the qubit
+  // volume between k=4096 and k=64 should grow by ~sqrt(64)=8 (up to the
+  // log k register factor).
+  Rng rng(700);
+  auto qubits_for = [&](std::size_t k) {
+    std::vector<bool> x(k, false), y(k, false);
+    for (std::size_t i = 0; i < k; i += 2) x[i] = true;  // no overlap
+    for (std::size_t i = 1; i < k; i += 2) y[i] = true;
+    auto run = quantum_disjointness_protocol(x, y, 0.1, rng);
+    EXPECT_TRUE(run.is_disjoint);
+    return static_cast<double>(run.qubits);
+  };
+  const double ratio = qubits_for(4096) / qubits_for(64);
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 25.0);
+}
+
+TEST(QuantumDisj, RespectsBgkTradeoff) {
+  // The protocol uses m ~ sqrt(k) messages, so BGK+15 demands
+  // ~k/m + m = 2 sqrt(k) qubits; the register shipping pays sqrt(k) log k,
+  // comfortably above.
+  Rng rng(701);
+  const std::size_t k = 1024;
+  auto [x, y] = random_disj_instance(k, false, rng);
+  auto run = quantum_disjointness_protocol(x, y, 0.1, rng);
+  const double bound =
+      bgk_lower_bound(static_cast<double>(k),
+                      static_cast<double>(std::max<std::uint64_t>(1, run.messages)));
+  EXPECT_GE(static_cast<double>(run.qubits), bound * 0.5)
+      << "protocol would beat BGK+15 (up to polylog)";
+}
+
+TEST(PathDisj, MessageCountDropsWithLongerPaths) {
+  // The Theorem 11 phenomenon: at (roughly) fixed r the number of
+  // two-party messages is O(r/d).
+  Rng rng(14);
+  auto [x, y] = random_disj_instance(64, true, rng);
+  auto short_path = run_path_disjointness(x, y, 2);
+  auto long_path = run_path_disjointness(x, y, 32);
+  EXPECT_GT(short_path.theorem11.messages, long_path.theorem11.messages);
+}
+
+}  // namespace
+}  // namespace qc::commcc

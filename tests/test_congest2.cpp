@@ -1,0 +1,276 @@
+// Deeper CONGEST simulator semantics: delivery timing, halting and
+// reactivation, stats deltas across phases, observer composition, engine
+// configurations, and API misuse.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "congest/network.hpp"
+#include "congest/trace.hpp"
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace qc::congest {
+namespace {
+
+using graph::NodeId;
+
+/// Sends one message to port 0 at a chosen round, records inbox history.
+class TimedSender : public NodeProgram {
+ public:
+  explicit TimedSender(std::uint32_t send_round) : send_round_(send_round) {}
+  void on_round(NodeContext& ctx) override {
+    inbox_rounds_.reserve(8);
+    for (const auto& in : ctx.inbox()) {
+      (void)in;
+      inbox_rounds_.push_back(ctx.round());
+    }
+    if (ctx.round() == send_round_ && ctx.degree() > 0) {
+      ctx.send(0, Message().push(1, 4));
+    }
+  }
+  std::vector<std::uint32_t> inbox_rounds_;
+
+ private:
+  std::uint32_t send_round_;
+};
+
+TEST(Delivery, MessageSentAtRoundTArrivesAtTPlusOne) {
+  auto g = graph::make_path(2);
+  Network net(g);
+  net.init_programs([](NodeId v) {
+    return std::make_unique<TimedSender>(v == 0 ? 3u : 1000u);
+  });
+  net.run_rounds(6);
+  const auto& receiver = net.program_as<TimedSender>(1);
+  ASSERT_EQ(receiver.inbox_rounds_.size(), 1u);
+  EXPECT_EQ(receiver.inbox_rounds_[0], 4u);
+}
+
+TEST(Delivery, NoSpuriousDeliveries) {
+  auto g = graph::make_cycle(5);
+  Network net(g);
+  net.init_programs(
+      [](NodeId) { return std::make_unique<TimedSender>(10000); });
+  auto stats = net.run_rounds(5);
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_EQ(stats.bits, 0u);
+}
+
+/// Halts immediately; counts how many times on_round ran.
+class SleepyProgram : public NodeProgram {
+ public:
+  void on_round(NodeContext& ctx) override {
+    ++wakeups_;
+    ctx.vote_halt();
+  }
+  int wakeups_ = 0;
+};
+
+TEST(Halting, HaltedNodesAreNotScheduled) {
+  auto g = graph::make_path(3);
+  Network net(g);
+  net.init_programs([](NodeId) { return std::make_unique<SleepyProgram>(); });
+  net.run_rounds(10);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(net.program_as<SleepyProgram>(v).wakeups_, 1);
+  }
+}
+
+/// Node 0 pokes its neighbor once per phase to test reactivation.
+class PokeProgram : public NodeProgram {
+ public:
+  void on_start(NodeContext& ctx) override {
+    if (ctx.id() == 0) ctx.send(0, Message().push(1, 2));
+  }
+  void on_round(NodeContext& ctx) override {
+    wakeups_ += 1;
+    ctx.vote_halt();
+  }
+  int wakeups_ = 0;
+};
+
+TEST(Halting, MessageReactivatesHaltedNode) {
+  auto g = graph::make_path(2);
+  Network net(g);
+  net.init_programs([](NodeId) { return std::make_unique<PokeProgram>(); });
+  auto stats = net.run_until_quiescent(10);
+  EXPECT_TRUE(stats.quiesced);
+  // Node 1: woken by the poke at round 1; node 0: ran at round 1, halted.
+  EXPECT_EQ(net.program_as<PokeProgram>(1).wakeups_, 1);
+}
+
+TEST(Quiescence, CapReturnsNotQuiesced) {
+  auto g = graph::make_path(2);
+  class Chatter : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override {
+      ctx.broadcast(Message().push(1, 2));  // never halts
+    }
+  };
+  Network net(g);
+  net.init_programs([](NodeId) { return std::make_unique<Chatter>(); });
+  auto stats = net.run_until_quiescent(7);
+  EXPECT_FALSE(stats.quiesced);
+  EXPECT_EQ(stats.rounds, 7u);
+}
+
+TEST(Stats, DeltasAcrossPhasesAddUp) {
+  auto g = graph::make_cycle(6);
+  class Burst : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override {
+      if (ctx.round() <= 4) ctx.broadcast(Message().push(1, 8));
+    }
+  };
+  Network net(g);
+  net.init_programs([](NodeId) { return std::make_unique<Burst>(); });
+  auto first = net.run_rounds(3);
+  auto second = net.run_rounds(3);
+  EXPECT_EQ(first.rounds, 3u);
+  EXPECT_EQ(second.rounds, 3u);
+  EXPECT_EQ(net.stats().rounds, 6u);
+  EXPECT_EQ(net.stats().messages, first.messages + second.messages);
+  EXPECT_EQ(net.stats().bits, first.bits + second.bits);
+}
+
+TEST(Observer, SeesEveryDeliveryInOrder) {
+  auto g = graph::make_path(3);
+  std::vector<std::uint32_t> rounds_seen;
+  NetworkConfig cfg;
+  cfg.on_deliver = [&](NodeId, NodeId, const Message&, std::uint32_t r) {
+    rounds_seen.push_back(r);
+  };
+  Network net(g, cfg);
+  net.init_programs([](NodeId v) {
+    return std::make_unique<TimedSender>(v == 0 ? 1u : 2u);
+  });
+  auto stats = net.run_rounds(4);
+  EXPECT_EQ(rounds_seen.size(), stats.messages);
+  EXPECT_TRUE(std::is_sorted(rounds_seen.begin(), rounds_seen.end()));
+}
+
+TEST(Observer, RejectedWithParallelEngine) {
+  auto g = graph::make_path(3);
+  NetworkConfig cfg;
+  cfg.engine = Engine::kParallel;
+  cfg.on_deliver = [](NodeId, NodeId, const Message&, std::uint32_t) {};
+  EXPECT_THROW(Network net(g, cfg), InvalidArgumentError);
+}
+
+TEST(Observer, TraceRecorderClearWorks) {
+  auto g = graph::make_path(3);
+  TraceRecorder rec;
+  Network net(g, rec.arm({}));
+  net.init_programs([](NodeId) { return std::make_unique<TimedSender>(1); });
+  net.run_rounds(3);
+  EXPECT_FALSE(rec.events().empty());
+  rec.clear();
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_EQ(rec.last_round(), 0u);
+}
+
+TEST(ParallelEngine, ManyThreadCountsAgree) {
+  Rng rng(9);
+  auto g = graph::make_connected_er(48, 0.07, rng);
+  auto run = [&](std::uint32_t threads) {
+    NetworkConfig cfg;
+    cfg.engine = threads == 0 ? Engine::kSequential : Engine::kParallel;
+    cfg.num_threads = threads;
+    Network net(g, cfg);
+    net.init_programs([](NodeId) {
+      class Wave : public NodeProgram {
+       public:
+        void on_start(NodeContext& ctx) override {
+          if (ctx.id() == 0) ctx.broadcast(Message().push(0, 8));
+        }
+        void on_round(NodeContext& ctx) override {
+          if (!seen_ && !ctx.inbox().empty()) {
+            seen_ = true;
+            ctx.broadcast(Message().push(ctx.id() & 0xff, 8));
+          }
+          ctx.vote_halt();
+        }
+        bool seen_ = false;
+      };
+      return std::make_unique<Wave>();
+    });
+    return net.run_until_quiescent(100);
+  };
+  auto base = run(0);
+  for (std::uint32_t t : {1u, 2u, 5u, 8u}) {
+    auto st = run(t);
+    EXPECT_EQ(st.rounds, base.rounds) << t << " threads";
+    EXPECT_EQ(st.messages, base.messages) << t << " threads";
+    EXPECT_EQ(st.bits, base.bits) << t << " threads";
+  }
+}
+
+TEST(Api, ProgramAsRejectsWrongType) {
+  auto g = graph::make_path(2);
+  Network net(g);
+  net.init_programs([](NodeId) { return std::make_unique<SleepyProgram>(); });
+  net.run_rounds(1);
+  EXPECT_NO_THROW(net.program_as<SleepyProgram>(0));
+  EXPECT_THROW(net.program_as<PokeProgram>(0), InvalidArgumentError);
+}
+
+TEST(Api, RunWithoutProgramsThrows) {
+  auto g = graph::make_path(2);
+  Network net(g);
+  EXPECT_THROW(net.run_rounds(1), InvalidArgumentError);
+}
+
+TEST(Api, FactoryReturningNullThrows) {
+  auto g = graph::make_path(2);
+  Network net(g);
+  EXPECT_THROW(
+      net.init_programs([](NodeId) -> std::unique_ptr<NodeProgram> {
+        return nullptr;
+      }),
+      InvalidArgumentError);
+}
+
+TEST(Api, ReinitResetsState) {
+  auto g = graph::make_path(3);
+  Network net(g);
+  net.init_programs([](NodeId) { return std::make_unique<TimedSender>(1); });
+  net.run_rounds(3);
+  EXPECT_GT(net.stats().messages, 0u);
+  net.init_programs([](NodeId) { return std::make_unique<SleepyProgram>(); });
+  EXPECT_EQ(net.stats().rounds, 0u);
+  EXPECT_EQ(net.stats().messages, 0u);
+  auto stats = net.run_until_quiescent(5);
+  EXPECT_TRUE(stats.quiesced);
+}
+
+TEST(Bandwidth, DefaultTracksLogN) {
+  auto small = Network(graph::make_path(8), {});
+  auto large = Network(graph::make_path(4096), {});
+  EXPECT_LT(small.bandwidth_bits(), large.bandwidth_bits());
+  EXPECT_EQ(large.bandwidth_bits(), congest_bandwidth_bits(4096));
+}
+
+TEST(Bandwidth, PerDirectionIndependent) {
+  // A full-size message in each direction of one edge in the same round
+  // is legal: bandwidth is per edge *direction*.
+  auto g = graph::make_path(2);
+  NetworkConfig cfg;
+  cfg.bandwidth_bits = 8;
+  class BothWays : public NodeProgram {
+   public:
+    void on_start(NodeContext& ctx) override {
+      ctx.send(0, Message().push(255, 8));
+    }
+    void on_round(NodeContext& ctx) override { ctx.vote_halt(); }
+  };
+  Network net(g, cfg);
+  net.init_programs([](NodeId) { return std::make_unique<BothWays>(); });
+  auto stats = net.run_rounds(1);
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_EQ(stats.messages, 2u);
+}
+
+}  // namespace
+}  // namespace qc::congest

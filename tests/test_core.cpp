@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.hpp"
+#include "core/quantum_approx.hpp"
+#include "core/quantum_diameter.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace qc::core {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+Graph random_graph(std::uint32_t n, std::uint32_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  return graph::make_random_with_diameter(n, d, rng);
+}
+
+// ---------------------------------------------------------------------------
+// The generic optimizer (Theorem 7).
+// ---------------------------------------------------------------------------
+
+TEST(Optimizer, FindsMaximumAndAccountsRounds) {
+  OptimizationProblem p;
+  p.domain_size = 64;
+  p.evaluate = [](std::size_t x) {
+    return static_cast<std::int64_t>((x * 7) % 41);
+  };
+  p.t_init = 100;
+  p.t_setup = 10;
+  p.t_eval_forward = 25;
+  p.epsilon = 1.0 / 64;
+  p.delta = 0.05;
+  Rng rng(3);
+  auto rep = distributed_quantum_optimize(p, rng);
+  std::int64_t best = 0;
+  for (std::size_t x = 0; x < 64; ++x) {
+    best = std::max(best, p.evaluate(x));
+  }
+  EXPECT_EQ(rep.value, best);
+  // The accounting identity must hold exactly.
+  const std::uint64_t expect_rounds =
+      p.t_init + rep.costs.setup_invocations * 10ULL +
+      rep.costs.grover_iterations * (2ULL * 2 * 25 + 2ULL * 10) +
+      rep.costs.candidate_evaluations * 25ULL;
+  EXPECT_EQ(rep.total_rounds, expect_rounds);
+  EXPECT_GT(rep.costs.grover_iterations, 0u);
+  EXPECT_LE(rep.distinct_evaluations, 64u);
+}
+
+TEST(Optimizer, MemoizationBoundsDistinctEvaluations) {
+  int raw_calls = 0;
+  OptimizationProblem p;
+  p.domain_size = 32;
+  p.evaluate = [&raw_calls](std::size_t x) {
+    ++raw_calls;
+    return static_cast<std::int64_t>(x);
+  };
+  p.t_init = 0;
+  p.t_setup = 1;
+  p.t_eval_forward = 1;
+  p.epsilon = 1.0 / 32;
+  Rng rng(4);
+  auto rep = distributed_quantum_optimize(p, rng);
+  EXPECT_EQ(rep.value, 31);
+  EXPECT_EQ(static_cast<std::uint64_t>(raw_calls), rep.distinct_evaluations);
+  EXPECT_LE(raw_calls, 32);
+}
+
+TEST(Optimizer, SupportRestrictsDomain) {
+  OptimizationProblem p;
+  p.domain_size = 100;
+  p.support = {10, 20, 30};
+  p.evaluate = [](std::size_t x) { return static_cast<std::int64_t>(x); };
+  p.t_setup = 1;
+  p.t_eval_forward = 1;
+  p.epsilon = 1.0 / 3;
+  Rng rng(5);
+  auto rep = distributed_quantum_optimize(p, rng);
+  EXPECT_EQ(rep.argmax, 30u);
+}
+
+TEST(Optimizer, MemoryScalesWithLogDomainAndLogEps) {
+  OptimizationProblem p;
+  p.domain_size = 1 << 12;
+  p.evaluate = [](std::size_t) { return std::int64_t{0}; };
+  p.t_setup = 1;
+  p.t_eval_forward = 1;
+  p.epsilon = 1.0 / (1 << 12);
+  Rng rng(6);
+  auto rep = distributed_quantum_optimize(p, rng);
+  // per-node: O(log |X|); leader: O(log|X| * log(1/eps)).
+  EXPECT_LE(rep.per_node_memory_qubits, 5u * 12 + 20);
+  EXPECT_LE(rep.leader_memory_qubits, rep.per_node_memory_qubits + 13u * 12);
+  EXPECT_GT(rep.leader_memory_qubits, rep.per_node_memory_qubits);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1 and Section 3.1.
+// ---------------------------------------------------------------------------
+
+class QuantumExactSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(QuantumExactSweep, ComputesExactDiameter) {
+  const auto [n, d] = GetParam();
+  auto g = random_graph(n, d, 17 * n + d);
+  QuantumConfig cfg;
+  cfg.delta = 0.02;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    cfg.seed = seed;
+    auto rep = quantum_diameter_exact(g, cfg);
+    EXPECT_EQ(rep.diameter, d) << "n=" << n << " d=" << d << " seed=" << seed;
+    EXPECT_EQ(rep.leader, n - 1);
+    EXPECT_GE(rep.ecc_leader, (d + 1) / 2);
+    EXPECT_LE(rep.ecc_leader, d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, QuantumExactSweep,
+    ::testing::Values(std::pair{12u, 3u}, std::pair{20u, 5u},
+                      std::pair{32u, 8u}, std::pair{40u, 4u},
+                      std::pair{48u, 12u}, std::pair{64u, 6u}));
+
+TEST(QuantumExact, StandardFamilies) {
+  QuantumConfig cfg;
+  EXPECT_EQ(quantum_diameter_exact(graph::make_path(16), cfg).diameter, 15u);
+  EXPECT_EQ(quantum_diameter_exact(graph::make_cycle(12), cfg).diameter, 6u);
+  EXPECT_EQ(quantum_diameter_exact(graph::make_star(10), cfg).diameter, 2u);
+  EXPECT_EQ(quantum_diameter_exact(graph::make_grid(4, 5), cfg).diameter, 7u);
+  EXPECT_EQ(quantum_diameter_exact(graph::make_complete(8), cfg).diameter,
+            1u);
+}
+
+TEST(QuantumExact, TrivialGraphs) {
+  QuantumConfig cfg;
+  EXPECT_EQ(quantum_diameter_exact(graph::make_path(1), cfg).diameter, 0u);
+  EXPECT_EQ(quantum_diameter_exact(graph::make_path(2), cfg).diameter, 1u);
+}
+
+TEST(QuantumExact, DirectOracleMatchesSimulated) {
+  auto g = random_graph(36, 9, 99);
+  QuantumConfig sim_cfg, dir_cfg;
+  sim_cfg.oracle = OracleMode::kSimulate;
+  dir_cfg.oracle = OracleMode::kDirect;
+  sim_cfg.seed = dir_cfg.seed = 5;
+  auto a = quantum_diameter_exact(g, sim_cfg);
+  auto b = quantum_diameter_exact(g, dir_cfg);
+  EXPECT_EQ(a.diameter, b.diameter);
+  EXPECT_EQ(a.total_rounds, b.total_rounds);  // same seed, same trajectory
+  EXPECT_EQ(a.costs.grover_iterations, b.costs.grover_iterations);
+}
+
+TEST(QuantumSimple, AlsoExactButSlower) {
+  auto g = random_graph(30, 10, 7);
+  QuantumConfig cfg;
+  cfg.seed = 11;
+  auto simple = quantum_diameter_simple(g, cfg);
+  auto final = quantum_diameter_exact(g, cfg);
+  EXPECT_EQ(simple.diameter, 10u);
+  EXPECT_EQ(final.diameter, 10u);
+}
+
+TEST(QuantumExact, RoundAccountingIdentity) {
+  auto g = random_graph(28, 6, 13);
+  QuantumConfig cfg;
+  cfg.seed = 3;
+  auto rep = quantum_diameter_exact(g, cfg);
+  const std::uint64_t expect =
+      rep.init_rounds +
+      rep.costs.setup_invocations * static_cast<std::uint64_t>(rep.t_setup) +
+      rep.costs.grover_iterations *
+          (4ULL * rep.t_eval_forward + 2ULL * rep.t_setup) +
+      rep.costs.candidate_evaluations *
+          static_cast<std::uint64_t>(rep.t_eval_forward);
+  EXPECT_EQ(rep.total_rounds, expect);
+  EXPECT_GT(rep.init_rounds, 0u);
+  EXPECT_GT(rep.t_setup, 0u);
+  EXPECT_GT(rep.t_eval_forward, 0u);
+}
+
+TEST(QuantumExact, EvalCostIsLinearInEccLeader) {
+  // T_eval = O(d): the heart of Theorem 1's O(sqrt(nD)) bound.
+  auto g = random_graph(60, 12, 21);
+  QuantumConfig cfg;
+  auto rep = quantum_diameter_exact(g, cfg);
+  // 3*(2d) token + (6d+2) pipeline + (d+1) convergecast = 13d+3.
+  EXPECT_LE(rep.t_eval_forward, 14 * rep.ecc_leader + 10);
+}
+
+TEST(QuantumExact, MemoryIsPolylog) {
+  // Theorem 1: O(log^2 n) qubits per node.
+  for (std::uint32_t n : {16u, 64u, 128u}) {
+    auto g = random_graph(n, 4, n);
+    auto rep = quantum_diameter_exact(g, QuantumConfig{});
+    const double log_n = std::log2(static_cast<double>(n));
+    EXPECT_LE(static_cast<double>(rep.per_node_memory_qubits),
+              40 * log_n + 40);
+    EXPECT_LE(static_cast<double>(rep.leader_memory_qubits),
+              40 * log_n * log_n + 80);
+  }
+}
+
+TEST(QuantumExact, FewerGroverIterationsThanSimple) {
+  // The Section 3.2 windowing raises P_opt from 1/n to d/2n; for d >> 1
+  // the final algorithm needs about sqrt(d/2) times fewer iterations.
+  auto g = graph::make_path(96);
+  QuantumConfig cfg;
+  double simple_iters = 0, final_iters = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    cfg.seed = seed;
+    cfg.oracle = OracleMode::kDirect;
+    simple_iters += static_cast<double>(
+        quantum_diameter_simple(g, cfg).costs.grover_iterations);
+    final_iters += static_cast<double>(
+        quantum_diameter_exact(g, cfg).costs.grover_iterations);
+  }
+  EXPECT_LT(final_iters * 2, simple_iters);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4 (quantum 3/2 approximation).
+// ---------------------------------------------------------------------------
+
+class QuantumApproxSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(QuantumApproxSweep, EstimateWithinGuarantee) {
+  const auto [n, d] = GetParam();
+  auto g = random_graph(n, d, 23 * n + d);
+  QuantumConfig cfg;
+  cfg.seed = 9;
+  auto rep = quantum_diameter_approx(g, cfg);
+  ASSERT_FALSE(rep.aborted);
+  const std::uint32_t diam = graph::diameter(g);
+  EXPECT_LE(rep.estimate, diam) << "n=" << n << " d=" << d;
+  EXPECT_GE(3 * rep.estimate, 2 * diam) << "n=" << n << " d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, QuantumApproxSweep,
+    ::testing::Values(std::pair{24u, 6u}, std::pair{40u, 8u},
+                      std::pair{56u, 5u}, std::pair{64u, 12u},
+                      std::pair{80u, 10u}));
+
+TEST(QuantumApprox, ExplicitS) {
+  auto g = random_graph(48, 8, 31);
+  QuantumConfig cfg;
+  auto rep = quantum_diameter_approx(g, cfg, 6);
+  ASSERT_FALSE(rep.aborted);
+  EXPECT_EQ(rep.s_used, 6u);
+  const std::uint32_t diam = graph::diameter(g);
+  EXPECT_LE(rep.estimate, diam);
+  EXPECT_GE(3 * rep.estimate, 2 * diam);
+}
+
+TEST(QuantumApprox, SingletonR) {
+  auto g = random_graph(30, 6, 37);
+  QuantumConfig cfg;
+  auto rep = quantum_diameter_approx(g, cfg, 1);
+  ASSERT_FALSE(rep.aborted);
+  const std::uint32_t diam = graph::diameter(g);
+  EXPECT_LE(rep.estimate, diam);
+  EXPECT_GE(3 * rep.estimate, 2 * diam);
+}
+
+TEST(QuantumApprox, PhaseBreakdownAddsUp) {
+  auto g = random_graph(50, 10, 41);
+  QuantumConfig cfg;
+  auto rep = quantum_diameter_approx(g, cfg);
+  ASSERT_FALSE(rep.aborted);
+  EXPECT_EQ(rep.total_rounds, rep.prep_rounds + rep.quantum_rounds);
+  EXPECT_GT(rep.prep_rounds, 0u);
+}
+
+TEST(QuantumApprox, TrivialGraphs) {
+  EXPECT_EQ(quantum_diameter_approx(graph::make_path(1)).estimate, 0u);
+  EXPECT_EQ(quantum_diameter_approx(graph::make_path(2)).estimate, 1u);
+}
+
+}  // namespace
+}  // namespace qc::core

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "algos/apsp_census.hpp"
+#include "algos/girth.hpp"
+#include "commcc/disjointness.hpp"
+#include "commcc/two_party.hpp"
+#include "congest/trace.hpp"
+#include "core/quantum_decision.hpp"
+#include "core/quantum_radius.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "qsim/search.hpp"
+#include "util/rng.hpp"
+
+namespace qc {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+Graph random_graph(std::uint32_t n, std::uint32_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  return graph::make_random_with_diameter(n, d, rng);
+}
+
+// ---------------------------------------------------------------------------
+// New topology generators.
+// ---------------------------------------------------------------------------
+
+TEST(Generators, Hypercube) {
+  auto g = graph::make_hypercube(4);
+  EXPECT_EQ(g.n(), 16u);
+  EXPECT_EQ(g.m(), 32u);
+  for (NodeId v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(graph::diameter(g), 4u);
+}
+
+TEST(Generators, HypercubeDistancesAreHamming) {
+  auto g = graph::make_hypercube(5);
+  auto d = graph::bfs(g, 0).dist;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(d[v], static_cast<std::uint32_t>(__builtin_popcount(v)));
+  }
+}
+
+TEST(Generators, RandomRegularIsConnectedAndNearRegular) {
+  Rng rng(5);
+  for (std::uint32_t d : {3u, 4u, 6u}) {
+    auto g = graph::make_random_regular(60, d, rng);
+    EXPECT_TRUE(g.is_connected());
+    for (NodeId v = 0; v < g.n(); ++v) {
+      EXPECT_GE(g.degree(v), 2u);
+      EXPECT_LE(g.degree(v), d);
+    }
+    // Expander-ish: diameter O(log n).
+    EXPECT_LE(graph::diameter(g), 20u);
+  }
+}
+
+TEST(Generators, PreferentialAttachment) {
+  Rng rng(7);
+  auto g = graph::make_preferential_attachment(120, 2, rng);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.n(), 120u);
+  // Heavy-tailed: the max degree should far exceed the mean.
+  std::uint32_t max_deg = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  const double mean = 2.0 * static_cast<double>(g.m()) / g.n();
+  EXPECT_GT(max_deg, 2 * mean);
+  EXPECT_LE(graph::diameter(g), 16u);
+}
+
+TEST(Generators, TwoClusters) {
+  Rng rng(9);
+  auto g = graph::make_two_clusters(40, 3, rng);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.n(), 80u);
+}
+
+// ---------------------------------------------------------------------------
+// Radius / center (centralized reference + distributed census + quantum).
+// ---------------------------------------------------------------------------
+
+TEST(RadiusCentralized, KnownFamilies) {
+  EXPECT_EQ(graph::radius(graph::make_path(9)), 4u);
+  EXPECT_EQ(graph::center(graph::make_path(9)), 4u);
+  EXPECT_EQ(graph::radius(graph::make_star(10)), 1u);
+  EXPECT_EQ(graph::center(graph::make_star(10)), 0u);
+  EXPECT_EQ(graph::radius(graph::make_cycle(10)), 5u);
+  EXPECT_EQ(graph::radius(graph::make_complete(5)), 1u);
+}
+
+TEST(ApspCensus, MatchesCentralizedEverything) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    auto g = random_graph(40, 8, seed + 100);
+    auto census = algos::classical_apsp_census(g);
+    auto ecc = graph::all_eccentricities(g);
+    EXPECT_EQ(census.eccentricity, ecc);
+    EXPECT_EQ(census.diameter, graph::diameter(g));
+    EXPECT_EQ(census.radius, graph::radius(g));
+    EXPECT_EQ(census.center, graph::center(g));
+    EXPECT_EQ(census.eccentricity[census.periphery], census.diameter);
+  }
+}
+
+TEST(ApspCensus, RoundsAreLinear) {
+  auto g = random_graph(80, 6, 11);
+  auto census = algos::classical_apsp_census(g);
+  // O(n + D) with small constants: source detection is the bottleneck.
+  EXPECT_LE(census.stats.rounds, 6 * g.n());
+  EXPECT_GE(census.stats.rounds, g.n());  // n BFS waves can't beat n
+}
+
+TEST(ApspCensus, SingleNode) {
+  auto census = algos::classical_apsp_census(graph::make_path(1));
+  EXPECT_EQ(census.diameter, 0u);
+  EXPECT_EQ(census.radius, 0u);
+  EXPECT_EQ(census.center, 0u);
+}
+
+class QuantumRadiusSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(QuantumRadiusSweep, MatchesCentralized) {
+  const auto [n, d] = GetParam();
+  auto g = random_graph(n, d, 7 * n + d);
+  core::QuantumConfig cfg;
+  cfg.seed = 3;
+  auto rep = core::quantum_radius(g, cfg);
+  EXPECT_EQ(rep.radius, graph::radius(g)) << "n=" << n << " d=" << d;
+  EXPECT_EQ(graph::eccentricity(g, rep.center), rep.radius);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, QuantumRadiusSweep,
+    ::testing::Values(std::pair{16u, 4u}, std::pair{24u, 6u},
+                      std::pair{40u, 8u}, std::pair{56u, 5u}));
+
+TEST(QuantumRadius, StandardFamilies) {
+  core::QuantumConfig cfg;
+  EXPECT_EQ(core::quantum_radius(graph::make_path(11), cfg).radius, 5u);
+  EXPECT_EQ(core::quantum_radius(graph::make_star(9), cfg).radius, 1u);
+  EXPECT_EQ(core::quantum_radius(graph::make_cycle(12), cfg).radius, 6u);
+}
+
+TEST(QuantumRadius, Trivial) {
+  EXPECT_EQ(core::quantum_radius(graph::make_path(1)).radius, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Girth (the [PRT12] companion problem).
+// ---------------------------------------------------------------------------
+
+TEST(GirthCentralized, KnownFamilies) {
+  EXPECT_EQ(graph::girth(graph::make_cycle(7)), 7u);
+  EXPECT_EQ(graph::girth(graph::make_cycle(12)), 12u);
+  EXPECT_EQ(graph::girth(graph::make_complete(5)), 3u);
+  EXPECT_EQ(graph::girth(graph::make_grid(3, 4)), 4u);
+  EXPECT_EQ(graph::girth(graph::make_hypercube(4)), 4u);
+  EXPECT_EQ(graph::girth(graph::make_path(8)), graph::kUnreachable);
+  EXPECT_EQ(graph::girth(graph::make_balanced_tree(15, 2)),
+            graph::kUnreachable);
+}
+
+TEST(GirthCentralized, PetersenGraphIsFive) {
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+  graph::GraphBuilder b(10);
+  for (NodeId i = 0; i < 5; ++i) {
+    b.add_edge(i, (i + 1) % 5);
+    b.add_edge(5 + i, 5 + (i + 2) % 5);
+    b.add_edge(i, 5 + i);
+  }
+  EXPECT_EQ(graph::girth(b.build()), 5u);
+}
+
+class GirthCensusSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GirthCensusSweep, MatchesCentralizedOnRandomGraphs) {
+  Rng rng(GetParam());
+  auto g = graph::make_connected_er(30, 0.06, rng);
+  auto out = algos::classical_girth_census(g);
+  EXPECT_EQ(out.girth, graph::girth(g)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GirthCensusSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(GirthCensus, KnownFamilies) {
+  EXPECT_EQ(algos::classical_girth_census(graph::make_cycle(9)).girth, 9u);
+  EXPECT_EQ(algos::classical_girth_census(graph::make_complete(6)).girth,
+            3u);
+  EXPECT_EQ(algos::classical_girth_census(graph::make_grid(4, 4)).girth, 4u);
+  EXPECT_EQ(algos::classical_girth_census(graph::make_torus(5, 5)).girth,
+            4u);
+}
+
+TEST(GirthCensus, ForestsReportNoCycle) {
+  EXPECT_EQ(algos::classical_girth_census(graph::make_path(10)).girth,
+            graph::kUnreachable);
+  EXPECT_EQ(
+      algos::classical_girth_census(graph::make_balanced_tree(10, 3)).girth,
+      graph::kUnreachable);
+}
+
+TEST(GirthCensus, DenseAndSparseMix) {
+  Rng rng(99);
+  auto g = graph::make_random_with_diameter(40, 10, rng);
+  auto out = algos::classical_girth_census(g);
+  EXPECT_EQ(out.girth, graph::girth(g));
+  // O(n) rounds like the diameter census.
+  EXPECT_LE(out.stats.rounds, 8 * g.n());
+}
+
+// ---------------------------------------------------------------------------
+// Diameter threshold decision (the Theorem 2 / Theorem 3 problem shape).
+// ---------------------------------------------------------------------------
+
+TEST(QuantumDecide, AroundTheTrueDiameter) {
+  auto g = random_graph(40, 9, 77);
+  core::QuantumConfig cfg;
+  cfg.seed = 5;
+  for (std::uint32_t t : {7u, 8u, 9u, 10u, 11u}) {
+    auto rep = core::quantum_diameter_decide(g, t, cfg);
+    EXPECT_EQ(rep.diameter_exceeds, t < 9) << "threshold " << t;
+    if (rep.diameter_exceeds) {
+      EXPECT_NE(rep.witness, graph::kInvalidNode);
+    }
+  }
+}
+
+TEST(QuantumDecide, TwoVersusThree) {
+  // The exact Theorem 2 setting on the HW12 gadget.
+  auto red = commcc::hw12_reduction(4);
+  Rng rng(13);
+  core::QuantumConfig cfg;
+  cfg.seed = 11;
+  for (bool inter : {false, true}) {
+    auto [x, y] = commcc::random_disj_instance(red.k, inter, rng);
+    auto g = red.instantiate(x, y);
+    auto rep = core::quantum_diameter_decide(g, 2, cfg);
+    EXPECT_EQ(rep.diameter_exceeds, inter);
+  }
+}
+
+TEST(QuantumDecide, ClassicalShortcutsFire) {
+  // d = ecc(leader) already settles thresholds outside [d, 2d).
+  auto g = graph::make_path(30);  // D = 29
+  core::QuantumConfig cfg;
+  auto low = core::quantum_diameter_decide(g, 3, cfg);
+  EXPECT_TRUE(low.diameter_exceeds);
+  EXPECT_EQ(low.costs.grover_iterations, 0u);  // no quantum phase needed
+  auto high = core::quantum_diameter_decide(g, 60, cfg);
+  EXPECT_FALSE(high.diameter_exceeds);
+  EXPECT_EQ(high.costs.grover_iterations, 0u);
+}
+
+TEST(QuantumDecide, CheaperThanFullMaximization) {
+  auto g = random_graph(64, 8, 21);
+  core::QuantumConfig cfg;
+  cfg.oracle = core::OracleMode::kDirect;
+  cfg.seed = 9;
+  auto exact = core::quantum_diameter_exact(g, cfg);
+  auto decide = core::quantum_diameter_decide(g, 7, cfg);  // D = 8 > 7
+  ASSERT_TRUE(decide.diameter_exceeds);
+  EXPECT_LT(decide.total_rounds, exact.total_rounds);
+}
+
+// ---------------------------------------------------------------------------
+// Quantum counting.
+// ---------------------------------------------------------------------------
+
+TEST(QuantumCounting, RecoversPlantedFractions) {
+  Rng rng(31);
+  const std::size_t dim = 512;
+  auto setup = qsim::AmplitudeVector::uniform(dim);
+  for (std::size_t planted : {4u, 16u, 64u}) {
+    auto pred = [planted](std::size_t i) { return i < planted; };
+    auto est = qsim::estimate_marked_fraction(setup, pred, 40, 12, rng);
+    const double truth = static_cast<double>(planted) / dim;
+    EXPECT_NEAR(est.fraction, truth, truth * 0.5 + 0.002)
+        << "planted " << planted;
+    EXPECT_GT(est.costs.grover_iterations, 0u);
+  }
+}
+
+TEST(QuantumCounting, NearEmptyAndNearFull) {
+  Rng rng(33);
+  auto setup = qsim::AmplitudeVector::uniform(256);
+  auto none = qsim::estimate_marked_fraction(
+      setup, [](std::size_t) { return false; }, 30, 8, rng);
+  EXPECT_LT(none.fraction, 0.01);
+  auto half = qsim::estimate_marked_fraction(
+      setup, [](std::size_t i) { return i % 2 == 0; }, 30, 8, rng);
+  EXPECT_NEAR(half.fraction, 0.5, 0.12);
+}
+
+// ---------------------------------------------------------------------------
+// Trace recorder and the Theorem 11 audit.
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorder, RecordsDeliveries) {
+  congest::TraceRecorder rec;
+  Rng rng(41);
+  auto [x, y] = commcc::random_disj_instance(16, true, rng);
+  auto out = commcc::run_path_disjointness(x, y, 4, rec.arm({}));
+  EXPECT_FALSE(out.is_disjoint);
+  EXPECT_FALSE(rec.events().empty());
+  EXPECT_EQ(rec.last_round(), out.rounds);
+  auto per_round = rec.bits_per_round();
+  std::uint64_t total = 0;
+  for (auto b : per_round) total += b;
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Theorem11Audit, LightConeOnPathProtocol) {
+  congest::TraceRecorder rec;
+  Rng rng(43);
+  const std::uint32_t d = 10;
+  auto [x, y] = commcc::random_disj_instance(32, false, rng);
+  auto out = commcc::run_path_disjointness(x, y, d, rec.arm({}));
+  EXPECT_TRUE(out.is_disjoint);
+
+  auto audit = commcc::audit_path_trace(rec.events(), d);
+  EXPECT_TRUE(audit.light_cone_respected);
+  // A's influence needs at least p rounds to reach position p; B sits at
+  // position d+1.
+  ASSERT_EQ(audit.earliest_influence.size(), d + 2);
+  EXPECT_GE(audit.earliest_influence[d + 1], d + 1);
+  EXPECT_EQ(audit.rounds, out.rounds);
+  EXPECT_EQ(audit.blocks, (out.rounds + d - 1) / d);
+  EXPECT_GT(audit.max_block_frontier_bits, 0u);
+  // The Figure 7 shipment capacity d*(bw+s) covers each block's frontier
+  // traffic with room to spare.
+  EXPECT_LE(audit.max_block_frontier_bits,
+            static_cast<std::uint64_t>(d) *
+                (congest_bandwidth_bits(d + 2) +
+                 out.max_intermediate_memory_bits));
+}
+
+TEST(Theorem11Audit, InfluenceFrontAdvancesOneHopPerRound) {
+  congest::TraceRecorder rec;
+  Rng rng(47);
+  const std::uint32_t d = 6;
+  auto [x, y] = commcc::random_disj_instance(8, true, rng);
+  commcc::run_path_disjointness(x, y, d, rec.arm({}));
+  auto audit = commcc::audit_path_trace(rec.events(), d);
+  for (std::uint32_t p = 1; p <= d + 1; ++p) {
+    ASSERT_NE(audit.earliest_influence[p], graph::kUnreachable);
+    EXPECT_EQ(audit.earliest_influence[p], p)
+        << "the streaming protocol's front moves exactly one hop per round";
+  }
+}
+
+}  // namespace
+}  // namespace qc

@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qc::graph {
+namespace {
+
+TEST(Graph, FromEdgesBasics) {
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}};
+  auto g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.n(), 3u);
+  EXPECT_EQ(g.m(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Graph, DuplicateEdgesCoalesced) {
+  std::vector<Edge> edges{{0, 1}, {1, 0}, {0, 1}};
+  auto g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.m(), 1u);
+}
+
+TEST(Graph, RejectsSelfLoopsAndOutOfRange) {
+  std::vector<Edge> loop{{1, 1}};
+  EXPECT_THROW(Graph::from_edges(2, loop), InvalidArgumentError);
+  std::vector<Edge> oor{{0, 5}};
+  EXPECT_THROW(Graph::from_edges(2, oor), InvalidArgumentError);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  std::vector<Edge> edges{{3, 0}, {3, 2}, {3, 1}};
+  auto g = Graph::from_edges(4, edges);
+  auto nb = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 3u);
+}
+
+TEST(Graph, EdgesRoundTrip) {
+  auto g = make_cycle(5);
+  auto edges = g.edges();
+  EXPECT_EQ(edges.size(), 5u);
+  auto g2 = Graph::from_edges(5, edges);
+  EXPECT_EQ(g2.m(), g.m());
+}
+
+TEST(Graph, Connectivity) {
+  EXPECT_TRUE(make_path(6).is_connected());
+  std::vector<Edge> disc{{0, 1}, {2, 3}};
+  EXPECT_FALSE(Graph::from_edges(4, disc).is_connected());
+}
+
+TEST(GraphBuilder, PathBetween) {
+  GraphBuilder b(2);
+  auto inner = b.add_path_between(0, 1, 3);
+  EXPECT_EQ(inner.size(), 3u);
+  auto g = b.build();
+  EXPECT_EQ(g.n(), 5u);
+  EXPECT_EQ(bfs(g, 0).dist[1], 4u);
+}
+
+TEST(GraphBuilder, PathBetweenZeroLength) {
+  GraphBuilder b(2);
+  b.add_path_between(0, 1, 0);
+  auto g = b.build();
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(GraphBuilder, CliqueAndStar) {
+  GraphBuilder b(5);
+  std::vector<NodeId> nodes{0, 1, 2};
+  b.add_clique(nodes);
+  std::vector<NodeId> leaves{3, 4};
+  b.add_star(2, leaves);
+  auto g = b.build();
+  EXPECT_TRUE(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 3) && g.has_edge(2, 4));
+}
+
+TEST(Bfs, DistancesOnPath) {
+  auto g = make_path(6);
+  auto r = bfs(g, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(r.dist[v], v);
+  EXPECT_EQ(r.ecc, 5u);
+}
+
+TEST(Bfs, ParentIsMinIdPreviousLevel) {
+  // Diamond: 0-1, 0-2, 1-3, 2-3. Node 3's previous-level neighbors are
+  // {1, 2}; the parent rule must pick 1.
+  std::vector<Edge> edges{{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  auto g = Graph::from_edges(4, edges);
+  auto r = bfs(g, 0);
+  EXPECT_EQ(r.parent[3], 1u);
+  EXPECT_EQ(r.parent[0], kInvalidNode);
+}
+
+TEST(Diameter, KnownFamilies) {
+  EXPECT_EQ(diameter(make_path(10)), 9u);
+  EXPECT_EQ(diameter(make_cycle(10)), 5u);
+  EXPECT_EQ(diameter(make_cycle(11)), 5u);
+  EXPECT_EQ(diameter(make_star(8)), 2u);
+  EXPECT_EQ(diameter(make_complete(6)), 1u);
+  EXPECT_EQ(diameter(make_grid(3, 4)), 5u);
+  EXPECT_EQ(diameter(make_barbell(4, 3)), 5u);
+}
+
+TEST(Diameter, MatchesApspMax) {
+  Rng rng(5);
+  auto g = make_connected_er(40, 0.08, rng);
+  auto d = apsp(g);
+  std::uint32_t best = 0;
+  for (const auto& row : d) {
+    for (auto x : row) best = std::max(best, x);
+  }
+  EXPECT_EQ(diameter(g), best);
+}
+
+TEST(Eccentricity, StarCenterVsLeaf) {
+  auto g = make_star(6);
+  EXPECT_EQ(eccentricity(g, 0), 1u);
+  EXPECT_EQ(eccentricity(g, 1), 2u);
+}
+
+TEST(MaxCrossDistance, Bipartite) {
+  auto g = make_path(4);  // 0-1-2-3
+  std::vector<NodeId> us{0}, vs{3};
+  EXPECT_EQ(max_cross_distance(g, us, vs), 3u);
+}
+
+TEST(BfsTree, StructureOnGrid) {
+  auto g = make_grid(3, 3);
+  auto t = bfs_tree(g, 0);
+  EXPECT_EQ(t.root, 0u);
+  EXPECT_EQ(t.height, 4u);
+  // Every non-root node's parent is exactly one level shallower.
+  for (NodeId v = 1; v < g.n(); ++v) {
+    EXPECT_EQ(t.depth[t.parent[v]] + 1, t.depth[v]);
+  }
+  // Child lists are consistent with parents.
+  std::size_t child_count = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    for (NodeId c : t.children[v]) {
+      EXPECT_EQ(t.parent[c], v);
+      ++child_count;
+    }
+  }
+  EXPECT_EQ(child_count, g.n() - 1);
+}
+
+TEST(DfsNumbering, EulerTourOnPath) {
+  auto g = make_path(4);
+  auto t = bfs_tree(g, 0);
+  auto num = dfs_numbering(t);
+  EXPECT_EQ(num.walk_length(), 6u);  // 2*(4-1)
+  EXPECT_EQ(num.tau[0], 0u);
+  EXPECT_EQ(num.tau[1], 1u);
+  EXPECT_EQ(num.tau[2], 2u);
+  EXPECT_EQ(num.tau[3], 3u);
+  EXPECT_EQ(num.walk.front(), 0u);
+  EXPECT_EQ(num.walk.back(), 0u);
+}
+
+TEST(DfsNumbering, WalkMovesAlongTreeEdges) {
+  Rng rng(9);
+  auto g = make_connected_er(30, 0.1, rng);
+  auto t = bfs_tree(g, 0);
+  auto num = dfs_numbering(t);
+  EXPECT_EQ(num.walk_length(), 2 * (g.n() - 1));
+  for (std::size_t i = 0; i + 1 < num.walk.size(); ++i) {
+    const NodeId a = num.walk[i], b = num.walk[i + 1];
+    EXPECT_TRUE(t.parent[a] == b || t.parent[b] == a)
+        << "walk step " << i << " is not a tree edge";
+  }
+  // tau is the first-visit position.
+  std::vector<bool> seen(g.n(), false);
+  for (std::size_t i = 0; i < num.walk.size(); ++i) {
+    const NodeId v = num.walk[i];
+    if (!seen[v]) {
+      seen[v] = true;
+      EXPECT_EQ(num.tau[v], i);
+    }
+  }
+  for (NodeId v = 0; v < g.n(); ++v) EXPECT_TRUE(seen[v]);
+}
+
+TEST(DfsNumbering, ChildrenVisitedInIdOrder) {
+  auto g = make_star(5);
+  auto t = bfs_tree(g, 0);
+  auto num = dfs_numbering(t);
+  // Star rooted at center: tour is 0,1,0,2,0,3,0,4,0.
+  EXPECT_EQ(num.tau[1], 1u);
+  EXPECT_EQ(num.tau[2], 3u);
+  EXPECT_EQ(num.tau[3], 5u);
+  EXPECT_EQ(num.tau[4], 7u);
+}
+
+TEST(WindowSet, FullWindowIsEverything) {
+  auto g = make_path(8);
+  auto t = bfs_tree(g, 0);
+  auto num = dfs_numbering(t);
+  auto s = window_set(num, 3, num.walk_length(), num.walk_length());
+  EXPECT_EQ(s.size(), 8u);
+}
+
+TEST(WindowSet, WrapsAroundModulus) {
+  auto g = make_path(4);  // tau = 0,1,2,3; walk length 6
+  auto t = bfs_tree(g, 0);
+  auto num = dfs_numbering(t);
+  // Window of width 2 starting at node 3 (tau=3): offsets of tau 3,4,5 —
+  // only node 3 qualifies... then wrap: tau(0)=0 has offset (0-3) mod 6 = 3.
+  auto s = window_set(num, 3, 2, 6);
+  EXPECT_EQ(s, (std::vector<NodeId>{3}));
+  auto s3 = window_set(num, 3, 3, 6);
+  EXPECT_EQ(s3, (std::vector<NodeId>{0, 3}));
+}
+
+TEST(WindowSet, CoverageLowerBoundLemma1) {
+  // Lemma 1: for window width 2d (d = tree height) and any fixed v,
+  // at least d/2 choices of u put v in S(u) — i.e. Pr >= d/2n over uniform
+  // u (we check the stronger counting form on the actual tour).
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto g = make_random_with_diameter(60, 10, rng);
+    auto t = bfs_tree(g, 0);
+    auto num = dfs_numbering(t);
+    const std::uint32_t d = t.height;
+    const std::uint32_t mod = num.walk_length();
+    const std::uint32_t width = std::min(2 * d, mod);
+    for (NodeId v = 0; v < g.n(); v += 7) {
+      std::uint32_t covered = 0;
+      for (NodeId u = 0; u < g.n(); ++u) {
+        auto s = window_set(num, u, width, mod);
+        covered += std::binary_search(s.begin(), s.end(), v) ? 1 : 0;
+      }
+      EXPECT_GE(covered, (d + 1) / 2) << "v=" << v;
+    }
+  }
+}
+
+TEST(InducedSubtree, FiltersChildren) {
+  auto g = make_path(5);
+  auto t = bfs_tree(g, 0);
+  std::vector<bool> keep{true, true, true, false, false};
+  auto sub = induced_subtree(t, keep);
+  EXPECT_TRUE(sub.children[2].empty());
+  EXPECT_EQ(sub.height, 2u);
+  auto num = dfs_numbering(sub);
+  EXPECT_EQ(num.walk_length(), 4u);
+  EXPECT_FALSE(num.in_walk[3]);
+  EXPECT_TRUE(num.in_walk[2]);
+}
+
+TEST(InducedSubtree, RejectsNonAncestorClosed) {
+  auto g = make_path(4);
+  auto t = bfs_tree(g, 0);
+  std::vector<bool> keep{true, false, true, false};
+  EXPECT_THROW(induced_subtree(t, keep), InvalidArgumentError);
+}
+
+TEST(SegmentWindow, ContainsDefinition2WindowAndStart) {
+  Rng rng(23);
+  auto g = make_random_with_diameter(40, 8, rng);
+  auto t = bfs_tree(g, 2);
+  auto num = dfs_numbering(t);
+  const std::uint32_t mod = num.walk_length();
+  for (NodeId u = 0; u < g.n(); u += 5) {
+    const std::uint32_t steps = std::min(2 * t.height, mod);
+    auto seg = segment_window(num, u, steps);
+    EXPECT_EQ(seg.tau_prime[u], 0);
+    for (NodeId v : window_set(num, u, steps, mod)) {
+      EXPECT_TRUE(
+          std::binary_search(seg.members.begin(), seg.members.end(), v));
+    }
+    // tau' is a valid first-visit index and zero only at u.
+    for (NodeId v : seg.members) {
+      EXPECT_GE(seg.tau_prime[v], 0);
+      EXPECT_LE(seg.tau_prime[v], steps);
+      if (v != u) {
+        EXPECT_GT(seg.tau_prime[v], 0);
+      }
+    }
+  }
+}
+
+TEST(SegmentWindow, FullTourCoversEverything) {
+  auto g = make_grid(4, 4);
+  auto t = bfs_tree(g, 0);
+  auto num = dfs_numbering(t);
+  auto seg = segment_window(num, 5, num.walk_length());
+  EXPECT_EQ(seg.members.size(), g.n());
+  // Oversized step counts saturate.
+  auto seg2 = segment_window(num, 5, 10 * num.walk_length());
+  EXPECT_EQ(seg.members, seg2.members);
+  EXPECT_EQ(seg.tau_prime, seg2.tau_prime);
+}
+
+TEST(MaxEccInSegment, MatchesBruteForce) {
+  Rng rng(23);
+  auto g = make_random_with_diameter(40, 8, rng);
+  auto t = bfs_tree(g, 2);
+  auto num = dfs_numbering(t);
+  for (NodeId u = 0; u < g.n(); u += 5) {
+    const std::uint32_t steps = 2 * t.height;
+    std::uint32_t brute = 0;
+    for (NodeId v : segment_window(num, u, steps).members) {
+      brute = std::max(brute, eccentricity(g, v));
+    }
+    EXPECT_EQ(max_ecc_in_segment(g, num, u, steps), brute);
+  }
+}
+
+struct GenCase {
+  const char* name;
+  std::uint32_t n;
+  std::uint32_t expected_diameter;
+  Graph (*make)(std::uint32_t);
+};
+
+class GeneratorDiameter : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorDiameter, HasExpectedDiameter) {
+  const auto& c = GetParam();
+  auto g = c.make(c.n);
+  EXPECT_EQ(g.n(), c.n);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(diameter(g), c.expected_diameter);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, GeneratorDiameter,
+    ::testing::Values(GenCase{"path16", 16, 15, &make_path},
+                      GenCase{"cycle12", 12, 6, &make_cycle},
+                      GenCase{"cycle13", 13, 6, &make_cycle},
+                      GenCase{"star9", 9, 2, &make_star},
+                      GenCase{"complete7", 7, 1, &make_complete}),
+    [](const auto& info) { return info.param.name; });
+
+class RandomDiameterFamily
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(RandomDiameterFamily, DiameterIsExact) {
+  const auto [n, d] = GetParam();
+  Rng rng(1000 + n + d);
+  for (int rep = 0; rep < 3; ++rep) {
+    auto g = make_random_with_diameter(n, d, rng);
+    EXPECT_EQ(g.n(), n);
+    ASSERT_TRUE(g.is_connected());
+    EXPECT_EQ(diameter(g), d) << "n=" << n << " d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomDiameterFamily,
+    ::testing::Values(std::pair{10u, 2u}, std::pair{20u, 4u},
+                      std::pair{30u, 6u}, std::pair{50u, 10u},
+                      std::pair{64u, 3u}, std::pair{64u, 20u},
+                      std::pair{100u, 5u}, std::pair{100u, 40u}));
+
+TEST(Generators, GridAndTorus) {
+  auto g = make_grid(4, 5);
+  EXPECT_EQ(g.n(), 20u);
+  EXPECT_EQ(diameter(g), 7u);
+  auto t = make_torus(4, 4);
+  EXPECT_EQ(t.n(), 16u);
+  EXPECT_EQ(diameter(t), 4u);
+  for (NodeId v = 0; v < t.n(); ++v) EXPECT_EQ(t.degree(v), 4u);
+}
+
+TEST(Generators, BalancedTree) {
+  auto g = make_balanced_tree(7, 2);
+  EXPECT_EQ(g.m(), 6u);
+  EXPECT_EQ(diameter(g), 4u);
+}
+
+TEST(Generators, Caterpillar) {
+  auto g = make_caterpillar(20, 8);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.n(), 20u);
+  const auto d = diameter(g);
+  EXPECT_GE(d, 7u);
+  EXPECT_LE(d, 9u);
+}
+
+TEST(Generators, ConnectedErIsConnected) {
+  Rng rng(77);
+  for (int i = 0; i < 5; ++i) {
+    auto g = make_connected_er(50, 0.02, rng);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_EQ(g.n(), 50u);
+  }
+}
+
+TEST(Generators, Preconditions) {
+  Rng rng(1);
+  EXPECT_THROW(make_random_with_diameter(3, 10, rng), InvalidArgumentError);
+  EXPECT_THROW(make_cycle(2), InvalidArgumentError);
+  EXPECT_THROW(make_barbell(1, 2), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace qc::graph

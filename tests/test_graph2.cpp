@@ -1,0 +1,231 @@
+// Deeper graph-substrate properties: metric axioms on APSP, generator
+// degree/structure guarantees, segment-window edge cases, and builder
+// semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qc::graph {
+namespace {
+
+class MetricAxioms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricAxioms, ApspIsAMetric) {
+  Rng rng(GetParam());
+  auto g = make_connected_er(25, 0.12, rng);
+  auto d = apsp(g);
+  for (NodeId u = 0; u < g.n(); ++u) {
+    EXPECT_EQ(d[u][u], 0u);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      EXPECT_EQ(d[u][v], d[v][u]);  // symmetry
+      EXPECT_EQ(d[u][v] == 1, g.has_edge(u, v)) << u << "," << v;
+      for (NodeId w = 0; w < g.n(); ++w) {
+        EXPECT_LE(d[u][w], d[u][v] + d[v][w]);  // triangle inequality
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricAxioms, ::testing::Values(1, 2, 3));
+
+TEST(MetricFacts, RadiusDiameterSandwich) {
+  Rng rng(9);
+  for (int t = 0; t < 6; ++t) {
+    auto g = make_connected_er(30, 0.08, rng);
+    const auto r = radius(g);
+    const auto d = diameter(g);
+    EXPECT_LE(r, d);
+    EXPECT_LE(d, 2 * r);  // the classic sandwich
+  }
+}
+
+TEST(MetricFacts, EccentricityIsOneLipschitzAlongEdges) {
+  Rng rng(11);
+  auto g = make_connected_er(30, 0.1, rng);
+  auto ecc = all_eccentricities(g);
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_LE(ecc[u] > ecc[v] ? ecc[u] - ecc[v] : ecc[v] - ecc[u], 1u);
+  }
+}
+
+TEST(Generators, GridDegreesAndCorners) {
+  auto g = make_grid(5, 7);
+  int deg2 = 0, deg3 = 0, deg4 = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    switch (g.degree(v)) {
+      case 2: ++deg2; break;
+      case 3: ++deg3; break;
+      case 4: ++deg4; break;
+      default: FAIL() << "impossible grid degree";
+    }
+  }
+  EXPECT_EQ(deg2, 4);                    // corners
+  EXPECT_EQ(deg3, 2 * (5 - 2) + 2 * (7 - 2));  // edges
+  EXPECT_EQ(deg4, (5 - 2) * (7 - 2));    // interior
+}
+
+TEST(Generators, BalancedTreeParentStructure) {
+  auto g = make_balanced_tree(20, 3);
+  EXPECT_EQ(g.m(), 19u);
+  for (NodeId v = 1; v < g.n(); ++v) {
+    EXPECT_TRUE(g.has_edge(v, (v - 1) / 3));
+  }
+}
+
+TEST(Generators, DiameterFamilyEndpointsRealizeDiameter) {
+  Rng rng(13);
+  auto g = make_random_with_diameter(60, 14, rng);
+  auto d = bfs(g, 0).dist;
+  EXPECT_EQ(d[14], 14u);  // the backbone endpoints are at exact distance D
+}
+
+TEST(Generators, RandomRegularMidSizes) {
+  Rng rng(15);
+  for (std::uint32_t n : {20u, 51u, 100u}) {
+    auto g = make_random_regular(n, 3, rng);
+    EXPECT_TRUE(g.is_connected());
+    std::uint64_t degsum = 0;
+    for (NodeId v = 0; v < g.n(); ++v) degsum += g.degree(v);
+    // Close to 3-regular: within 20% of the target edge count.
+    EXPECT_GE(degsum, 2 * g.n());
+    EXPECT_LE(degsum, 3 * g.n());
+  }
+}
+
+TEST(Generators, CaterpillarLegsAttachToInterior) {
+  auto g = make_caterpillar(30, 10);
+  for (NodeId v = 10; v < 30; ++v) {
+    EXPECT_EQ(g.degree(v), 1u);  // legs are leaves
+    const NodeId slot = g.neighbors(v)[0];
+    EXPECT_GE(slot, 1u);
+    EXPECT_LT(slot, 9u);
+  }
+}
+
+TEST(SegmentWindow, StepsZeroIsSingleton) {
+  auto g = make_grid(3, 3);
+  auto t = bfs_tree(g, 0);
+  auto num = dfs_numbering(t);
+  auto seg = segment_window(num, 4, 0);
+  EXPECT_EQ(seg.members, (std::vector<NodeId>{4}));
+  EXPECT_EQ(seg.tau_prime[4], 0);
+}
+
+TEST(SegmentWindow, SingleVertexTree) {
+  auto g = make_path(1);
+  auto t = bfs_tree(g, 0);
+  auto num = dfs_numbering(t);
+  auto seg = segment_window(num, 0, 10);
+  EXPECT_EQ(seg.members, (std::vector<NodeId>{0}));
+}
+
+TEST(SegmentWindow, ConsecutiveWindowsNest) {
+  Rng rng(17);
+  auto g = make_random_with_diameter(30, 6, rng);
+  auto t = bfs_tree(g, 2);
+  auto num = dfs_numbering(t);
+  for (std::uint32_t steps = 0; steps < 12; ++steps) {
+    auto small = segment_window(num, 5, steps);
+    auto large = segment_window(num, 5, steps + 1);
+    for (NodeId v : small.members) {
+      EXPECT_TRUE(std::binary_search(large.members.begin(),
+                                     large.members.end(), v));
+      EXPECT_EQ(small.tau_prime[v], large.tau_prime[v]);
+    }
+    EXPECT_LE(small.members.size() + 1, large.members.size() + 1);
+  }
+}
+
+TEST(SegmentWindow, TauPrimeBoundsDistance) {
+  // The Lemma 2/3 workhorse: walk positions bound graph distances for
+  // *any* two window members.
+  Rng rng(19);
+  auto g = make_random_with_diameter(40, 8, rng);
+  auto t = bfs_tree(g, 0);
+  auto num = dfs_numbering(t);
+  auto d = apsp(g);
+  auto seg = segment_window(num, 7, 2 * t.height);
+  for (NodeId v : seg.members) {
+    for (NodeId w : seg.members) {
+      if (seg.tau_prime[v] < seg.tau_prime[w]) {
+        EXPECT_LE(d[v][w], static_cast<std::uint32_t>(seg.tau_prime[w] -
+                                                      seg.tau_prime[v]))
+            << "v=" << v << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(Builder, ReserveAndAddNodeInteract) {
+  GraphBuilder b(3);
+  EXPECT_EQ(b.add_node(), 3u);
+  b.reserve_nodes(2);  // no shrink
+  EXPECT_EQ(b.num_nodes(), 4u);
+  b.add_edge(0, 9);  // implicit grow
+  EXPECT_EQ(b.num_nodes(), 10u);
+}
+
+TEST(Builder, EdgesAccumulate) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);  // dup ok
+  b.add_edge(2, 3);
+  EXPECT_EQ(b.num_edges(), 3u);
+  EXPECT_EQ(b.build().m(), 2u);  // coalesced
+}
+
+TEST(InducedSubtree, FullMaskIsIdentity) {
+  Rng rng(21);
+  auto g = make_random_with_diameter(25, 5, rng);
+  auto t = bfs_tree(g, 0);
+  std::vector<bool> all(g.n(), true);
+  auto sub = induced_subtree(t, all);
+  EXPECT_EQ(sub.children, t.children);
+  EXPECT_EQ(sub.height, t.height);
+}
+
+TEST(InducedSubtree, RootOnlyMask) {
+  auto g = make_path(5);
+  auto t = bfs_tree(g, 0);
+  std::vector<bool> only_root(g.n(), false);
+  only_root[0] = true;
+  auto sub = induced_subtree(t, only_root);
+  auto num = dfs_numbering(sub);
+  EXPECT_EQ(num.walk_length(), 0u);
+  EXPECT_TRUE(num.in_walk[0]);
+  EXPECT_FALSE(num.in_walk[1]);
+}
+
+TEST(Girth, EdgeDeletionReferenceOnMixedFamilies) {
+  // Triangle + pendant path: girth 3, far from the diameter path.
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  EXPECT_EQ(girth(b.build()), 3u);
+  // Two cycles, the smaller wins.
+  GraphBuilder c;
+  auto c8 = make_cycle(8);
+  for (auto [u, v] : c8.edges()) c.add_edge(u, v);
+  const NodeId base = 8;
+  c.add_edge(base + 0, base + 1);
+  c.add_edge(base + 1, base + 2);
+  c.add_edge(base + 2, base + 3);
+  c.add_edge(base + 3, base + 0);
+  c.add_edge(0, base);  // connect
+  EXPECT_EQ(girth(c.build()), 4u);
+}
+
+}  // namespace
+}  // namespace qc::graph

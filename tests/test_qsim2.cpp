@@ -1,0 +1,309 @@
+// Gate-algebra identities, amplitude-amplification success-probability
+// sweeps, and maximization corner cases for the quantum simulation layer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qsim/amplitude_vector.hpp"
+#include "qsim/counting.hpp"
+#include "qsim/search.hpp"
+#include "qsim/statevector.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/rng.hpp"
+
+namespace qc::qsim {
+namespace {
+
+/// Prepares a pseudo-random (but deterministic) state via a gate circuit.
+StateVector scrambled_state(std::uint32_t nq, std::uint64_t seed) {
+  StateVector sv(nq);
+  Rng rng(seed);
+  for (int layer = 0; layer < 4; ++layer) {
+    for (std::uint32_t q = 0; q < nq; ++q) {
+      switch (rng.next_below(3)) {
+        case 0: sv.h(q); break;
+        case 1: sv.x(q); break;
+        default: sv.phase(q, rng.next_double() * 3.0); break;
+      }
+    }
+    for (std::uint32_t q = 0; q + 1 < nq; ++q) {
+      if (rng.next_bool(0.5)) sv.cnot(q, q + 1);
+    }
+  }
+  return sv;
+}
+
+void expect_states_equal(const StateVector& a, const StateVector& b,
+                         const char* what) {
+  ASSERT_EQ(a.dim(), b.dim());
+  for (std::uint64_t i = 0; i < a.dim(); ++i) {
+    ASSERT_NEAR(std::abs(a.amp(i) - b.amp(i)), 0.0, 1e-9)
+        << what << " differs at basis " << i;
+  }
+}
+
+TEST(GateAlgebra, InvolutionsOnRandomStates) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto sv = scrambled_state(4, seed);
+    auto ref = sv;
+    sv.h(2);
+    sv.h(2);
+    expect_states_equal(sv, ref, "HH");
+    sv.x(1);
+    sv.x(1);
+    expect_states_equal(sv, ref, "XX");
+    sv.z(3);
+    sv.z(3);
+    expect_states_equal(sv, ref, "ZZ");
+    sv.cnot(0, 2);
+    sv.cnot(0, 2);
+    expect_states_equal(sv, ref, "CNOT^2");
+    sv.cz(1, 3);
+    sv.cz(1, 3);
+    expect_states_equal(sv, ref, "CZ^2");
+  }
+}
+
+TEST(GateAlgebra, HzhEqualsX) {
+  auto a = scrambled_state(3, 7);
+  auto b = a;
+  a.h(1);
+  a.z(1);
+  a.h(1);
+  b.x(1);
+  expect_states_equal(a, b, "HZH vs X");
+}
+
+TEST(GateAlgebra, CzEqualsHadamardConjugatedCnot) {
+  auto a = scrambled_state(3, 9);
+  auto b = a;
+  a.cz(0, 2);
+  b.h(2);
+  b.cnot(0, 2);
+  b.h(2);
+  expect_states_equal(a, b, "CZ vs H CNOT H");
+}
+
+TEST(GateAlgebra, PhaseComposition) {
+  auto a = scrambled_state(2, 11);
+  auto b = a;
+  a.phase(0, 0.7);
+  a.phase(0, 0.9);
+  b.phase(0, 1.6);
+  expect_states_equal(a, b, "phase additivity");
+}
+
+TEST(GateAlgebra, DiffusionIsAnInvolution) {
+  auto sv = scrambled_state(4, 13);
+  auto ref = sv;
+  sv.grover_diffusion();
+  sv.grover_diffusion();
+  expect_states_equal(sv, ref, "diffusion^2");
+}
+
+TEST(GateAlgebra, OracleIsAnInvolution) {
+  auto sv = scrambled_state(4, 15);
+  auto ref = sv;
+  auto pred = [](std::uint64_t i) { return i % 3 == 1; };
+  sv.oracle(pred);
+  sv.oracle(pred);
+  expect_states_equal(sv, ref, "oracle^2");
+}
+
+TEST(ReflectAbout, FixesReferenceAndNegatesOrthogonal) {
+  auto psi0 = AmplitudeVector::uniform(8);
+  auto fixed = psi0;
+  fixed.reflect_about(psi0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(fixed.amp(i) - psi0.amp(i)), 0.0, 1e-12);
+  }
+  // An orthogonal state: +1/-1 pattern against uniform.
+  auto orth = AmplitudeVector::over_support(8, {0, 1});
+  // Build (|0> - |1>)/sqrt(2) via phase flip on {1}.
+  orth.phase_flip([](std::size_t i) { return i == 1; });
+  auto reflected = orth;
+  reflected.reflect_about(psi0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(reflected.amp(i) + orth.amp(i)), 0.0, 1e-12);
+  }
+}
+
+class AmplificationSuccess
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(AmplificationSuccess, FindsWithHighProbability) {
+  const auto [dim, marked_count] = GetParam();
+  Rng rng(dim * 31 + marked_count);
+  auto setup = AmplitudeVector::uniform(dim);
+  auto pred = [m = marked_count](std::size_t i) { return i < m; };
+  const double eps = static_cast<double>(marked_count) / dim;
+  int found = 0;
+  const int trials = 25;
+  for (int t = 0; t < trials; ++t) {
+    auto res = amplitude_amplification_search(setup, pred, eps, 0.05, rng);
+    if (res.found) {
+      EXPECT_LT(res.item, marked_count);
+      ++found;
+    }
+  }
+  EXPECT_GE(found, trials - 2) << "dim=" << dim << " |M|=" << marked_count;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndCounts, AmplificationSuccess,
+    ::testing::Values(std::pair{16u, 1u}, std::pair{64u, 1u},
+                      std::pair{64u, 8u}, std::pair{256u, 3u},
+                      std::pair{1024u, 1u}, std::pair{1024u, 100u}));
+
+TEST(Maximize, NegativeValues) {
+  Rng rng(17);
+  auto setup = AmplitudeVector::uniform(64);
+  auto f = [](std::size_t x) {
+    return -static_cast<std::int64_t>((x * 13) % 50) - 5;
+  };
+  std::int64_t best = f(0);
+  for (std::size_t x = 0; x < 64; ++x) best = std::max(best, f(x));
+  auto res = quantum_maximize(setup, f, 1.0 / 64, 0.05, rng);
+  EXPECT_EQ(res.value, best);
+}
+
+TEST(Maximize, TinyDomains) {
+  Rng rng(19);
+  auto one = AmplitudeVector::uniform(1);
+  auto res1 = quantum_maximize(
+      one, [](std::size_t) { return std::int64_t{42}; }, 1.0, 0.1, rng);
+  EXPECT_EQ(res1.value, 42);
+  EXPECT_EQ(res1.argmax, 0u);
+
+  auto two = AmplitudeVector::uniform(2);
+  auto res2 = quantum_maximize(
+      two, [](std::size_t x) { return static_cast<std::int64_t>(x); }, 0.5,
+      0.05, rng);
+  EXPECT_EQ(res2.argmax, 1u);
+}
+
+TEST(Maximize, AllValuesEqualReturnsQuickly) {
+  Rng rng(21);
+  auto setup = AmplitudeVector::uniform(128);
+  auto res = quantum_maximize(
+      setup, [](std::size_t) { return std::int64_t{3}; }, 1.0, 0.05, rng);
+  EXPECT_EQ(res.value, 3);
+  EXPECT_FALSE(res.budget_exhausted);
+}
+
+TEST(Maximize, ParameterValidation) {
+  Rng rng(23);
+  auto setup = AmplitudeVector::uniform(4);
+  auto f = [](std::size_t x) { return static_cast<std::int64_t>(x); };
+  EXPECT_THROW(quantum_maximize(setup, f, 0.0, 0.1, rng),
+               InvalidArgumentError);
+  EXPECT_THROW(quantum_maximize(setup, f, 0.5, 1.5, rng),
+               InvalidArgumentError);
+  EXPECT_THROW(
+      amplitude_amplification_search(
+          setup, [](std::size_t) { return false; }, 2.0, 0.1, rng),
+      InvalidArgumentError);
+}
+
+TEST(Counting, TracksDepthBudget) {
+  Rng rng(25);
+  auto setup = AmplitudeVector::uniform(64);
+  auto pred = [](std::size_t i) { return i < 4; };
+  auto est = estimate_marked_fraction(setup, pred, 10, 6, rng);
+  // shots * sum_{j=0..6} j = 10 * 21 iterations.
+  EXPECT_EQ(est.costs.grover_iterations, 10u * 21);
+  EXPECT_EQ(est.costs.setup_invocations, 10u * 7);
+}
+
+TEST(Counting, MoreShotsImproveAccuracy) {
+  auto setup = AmplitudeVector::uniform(256);
+  auto pred = [](std::size_t i) { return i < 10; };
+  const double truth = 10.0 / 256;
+  double coarse_err = 0, fine_err = 0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    Rng r1(100 + s), r2(100 + s);
+    coarse_err +=
+        std::abs(estimate_marked_fraction(setup, pred, 4, 8, r1).fraction -
+                 truth);
+    fine_err +=
+        std::abs(estimate_marked_fraction(setup, pred, 60, 8, r2).fraction -
+                 truth);
+  }
+  EXPECT_LE(fine_err, coarse_err + 1e-9);
+}
+
+class PhaseEstimationCounting
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(PhaseEstimationCounting, RecoversPlantedCounts) {
+  const auto [dim, planted] = GetParam();
+  auto setup = AmplitudeVector::uniform(dim);
+  auto pred = [p = planted](std::size_t i) { return i < p; };
+  const double truth = static_cast<double>(planted) / dim;
+  // Phase estimation with t bits has additive phase error ~2^-t whp;
+  // translate to a fraction tolerance and allow a few repetitions (take
+  // the median) to wash out the tail.
+  const std::uint32_t t = 7;
+  std::vector<double> samples;
+  Rng rng(dim * 7 + planted);
+  for (int rep = 0; rep < 5; ++rep) {
+    samples.push_back(
+        quantum_count_phase_estimation(setup, pred, t, rng).fraction);
+  }
+  const double med = quantile(samples, 0.5);
+  const double theta = std::asin(std::sqrt(truth));
+  const double tol =
+      2 * M_PI / (1 << t) * (2 * std::sqrt(truth * (1 - truth)) + 0.1) +
+      std::pow(M_PI / (1 << t), 2);
+  EXPECT_NEAR(med, truth, std::max(tol, 0.01))
+      << "dim=" << dim << " planted=" << planted << " theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PhaseEstimationCounting,
+    ::testing::Values(std::pair{64u, 0u}, std::pair{64u, 4u},
+                      std::pair{64u, 16u}, std::pair{64u, 32u},
+                      std::pair{128u, 1u}, std::pair{128u, 64u},
+                      std::pair{256u, 10u}));
+
+TEST(PhaseEstimationCounting, EmptyAndFullAreExact) {
+  auto setup = AmplitudeVector::uniform(32);
+  Rng rng(5);
+  auto none = quantum_count_phase_estimation(
+      setup, [](std::size_t) { return false; }, 6, rng);
+  EXPECT_NEAR(none.fraction, 0.0, 1e-9);  // eigenphase exactly 0
+  auto all = quantum_count_phase_estimation(
+      setup, [](std::size_t) { return true; }, 6, rng);
+  EXPECT_NEAR(all.fraction, 1.0, 1e-9);  // eigenphase exactly pi
+}
+
+TEST(PhaseEstimationCounting, OracleCallsAreTwoToTheT) {
+  auto setup = AmplitudeVector::uniform(16);
+  Rng rng(6);
+  auto est = quantum_count_phase_estimation(
+      setup, [](std::size_t i) { return i == 3; }, 5, rng);
+  EXPECT_EQ(est.oracle_calls, (1u << 5) - 1);
+}
+
+TEST(PhaseEstimationCounting, AgreesWithSamplingEstimator) {
+  // Two independent implementations of [BHT98]-style counting (phase
+  // estimation vs ML fit over sampled experiments) must agree.
+  auto setup = AmplitudeVector::uniform(128);
+  auto pred = [](std::size_t i) { return i < 12; };
+  Rng r1(7), r2(7);
+  std::vector<double> pe;
+  for (int rep = 0; rep < 5; ++rep) {
+    pe.push_back(
+        quantum_count_phase_estimation(setup, pred, 7, r1).fraction);
+  }
+  const double phase_est = quantile(pe, 0.5);
+  const double ml_est =
+      estimate_marked_fraction(setup, pred, 40, 10, r2).fraction;
+  EXPECT_NEAR(phase_est, ml_est, 0.05);
+  EXPECT_NEAR(phase_est, 12.0 / 128, 0.03);
+}
+
+}  // namespace
+}  // namespace qc::qsim
