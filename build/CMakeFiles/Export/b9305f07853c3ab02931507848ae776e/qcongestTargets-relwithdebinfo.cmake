@@ -1,0 +1,79 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "qcongest::qc_util" for configuration "RelWithDebInfo"
+set_property(TARGET qcongest::qc_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(qcongest::qc_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libqc_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets qcongest::qc_util )
+list(APPEND _cmake_import_check_files_for_qcongest::qc_util "${_IMPORT_PREFIX}/lib/libqc_util.a" )
+
+# Import target "qcongest::qc_graph" for configuration "RelWithDebInfo"
+set_property(TARGET qcongest::qc_graph APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(qcongest::qc_graph PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libqc_graph.a"
+  )
+
+list(APPEND _cmake_import_check_targets qcongest::qc_graph )
+list(APPEND _cmake_import_check_files_for_qcongest::qc_graph "${_IMPORT_PREFIX}/lib/libqc_graph.a" )
+
+# Import target "qcongest::qc_congest" for configuration "RelWithDebInfo"
+set_property(TARGET qcongest::qc_congest APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(qcongest::qc_congest PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libqc_congest.a"
+  )
+
+list(APPEND _cmake_import_check_targets qcongest::qc_congest )
+list(APPEND _cmake_import_check_files_for_qcongest::qc_congest "${_IMPORT_PREFIX}/lib/libqc_congest.a" )
+
+# Import target "qcongest::qc_algos" for configuration "RelWithDebInfo"
+set_property(TARGET qcongest::qc_algos APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(qcongest::qc_algos PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libqc_algos.a"
+  )
+
+list(APPEND _cmake_import_check_targets qcongest::qc_algos )
+list(APPEND _cmake_import_check_files_for_qcongest::qc_algos "${_IMPORT_PREFIX}/lib/libqc_algos.a" )
+
+# Import target "qcongest::qc_qsim" for configuration "RelWithDebInfo"
+set_property(TARGET qcongest::qc_qsim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(qcongest::qc_qsim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libqc_qsim.a"
+  )
+
+list(APPEND _cmake_import_check_targets qcongest::qc_qsim )
+list(APPEND _cmake_import_check_files_for_qcongest::qc_qsim "${_IMPORT_PREFIX}/lib/libqc_qsim.a" )
+
+# Import target "qcongest::qc_core" for configuration "RelWithDebInfo"
+set_property(TARGET qcongest::qc_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(qcongest::qc_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libqc_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets qcongest::qc_core )
+list(APPEND _cmake_import_check_files_for_qcongest::qc_core "${_IMPORT_PREFIX}/lib/libqc_core.a" )
+
+# Import target "qcongest::qc_commcc" for configuration "RelWithDebInfo"
+set_property(TARGET qcongest::qc_commcc APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(qcongest::qc_commcc PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libqc_commcc.a"
+  )
+
+list(APPEND _cmake_import_check_targets qcongest::qc_commcc )
+list(APPEND _cmake_import_check_files_for_qcongest::qc_commcc "${_IMPORT_PREFIX}/lib/libqc_commcc.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

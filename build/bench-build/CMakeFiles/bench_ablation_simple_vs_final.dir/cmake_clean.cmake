@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_simple_vs_final"
+  "../bench/bench_ablation_simple_vs_final.pdb"
+  "CMakeFiles/bench_ablation_simple_vs_final.dir/bench_ablation_simple_vs_final.cpp.o"
+  "CMakeFiles/bench_ablation_simple_vs_final.dir/bench_ablation_simple_vs_final.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_simple_vs_final.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extensions"
+  "../bench/bench_extensions.pdb"
+  "CMakeFiles/bench_extensions.dir/bench_extensions.cpp.o"
+  "CMakeFiles/bench_extensions.dir/bench_extensions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

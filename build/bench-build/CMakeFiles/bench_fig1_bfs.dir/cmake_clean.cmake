@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_bfs"
+  "../bench/bench_fig1_bfs.pdb"
+  "CMakeFiles/bench_fig1_bfs.dir/bench_fig1_bfs.cpp.o"
+  "CMakeFiles/bench_fig1_bfs.dir/bench_fig1_bfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

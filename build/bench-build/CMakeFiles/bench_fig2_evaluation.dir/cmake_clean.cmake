@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_evaluation"
+  "../bench/bench_fig2_evaluation.pdb"
+  "CMakeFiles/bench_fig2_evaluation.dir/bench_fig2_evaluation.cpp.o"
+  "CMakeFiles/bench_fig2_evaluation.dir/bench_fig2_evaluation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

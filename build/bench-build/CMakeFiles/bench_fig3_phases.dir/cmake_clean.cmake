@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_phases"
+  "../bench/bench_fig3_phases.pdb"
+  "CMakeFiles/bench_fig3_phases.dir/bench_fig3_phases.cpp.o"
+  "CMakeFiles/bench_fig3_phases.dir/bench_fig3_phases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_hw12"
+  "../bench/bench_fig4_hw12.pdb"
+  "CMakeFiles/bench_fig4_hw12.dir/bench_fig4_hw12.cpp.o"
+  "CMakeFiles/bench_fig4_hw12.dir/bench_fig4_hw12.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_hw12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_simulation"
+  "../bench/bench_fig5_simulation.pdb"
+  "CMakeFiles/bench_fig5_simulation.dir/bench_fig5_simulation.cpp.o"
+  "CMakeFiles/bench_fig5_simulation.dir/bench_fig5_simulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

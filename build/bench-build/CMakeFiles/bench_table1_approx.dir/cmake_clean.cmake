@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_approx"
+  "../bench/bench_table1_approx.pdb"
+  "CMakeFiles/bench_table1_approx.dir/bench_table1_approx.cpp.o"
+  "CMakeFiles/bench_table1_approx.dir/bench_table1_approx.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

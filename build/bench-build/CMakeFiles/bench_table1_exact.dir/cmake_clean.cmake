@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_exact"
+  "../bench/bench_table1_exact.pdb"
+  "CMakeFiles/bench_table1_exact.dir/bench_table1_exact.cpp.o"
+  "CMakeFiles/bench_table1_exact.dir/bench_table1_exact.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_congest_algorithm.dir/custom_congest_algorithm.cpp.o"
+  "CMakeFiles/custom_congest_algorithm.dir/custom_congest_algorithm.cpp.o.d"
+  "custom_congest_algorithm"
+  "custom_congest_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_congest_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_monitoring.dir/datacenter_monitoring.cpp.o"
+  "CMakeFiles/datacenter_monitoring.dir/datacenter_monitoring.cpp.o.d"
+  "datacenter_monitoring"
+  "datacenter_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantum_search_playground.dir/quantum_search_playground.cpp.o"
+  "CMakeFiles/quantum_search_playground.dir/quantum_search_playground.cpp.o.d"
+  "quantum_search_playground"
+  "quantum_search_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantum_search_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/apsp_census.cpp" "src/algos/CMakeFiles/qc_algos.dir/apsp_census.cpp.o" "gcc" "src/algos/CMakeFiles/qc_algos.dir/apsp_census.cpp.o.d"
+  "/root/repo/src/algos/bfs_tree.cpp" "src/algos/CMakeFiles/qc_algos.dir/bfs_tree.cpp.o" "gcc" "src/algos/CMakeFiles/qc_algos.dir/bfs_tree.cpp.o.d"
+  "/root/repo/src/algos/diameter_classical.cpp" "src/algos/CMakeFiles/qc_algos.dir/diameter_classical.cpp.o" "gcc" "src/algos/CMakeFiles/qc_algos.dir/diameter_classical.cpp.o.d"
+  "/root/repo/src/algos/evaluation.cpp" "src/algos/CMakeFiles/qc_algos.dir/evaluation.cpp.o" "gcc" "src/algos/CMakeFiles/qc_algos.dir/evaluation.cpp.o.d"
+  "/root/repo/src/algos/girth.cpp" "src/algos/CMakeFiles/qc_algos.dir/girth.cpp.o" "gcc" "src/algos/CMakeFiles/qc_algos.dir/girth.cpp.o.d"
+  "/root/repo/src/algos/hprw.cpp" "src/algos/CMakeFiles/qc_algos.dir/hprw.cpp.o" "gcc" "src/algos/CMakeFiles/qc_algos.dir/hprw.cpp.o.d"
+  "/root/repo/src/algos/leader_election.cpp" "src/algos/CMakeFiles/qc_algos.dir/leader_election.cpp.o" "gcc" "src/algos/CMakeFiles/qc_algos.dir/leader_election.cpp.o.d"
+  "/root/repo/src/algos/source_detection.cpp" "src/algos/CMakeFiles/qc_algos.dir/source_detection.cpp.o" "gcc" "src/algos/CMakeFiles/qc_algos.dir/source_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/congest/CMakeFiles/qc_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_algos.dir/apsp_census.cpp.o"
+  "CMakeFiles/qc_algos.dir/apsp_census.cpp.o.d"
+  "CMakeFiles/qc_algos.dir/bfs_tree.cpp.o"
+  "CMakeFiles/qc_algos.dir/bfs_tree.cpp.o.d"
+  "CMakeFiles/qc_algos.dir/diameter_classical.cpp.o"
+  "CMakeFiles/qc_algos.dir/diameter_classical.cpp.o.d"
+  "CMakeFiles/qc_algos.dir/evaluation.cpp.o"
+  "CMakeFiles/qc_algos.dir/evaluation.cpp.o.d"
+  "CMakeFiles/qc_algos.dir/girth.cpp.o"
+  "CMakeFiles/qc_algos.dir/girth.cpp.o.d"
+  "CMakeFiles/qc_algos.dir/hprw.cpp.o"
+  "CMakeFiles/qc_algos.dir/hprw.cpp.o.d"
+  "CMakeFiles/qc_algos.dir/leader_election.cpp.o"
+  "CMakeFiles/qc_algos.dir/leader_election.cpp.o.d"
+  "CMakeFiles/qc_algos.dir/source_detection.cpp.o"
+  "CMakeFiles/qc_algos.dir/source_detection.cpp.o.d"
+  "libqc_algos.a"
+  "libqc_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

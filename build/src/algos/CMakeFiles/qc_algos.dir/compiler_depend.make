@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qc_algos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_commcc.dir/reductions.cpp.o"
+  "CMakeFiles/qc_commcc.dir/reductions.cpp.o.d"
+  "CMakeFiles/qc_commcc.dir/two_party.cpp.o"
+  "CMakeFiles/qc_commcc.dir/two_party.cpp.o.d"
+  "libqc_commcc.a"
+  "libqc_commcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_commcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_congest.dir/network.cpp.o"
+  "CMakeFiles/qc_congest.dir/network.cpp.o.d"
+  "libqc_congest.a"
+  "libqc_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/detail.cpp" "src/core/CMakeFiles/qc_core.dir/detail.cpp.o" "gcc" "src/core/CMakeFiles/qc_core.dir/detail.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/qc_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/qc_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/quantum_approx.cpp" "src/core/CMakeFiles/qc_core.dir/quantum_approx.cpp.o" "gcc" "src/core/CMakeFiles/qc_core.dir/quantum_approx.cpp.o.d"
+  "/root/repo/src/core/quantum_decision.cpp" "src/core/CMakeFiles/qc_core.dir/quantum_decision.cpp.o" "gcc" "src/core/CMakeFiles/qc_core.dir/quantum_decision.cpp.o.d"
+  "/root/repo/src/core/quantum_diameter.cpp" "src/core/CMakeFiles/qc_core.dir/quantum_diameter.cpp.o" "gcc" "src/core/CMakeFiles/qc_core.dir/quantum_diameter.cpp.o.d"
+  "/root/repo/src/core/quantum_radius.cpp" "src/core/CMakeFiles/qc_core.dir/quantum_radius.cpp.o" "gcc" "src/core/CMakeFiles/qc_core.dir/quantum_radius.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algos/CMakeFiles/qc_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsim/CMakeFiles/qc_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/congest/CMakeFiles/qc_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_core.dir/detail.cpp.o"
+  "CMakeFiles/qc_core.dir/detail.cpp.o.d"
+  "CMakeFiles/qc_core.dir/optimizer.cpp.o"
+  "CMakeFiles/qc_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/qc_core.dir/quantum_approx.cpp.o"
+  "CMakeFiles/qc_core.dir/quantum_approx.cpp.o.d"
+  "CMakeFiles/qc_core.dir/quantum_decision.cpp.o"
+  "CMakeFiles/qc_core.dir/quantum_decision.cpp.o.d"
+  "CMakeFiles/qc_core.dir/quantum_diameter.cpp.o"
+  "CMakeFiles/qc_core.dir/quantum_diameter.cpp.o.d"
+  "CMakeFiles/qc_core.dir/quantum_radius.cpp.o"
+  "CMakeFiles/qc_core.dir/quantum_radius.cpp.o.d"
+  "libqc_core.a"
+  "libqc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

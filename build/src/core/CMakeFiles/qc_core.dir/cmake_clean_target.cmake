@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqc_core.a"
+)

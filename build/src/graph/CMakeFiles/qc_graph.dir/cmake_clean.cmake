@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/qc_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/qc_graph.dir/generators.cpp.o"
+  "CMakeFiles/qc_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/qc_graph.dir/graph.cpp.o"
+  "CMakeFiles/qc_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/qc_graph.dir/io.cpp.o"
+  "CMakeFiles/qc_graph.dir/io.cpp.o.d"
+  "libqc_graph.a"
+  "libqc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

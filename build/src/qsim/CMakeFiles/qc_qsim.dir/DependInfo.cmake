@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qsim/amplitude_vector.cpp" "src/qsim/CMakeFiles/qc_qsim.dir/amplitude_vector.cpp.o" "gcc" "src/qsim/CMakeFiles/qc_qsim.dir/amplitude_vector.cpp.o.d"
+  "/root/repo/src/qsim/counting.cpp" "src/qsim/CMakeFiles/qc_qsim.dir/counting.cpp.o" "gcc" "src/qsim/CMakeFiles/qc_qsim.dir/counting.cpp.o.d"
+  "/root/repo/src/qsim/search.cpp" "src/qsim/CMakeFiles/qc_qsim.dir/search.cpp.o" "gcc" "src/qsim/CMakeFiles/qc_qsim.dir/search.cpp.o.d"
+  "/root/repo/src/qsim/statevector.cpp" "src/qsim/CMakeFiles/qc_qsim.dir/statevector.cpp.o" "gcc" "src/qsim/CMakeFiles/qc_qsim.dir/statevector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_qsim.dir/amplitude_vector.cpp.o"
+  "CMakeFiles/qc_qsim.dir/amplitude_vector.cpp.o.d"
+  "CMakeFiles/qc_qsim.dir/counting.cpp.o"
+  "CMakeFiles/qc_qsim.dir/counting.cpp.o.d"
+  "CMakeFiles/qc_qsim.dir/search.cpp.o"
+  "CMakeFiles/qc_qsim.dir/search.cpp.o.d"
+  "CMakeFiles/qc_qsim.dir/statevector.cpp.o"
+  "CMakeFiles/qc_qsim.dir/statevector.cpp.o.d"
+  "libqc_qsim.a"
+  "libqc_qsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_qsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qc_qsim.
+# This may be replaced when dependencies are built.

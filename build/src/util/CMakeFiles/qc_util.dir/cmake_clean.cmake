@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_util.dir/cli.cpp.o"
+  "CMakeFiles/qc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/qc_util.dir/rng.cpp.o"
+  "CMakeFiles/qc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/qc_util.dir/stats.cpp.o"
+  "CMakeFiles/qc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/qc_util.dir/table.cpp.o"
+  "CMakeFiles/qc_util.dir/table.cpp.o.d"
+  "libqc_util.a"
+  "libqc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

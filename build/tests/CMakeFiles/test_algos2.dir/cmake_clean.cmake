@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algos2.dir/test_algos2.cpp.o"
+  "CMakeFiles/test_algos2.dir/test_algos2.cpp.o.d"
+  "test_algos2"
+  "test_algos2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algos2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_commcc.dir/test_commcc.cpp.o"
+  "CMakeFiles/test_commcc.dir/test_commcc.cpp.o.d"
+  "test_commcc"
+  "test_commcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_commcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_congest.dir/test_congest.cpp.o"
+  "CMakeFiles/test_congest.dir/test_congest.cpp.o.d"
+  "test_congest"
+  "test_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

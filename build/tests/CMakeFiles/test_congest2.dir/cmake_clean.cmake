@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_congest2.dir/test_congest2.cpp.o"
+  "CMakeFiles/test_congest2.dir/test_congest2.cpp.o.d"
+  "test_congest2"
+  "test_congest2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_congest2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph2.dir/test_graph2.cpp.o"
+  "CMakeFiles/test_graph2.dir/test_graph2.cpp.o.d"
+  "test_graph2"
+  "test_graph2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qsim.dir/test_qsim.cpp.o"
+  "CMakeFiles/test_qsim.dir/test_qsim.cpp.o.d"
+  "test_qsim"
+  "test_qsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qsim2.dir/test_qsim2.cpp.o"
+  "CMakeFiles/test_qsim2.dir/test_qsim2.cpp.o.d"
+  "test_qsim2"
+  "test_qsim2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qsim2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcongest.dir/qcongest_cli.cpp.o"
+  "CMakeFiles/qcongest.dir/qcongest_cli.cpp.o.d"
+  "qcongest"
+  "qcongest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcongest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

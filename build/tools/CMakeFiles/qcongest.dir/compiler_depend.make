@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qcongest.
+# This may be replaced when dependencies are built.
