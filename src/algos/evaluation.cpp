@@ -317,19 +317,10 @@ UnitaryEvaluationOutcome evaluate_window_ecc_unitary(
     const graph::Graph& g, const TreeState& tree, NodeId u0,
     std::uint32_t steps, congest::NetworkConfig cfg,
     const std::vector<bool>* mask) {
-  // Forward pass, traced. Chain with any observer the caller installed.
+  // Forward pass, traced; arm() composes the recorder with any observer
+  // the caller installed (MultiObserver, caller's observer first).
   congest::TraceRecorder recorder;
-  auto outer = cfg.on_deliver;
   auto traced = recorder.arm(std::move(cfg));
-  if (outer) {
-    auto inner = traced.on_deliver;
-    traced.on_deliver = [outer, inner](NodeId from, NodeId to,
-                                       const Message& msg,
-                                       std::uint32_t round) {
-      inner(from, to, msg, round);
-      outer(from, to, msg, round);
-    };
-  }
 
   UnitaryEvaluationOutcome out;
   out.forward = evaluate_window_ecc(g, tree, u0, steps, traced, mask);

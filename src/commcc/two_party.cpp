@@ -55,22 +55,23 @@ double theorem3_round_floor(double n, double diameter, double s_memory) {
 }
 
 CutMeter::CutMeter(std::vector<bool> u_mask)
-    : state_(std::make_shared<State>()) {
-  state_->u_mask = std::move(u_mask);
+    : sink_(std::make_shared<Sink>()) {
+  sink_->u_mask = std::move(u_mask);
+}
+
+void CutMeter::Sink::on_deliver(graph::NodeId from, graph::NodeId to,
+                                const Message& msg, std::uint32_t round) {
+  if (from >= u_mask.size() || to >= u_mask.size()) return;
+  if (u_mask[from] != u_mask[to]) {
+    bits += msg.size_bits();
+    ++messages;
+    last_round = std::max(last_round, round);
+  }
 }
 
 congest::NetworkConfig CutMeter::arm(congest::NetworkConfig base) const {
-  base.engine = congest::Engine::kSequential;
-  auto state = state_;
-  base.on_deliver = [state](graph::NodeId from, graph::NodeId to,
-                            const Message& msg, std::uint32_t round) {
-    if (from >= state->u_mask.size() || to >= state->u_mask.size()) return;
-    if (state->u_mask[from] != state->u_mask[to]) {
-      state->bits += msg.size_bits();
-      ++state->messages;
-      state->last_round = std::max(state->last_round, round);
-    }
-  };
+  base.observer =
+      congest::MultiObserver::combine(std::move(base.observer), sink_);
   return base;
 }
 

@@ -55,28 +55,39 @@ double theorem3_round_floor(double n, double diameter, double s_memory);
 ///
 /// Arm a NetworkConfig with arm() and pass it to any driver; the meter
 /// accumulates across all executions it observes (phased drivers run
-/// several Networks).
+/// several Networks). Works under either engine: the meter is a
+/// congest::DeliveryObserver, and both engines feed observers the same
+/// deterministic event stream.
 class CutMeter {
  public:
   explicit CutMeter(std::vector<bool> u_mask);
 
-  /// Returns `base` with the delivery observer installed (sequential
-  /// engine enforced).
+  /// Returns `base` with the meter installed, composed with any observer
+  /// already present.
   congest::NetworkConfig arm(congest::NetworkConfig base) const;
 
-  std::uint64_t crossing_bits() const { return state_->bits; }
-  std::uint64_t crossing_messages() const { return state_->messages; }
+  /// The meter as a plain observer, for manual composition.
+  std::shared_ptr<congest::DeliveryObserver> observer() const {
+    return sink_;
+  }
+
+  std::uint64_t crossing_bits() const { return sink_->bits; }
+  std::uint64_t crossing_messages() const { return sink_->messages; }
   /// Largest round index observed with crossing traffic.
-  std::uint32_t last_crossing_round() const { return state_->last_round; }
+  std::uint32_t last_crossing_round() const { return sink_->last_round; }
 
  private:
-  struct State {
+  struct Sink final : congest::DeliveryObserver {
+    void on_deliver(graph::NodeId from, graph::NodeId to,
+                    const congest::Message& msg,
+                    std::uint32_t round) override;
+
     std::vector<bool> u_mask;
     std::uint64_t bits = 0;
     std::uint64_t messages = 0;
     std::uint32_t last_round = 0;
   };
-  std::shared_ptr<State> state_;
+  std::shared_ptr<Sink> sink_;
 };
 
 /// Executable Theorem 10: runs a diameter `solver` on G_n(x, y), metering

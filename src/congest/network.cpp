@@ -41,8 +41,6 @@ RunStats& RunStats::operator+=(const RunStats& other) {
 
 Network::Network(const graph::Graph& g, NetworkConfig cfg)
     : graph_(&g), cfg_(std::move(cfg)) {
-  require(!(cfg_.on_deliver && cfg_.engine == Engine::kParallel),
-          "Network: delivery observers require the sequential engine");
   bandwidth_bits_ = cfg_.bandwidth_bits != 0
                         ? cfg_.bandwidth_bits
                         : qc::congest_bandwidth_bits(g.n());
@@ -90,10 +88,14 @@ bool Network::all_quiet() const {
 }
 
 void Network::deliver_range(std::uint32_t begin, std::uint32_t end,
-                            RunStats& local) {
+                            RunStats& local,
+                            std::vector<PendingDelivery>* sink) {
   // Receiver-driven delivery: node w pulls, in port order, the message its
   // neighbor queued for it last round. Port-order assembly makes the inbox
-  // deterministic regardless of engine or thread count.
+  // deterministic regardless of engine or thread count. Observer events
+  // either fire inline (sequential engine, sink == nullptr) or are
+  // buffered per worker and flushed in receiver order at the round
+  // barrier — the same (round, to, from) order either way.
   for (NodeId w = begin; w < end; ++w) {
     auto& ctx = contexts_[w];
     ctx.round_ = round_;
@@ -118,7 +120,13 @@ void Network::deliver_range(std::uint32_t begin, std::uint32_t end,
       ++local.messages;
       local.bits += sz;
       local.max_edge_bits = std::max(local.max_edge_bits, sz);
-      if (cfg_.on_deliver) cfg_.on_deliver(u, w, msg, round_);
+      if (cfg_.observer != nullptr) {
+        if (sink != nullptr) {
+          sink->push_back(PendingDelivery{u, w, &msg});
+        } else {
+          cfg_.observer->on_deliver(u, w, msg, round_);
+        }
+      }
       ctx.inbox_.push_back(Incoming{p, msg});
       ctx.halted_ = false;  // a message re-activates a halted node
     }
@@ -139,7 +147,7 @@ void Network::compute_range(std::uint32_t begin, std::uint32_t end) {
 void Network::step_round() {
   ++round_;
   RunStats local;
-  deliver_range(0, n(), local);
+  deliver_range(0, n(), local, /*sink=*/nullptr);
   compute_range(0, n());
   for (NodeId v = 0; v < n(); ++v) {
     local.max_node_memory_bits =
@@ -164,6 +172,7 @@ std::uint32_t Network::run_parallel_block(std::uint32_t max_rounds,
   }
 
   std::vector<RunStats> local(T);
+  std::vector<std::vector<PendingDelivery>> pending(T);
   std::atomic<bool> done{false};
   std::atomic<std::uint32_t> executed{0};
   std::barrier sync(static_cast<std::ptrdiff_t>(T));
@@ -186,8 +195,24 @@ std::uint32_t Network::run_parallel_block(std::uint32_t max_rounds,
       }
       sync.arrive_and_wait();  // round_ visible / stop decision visible
       if (done.load()) break;
-      deliver_range(b, e, local[t]);
+      deliver_range(b, e, local[t], &pending[t]);
       sync.arrive_and_wait();  // all inboxes assembled
+      if (cfg_.observer != nullptr) {
+        // Single-threaded flush: workers hold contiguous ascending
+        // receiver ranges, so draining buffers in worker order replays
+        // the sequential engine's (round, receiver, port) event order
+        // exactly. The extra barrier keeps the pointed-to outbox slots
+        // alive until the flush is done (compute overwrites them).
+        if (t == 0) {
+          for (auto& buf : pending) {
+            for (const auto& ev : buf) {
+              cfg_.observer->on_deliver(ev.from, ev.to, *ev.msg, round_);
+            }
+            buf.clear();
+          }
+        }
+        sync.arrive_and_wait();  // observer flushed
+      }
       compute_range(b, e);
       for (NodeId v = b; v < e; ++v) {
         local[t].max_node_memory_bits = std::max(

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "congest/message.hpp"
+#include "congest/observer.hpp"
 #include "graph/graph.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
@@ -131,14 +132,15 @@ struct NetworkConfig {
   std::uint64_t seed = 1;
   std::uint32_t num_threads = 0;  ///< 0 = hardware_concurrency
 
-  /// Optional observer invoked for every delivered message (sender,
+  /// Optional observer notified of every delivered message (sender,
   /// receiver, message, round). Used by the lower-bound harness to tally
-  /// traffic crossing a vertex partition (Theorems 10/11). Only invoked by
-  /// the sequential engine; configuring it with Engine::kParallel is
-  /// rejected at construction.
-  std::function<void(NodeId from, NodeId to, const Message& msg,
-                     std::uint32_t round)>
-      on_deliver;
+  /// traffic crossing a vertex partition (Theorems 10/11) and by the
+  /// trace/audit tooling. Supported by **both** engines: the parallel
+  /// engine buffers events per worker and flushes them at the round
+  /// barrier in the same (round, receiver, port) order the sequential
+  /// engine produces, so observed streams are bit-identical either way.
+  /// Compose several observers with MultiObserver.
+  std::shared_ptr<DeliveryObserver> observer;
 };
 
 /// Aggregate statistics of one execution.
@@ -204,10 +206,20 @@ class Network {
   const RunStats& stats() const { return stats_; }
 
  private:
+  /// A delivery buffered by one parallel worker for the round-barrier
+  /// flush; `msg` points into the sender's outbox, which is stable until
+  /// the compute phase (the flush happens before it).
+  struct PendingDelivery {
+    NodeId from;
+    NodeId to;
+    const Message* msg;
+  };
+
   void step_round();
   void compute_range(std::uint32_t begin, std::uint32_t end);
   void deliver_range(std::uint32_t begin, std::uint32_t end,
-                     RunStats& local_stats);
+                     RunStats& local_stats,
+                     std::vector<PendingDelivery>* sink);
   bool all_quiet() const;
   /// Runs up to `max_rounds` with persistent worker threads (one spawn per
   /// call, 3 barriers per round); stops early at quiescence when

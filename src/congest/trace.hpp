@@ -14,48 +14,61 @@ struct TraceEvent {
   graph::NodeId from = 0;
   graph::NodeId to = 0;
   std::uint32_t bits = 0;
+
+  bool operator==(const TraceEvent&) const = default;
 };
 
 /// Records every delivery of the executions it observes — the raw material
 /// for the lower-bound audits (information light cones, per-block cut
 /// traffic) and for debugging distributed algorithms round by round.
 ///
-/// Like commcc::CutMeter, arm() returns a NetworkConfig with the observer
-/// installed (sequential engine enforced); the recorder accumulates across
-/// all executions run under that config.
+/// Like commcc::CutMeter, arm() returns a NetworkConfig with the recorder
+/// installed (composed with any observer already present); the recorder
+/// accumulates across all executions run under that config. Works under
+/// either engine — the parallel engine delivers the same event stream as
+/// the sequential one.
 class TraceRecorder {
  public:
-  TraceRecorder() : events_(std::make_shared<std::vector<TraceEvent>>()) {}
+  TraceRecorder() : sink_(std::make_shared<Sink>()) {}
 
   NetworkConfig arm(NetworkConfig base) const {
-    base.engine = Engine::kSequential;
-    auto events = events_;
-    base.on_deliver = [events](graph::NodeId from, graph::NodeId to,
-                               const Message& msg, std::uint32_t round) {
-      events->push_back(TraceEvent{round, from, to, msg.size_bits()});
-    };
+    base.observer = MultiObserver::combine(std::move(base.observer), sink_);
     return base;
   }
 
-  const std::vector<TraceEvent>& events() const { return *events_; }
+  /// The recorder as a plain observer, for manual composition.
+  std::shared_ptr<DeliveryObserver> observer() const { return sink_; }
 
-  std::uint32_t last_round() const {
-    std::uint32_t r = 0;
-    for (const auto& e : *events_) r = std::max(r, e.round);
-    return r;
-  }
+  const std::vector<TraceEvent>& events() const { return sink_->events; }
+
+  /// Largest round index observed (tracked incrementally, O(1)).
+  std::uint32_t last_round() const { return sink_->last_round; }
 
   /// Total delivered bits per round (index 0 unused; rounds are 1-based).
   std::vector<std::uint64_t> bits_per_round() const {
-    std::vector<std::uint64_t> out(last_round() + 1, 0);
-    for (const auto& e : *events_) out[e.round] += e.bits;
+    std::vector<std::uint64_t> out(sink_->last_round + 1, 0);
+    for (const auto& e : sink_->events) out[e.round] += e.bits;
     return out;
   }
 
-  void clear() { events_->clear(); }
+  void clear() {
+    sink_->events.clear();
+    sink_->last_round = 0;
+  }
 
  private:
-  std::shared_ptr<std::vector<TraceEvent>> events_;
+  struct Sink final : DeliveryObserver {
+    void on_deliver(graph::NodeId from, graph::NodeId to, const Message& msg,
+                    std::uint32_t round) override {
+      events.push_back(TraceEvent{round, from, to, msg.size_bits()});
+      if (round > last_round) last_round = round;
+    }
+
+    std::vector<TraceEvent> events;
+    std::uint32_t last_round = 0;
+  };
+
+  std::shared_ptr<Sink> sink_;
 };
 
 }  // namespace qc::congest

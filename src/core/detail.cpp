@@ -1,5 +1,8 @@
 #include "core/detail.hpp"
 
+#include <algorithm>
+#include <thread>
+
 #include "algos/bfs_tree.hpp"
 #include "algos/leader_election.hpp"
 #include "util/bits.hpp"
@@ -8,6 +11,12 @@
 namespace qc::core::detail {
 
 using graph::NodeId;
+
+std::uint32_t effective_branch_threads(const QuantumConfig& cfg) {
+  if (cfg.net.observer != nullptr) return 1;
+  if (cfg.branch_threads != 0) return cfg.branch_threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
 
 InitPhase run_initialization(const graph::Graph& g,
                              const congest::NetworkConfig& net) {

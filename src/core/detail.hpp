@@ -4,6 +4,7 @@
 // front-ends: the classical initialization phase of Section 3 and the
 // Figure 2 branch oracle. Not part of the public API surface.
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -32,10 +33,20 @@ struct InitPhase {
 InitPhase run_initialization(const graph::Graph& g,
                              const congest::NetworkConfig& net);
 
+/// Branch-evaluation workers a front-end should actually use: the
+/// configured branch_threads (0 = hardware concurrency), forced to 1 when
+/// a delivery observer is armed — concurrent branch simulations would
+/// interleave the observed event stream nondeterministically.
+std::uint32_t effective_branch_threads(const QuantumConfig& cfg);
+
 /// The branch oracle for f(u) = max_{v in segment window of u} ecc(v),
 /// with the two evaluation modes of OracleMode. Cross-checks the
 /// distributed Figure 2 execution against the centralized reference (on
 /// every branch in kSimulate mode, at least once in kDirect mode).
+///
+/// operator() is safe to call from several threads at once (each branch
+/// simulation builds its own Network over the shared read-only graph and
+/// tree), so a core::BranchEvaluator can fan branches across workers.
 class WindowOracle {
  public:
   WindowOracle(const graph::Graph& g, const algos::TreeState& tree,
@@ -56,7 +67,7 @@ class WindowOracle {
   std::vector<bool> mask_;
   graph::DfsNumbering num_;
   std::uint32_t t_eval_forward_ = 0;
-  bool validated_once_ = false;
+  std::atomic<bool> validated_once_{false};
 };
 
 }  // namespace qc::core::detail

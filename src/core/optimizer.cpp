@@ -1,9 +1,8 @@
 #include "core/optimizer.hpp"
 
 #include <cmath>
-#include <memory>
-#include <unordered_map>
 
+#include "core/branch_evaluator.hpp"
 #include "qsim/amplitude_vector.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
@@ -21,27 +20,30 @@ OptimizationReport distributed_quantum_optimize(const OptimizationProblem& p,
           ? qsim::AmplitudeVector::uniform(p.domain_size)
           : qsim::AmplitudeVector::over_support(p.domain_size, p.support);
 
-  // Memoization mirrors the determinism of the Evaluation unitary: the
-  // same basis branch always evaluates to the same value, so the branch
-  // simulation needs to run once per distinct x (the *quantum* cost is
-  // still charged per oracle application via the counters).
-  auto memo = std::make_shared<std::unordered_map<std::size_t, std::int64_t>>();
-  auto f = [memo, &p](std::size_t x) {
-    auto it = memo->find(x);
-    if (it != memo->end()) return it->second;
-    const std::int64_t v = p.evaluate(x);
-    memo->emplace(x, v);
-    return v;
-  };
+  // The shared memo mirrors the determinism of the Evaluation unitary:
+  // the same basis branch always evaluates to the same value, so each
+  // branch simulation runs once per distinct x (the *quantum* cost is
+  // still charged per oracle application via the counters). Every Grover
+  // iterate touches the whole populated support, so the full support is
+  // prefetched — fanned across num_threads workers — before the sampling
+  // loop consumes any randomness.
+  BranchEvaluator<std::int64_t> branches(p.evaluate, p.num_threads);
+  if (p.support.empty()) {
+    branches.prefetch_all(p.domain_size);
+  } else {
+    branches.prefetch(p.support);
+  }
 
-  auto m = qsim::quantum_maximize(setup_state, f, p.epsilon, p.delta, rng);
+  auto m = qsim::quantum_maximize(
+      setup_state, [&branches](std::size_t x) { return branches(x); },
+      p.epsilon, p.delta, rng);
 
   OptimizationReport rep;
   rep.argmax = m.argmax;
   rep.value = m.value;
   rep.budget_exhausted = m.budget_exhausted;
   rep.costs = m.costs;
-  rep.distinct_evaluations = memo->size();
+  rep.distinct_evaluations = branches.distinct_evaluations();
 
   const std::uint64_t t_eval_unitary = 2ULL * p.t_eval_forward;
   rep.total_rounds =
@@ -70,23 +72,22 @@ SearchReport distributed_quantum_search(const SearchProblem& p, Rng& rng) {
           ? qsim::AmplitudeVector::uniform(p.domain_size)
           : qsim::AmplitudeVector::over_support(p.domain_size, p.support);
 
-  auto memo = std::make_shared<std::unordered_map<std::size_t, bool>>();
-  auto pred = [memo, &p](std::size_t x) {
-    auto it = memo->find(x);
-    if (it != memo->end()) return it->second;
-    const bool v = p.marked(x);
-    memo->emplace(x, v);
-    return v;
-  };
+  BranchEvaluator<bool> branches(p.marked, p.num_threads);
+  if (p.support.empty()) {
+    branches.prefetch_all(p.domain_size);
+  } else {
+    branches.prefetch(p.support);
+  }
 
-  auto s = qsim::amplitude_amplification_search(setup_state, pred, p.epsilon,
-                                                p.delta, rng);
+  auto s = qsim::amplitude_amplification_search(
+      setup_state, [&branches](std::size_t x) { return branches(x); },
+      p.epsilon, p.delta, rng);
 
   SearchReport rep;
   rep.found = s.found;
   rep.witness = s.item;
   rep.costs = s.costs;
-  rep.distinct_evaluations = memo->size();
+  rep.distinct_evaluations = branches.distinct_evaluations();
 
   const std::uint64_t t_eval_unitary = 2ULL * p.t_eval_forward;
   rep.total_rounds =

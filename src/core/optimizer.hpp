@@ -37,6 +37,14 @@ struct OptimizationProblem {
 
   double epsilon = 0;  ///< lower bound on P_opt (e.g. d/2n from Lemma 1)
   double delta = 0.01; ///< target failure probability
+
+  /// Branch-evaluation workers: the whole support is evaluated up front
+  /// through a core::BranchEvaluator (exactly the branch set every Grover
+  /// iterate touches), so results and round accounting are independent of
+  /// this value. 1 = inline on the calling thread (safe for any
+  /// `evaluate`); > 1 requires `evaluate` to be thread-safe; 0 = one
+  /// worker per hardware thread.
+  std::uint32_t num_threads = 1;
 };
 
 /// Outcome of distributed quantum optimization with full cost accounting.
@@ -90,6 +98,10 @@ struct SearchProblem {
 
   double epsilon = 0;  ///< promise: P_M = 0 or P_M >= epsilon
   double delta = 0.01;
+
+  /// Branch-evaluation workers; same semantics as
+  /// OptimizationProblem::num_threads.
+  std::uint32_t num_threads = 1;
 };
 
 struct SearchReport {

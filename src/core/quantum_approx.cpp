@@ -5,9 +5,9 @@
 #include <memory>
 
 #include "algos/bfs_tree.hpp"
-#include "algos/evaluation.hpp"
 #include "algos/hprw.hpp"
 #include "algos/leader_election.hpp"
+#include "core/detail.hpp"
 #include "graph/algorithms.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
@@ -84,36 +84,16 @@ QuantumApproxReport quantum_diameter_approx(const graph::Graph& g,
                                            cfg.net);
     rep.prep_rounds = prep_acc.rounds;
 
-    auto num = graph::dfs_numbering(subtree);
-
-    const std::uint32_t t_eval_forward =
-        algos::EvaluationProgram::token_phase_rounds(steps) +
-        (2 * steps + 2 * prep.tree_w.height + 2) + prep.tree_w.height + 1;
-
-    auto validated = std::make_shared<bool>(false);
-    const auto& tree_w = prep.tree_w;
-    const auto& r_mask = prep.r_mask;
-    auto evaluate = [&, validated, num, steps,
-                     t_eval_forward](std::size_t u0) -> std::int64_t {
-      const auto node = static_cast<NodeId>(u0);
-      const std::uint32_t reference =
-          graph::max_ecc_in_segment(g, num, node, steps);
-      if (cfg.oracle == OracleMode::kSimulate || !*validated) {
-        auto eval = algos::evaluate_window_ecc(g, tree_w, node, steps,
-                                               cfg.net, &r_mask);
-        check_internal(eval.stats.rounds == t_eval_forward,
-                       "approx oracle: round budget mismatch");
-        check_internal(eval.max_ecc == reference,
-                       "approx oracle: distributed/centralized mismatch");
-        *validated = true;
-      }
-      return static_cast<std::int64_t>(reference);
-    };
+    // The same Figure 2 oracle as the exact algorithm, restricted to R via
+    // the mask (windows walk the DFS numbering of BFS(w) induced on R).
+    auto oracle = std::make_shared<detail::WindowOracle>(
+        g, prep.tree_w, steps, cfg.oracle, cfg.net, prep.r_mask);
+    const std::uint32_t t_eval_forward = oracle->t_eval_forward();
 
     OptimizationProblem prob;
     prob.domain_size = g.n();
     prob.support = support;
-    prob.evaluate = evaluate;
+    prob.evaluate = [oracle](std::size_t x) { return (*oracle)(x); };
     prob.t_init = 0;  // preparation is charged separately in prep_rounds
     prob.t_setup = t_setup;
     prob.t_eval_forward = t_eval_forward;
@@ -121,6 +101,7 @@ QuantumApproxReport quantum_diameter_approx(const graph::Graph& g,
         1.0, static_cast<double>(std::max(1u, d_sub)) /
                  (2.0 * static_cast<double>(prep.r_size)));
     prob.delta = cfg.delta;
+    prob.num_threads = detail::effective_branch_threads(cfg);
 
     Rng rng(cfg.seed ^ 0xa99ae5u);
     auto opt = distributed_quantum_optimize(prob, rng);

@@ -53,6 +53,7 @@ DecisionReport quantum_diameter_decide(const graph::Graph& g,
   prob.epsilon = std::min(
       1.0, static_cast<double>(init.d) / (2.0 * static_cast<double>(g.n())));
   prob.delta = cfg.delta;
+  prob.num_threads = detail::effective_branch_threads(cfg);
 
   Rng rng(cfg.seed ^ 0xdec1deULL);
   auto s = distributed_quantum_search(prob, rng);

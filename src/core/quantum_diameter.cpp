@@ -49,6 +49,7 @@ QuantumDiameterReport run_diameter_optimization(const graph::Graph& g,
   prob.t_eval_forward = oracle->t_eval_forward();
   prob.epsilon = epsilon;
   prob.delta = cfg.delta;
+  prob.num_threads = detail::effective_branch_threads(cfg);
 
   Rng rng(cfg.seed);
   auto opt = distributed_quantum_optimize(prob, rng);

@@ -27,6 +27,15 @@ struct QuantumConfig {
   double delta = 0.01;       ///< failure probability target
   OracleMode oracle = OracleMode::kSimulate;
   std::uint64_t seed = 7;    ///< drives the quantum sampling
+
+  /// Workers for the branch fan-out: each Grover branch is an independent
+  /// deterministic CONGEST simulation, so the quantum front-ends evaluate
+  /// the branch set through a core::BranchEvaluator on this many threads.
+  /// 0 = one per hardware thread (default), 1 = serial (bit-for-bit the
+  /// historical behavior; so is every other value — results and round
+  /// counts do not depend on it). Forced to 1 when `net.observer` is
+  /// armed, so observed event streams keep their deterministic order.
+  std::uint32_t branch_threads = 0;
 };
 
 /// Full report of a quantum diameter computation; "rounds" quantities are

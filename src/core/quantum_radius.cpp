@@ -34,6 +34,7 @@ RadiusReport quantum_radius(const graph::Graph& g, const QuantumConfig& cfg) {
   prob.t_eval_forward = oracle->t_eval_forward();
   prob.epsilon = 1.0 / static_cast<double>(g.n());
   prob.delta = cfg.delta;
+  prob.num_threads = detail::effective_branch_threads(cfg);
 
   Rng rng(cfg.seed ^ 0x5ad105ULL);
   auto opt = distributed_quantum_optimize(prob, rng);

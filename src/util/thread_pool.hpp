@@ -1,0 +1,91 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qc {
+
+/// A small fixed-size worker pool: submit fire-and-forget jobs, then block
+/// on wait_idle() until everything submitted has run. Workers live for the
+/// pool's lifetime, so a batch costs one notify per job rather than one
+/// thread spawn. Used by core::BranchEvaluator to fan independent branch
+/// simulations out; kept dependency-free so any layer can reuse it.
+///
+/// Jobs must not throw — capture exceptions inside the job and surface
+/// them after wait_idle() (BranchEvaluator shows the pattern).
+class ThreadPool {
+ public:
+  /// `num_threads` = 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned num_threads = 0) {
+    unsigned n = num_threads;
+    if (n == 0) n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+    workers_.reserve(n);
+    for (unsigned t = 0; t < n; ++t) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.push_back(std::move(job));
+      ++outstanding_;
+    }
+    work_cv_.notify_one();
+  }
+
+  /// Blocks until every job submitted so far has finished running.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+        if (jobs_.empty()) return;  // stop_ set and queue drained
+        job = std::move(jobs_.front());
+        jobs_.pop_front();
+      }
+      job();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--outstanding_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> jobs_;
+  std::uint64_t outstanding_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qc

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <tuple>
 
 #include "congest/network.hpp"
 #include "congest/trace.hpp"
@@ -139,9 +140,10 @@ TEST(Observer, SeesEveryDeliveryInOrder) {
   auto g = graph::make_path(3);
   std::vector<std::uint32_t> rounds_seen;
   NetworkConfig cfg;
-  cfg.on_deliver = [&](NodeId, NodeId, const Message&, std::uint32_t r) {
-    rounds_seen.push_back(r);
-  };
+  cfg.observer = std::make_shared<CallbackObserver>(
+      [&](NodeId, NodeId, const Message&, std::uint32_t r) {
+        rounds_seen.push_back(r);
+      });
   Network net(g, cfg);
   net.init_programs([](NodeId v) {
     return std::make_unique<TimedSender>(v == 0 ? 1u : 2u);
@@ -151,12 +153,49 @@ TEST(Observer, SeesEveryDeliveryInOrder) {
   EXPECT_TRUE(std::is_sorted(rounds_seen.begin(), rounds_seen.end()));
 }
 
-TEST(Observer, RejectedWithParallelEngine) {
+TEST(Observer, ParallelEngineMatchesSequentialStream) {
   auto g = graph::make_path(3);
-  NetworkConfig cfg;
-  cfg.engine = Engine::kParallel;
-  cfg.on_deliver = [](NodeId, NodeId, const Message&, std::uint32_t) {};
-  EXPECT_THROW(Network net(g, cfg), InvalidArgumentError);
+  auto run = [&](Engine engine) {
+    std::vector<std::tuple<NodeId, NodeId, std::uint32_t>> events;
+    NetworkConfig cfg;
+    cfg.engine = engine;
+    cfg.num_threads = 2;
+    cfg.observer = std::make_shared<CallbackObserver>(
+        [&](NodeId from, NodeId to, const Message&, std::uint32_t r) {
+          events.emplace_back(from, to, r);
+        });
+    Network net(g, cfg);
+    net.init_programs([](NodeId v) {
+      return std::make_unique<TimedSender>(v == 0 ? 1u : 2u);
+    });
+    net.run_rounds(4);
+    return events;
+  };
+  auto seq = run(Engine::kSequential);
+  auto par = run(Engine::kParallel);
+  EXPECT_FALSE(seq.empty());
+  EXPECT_EQ(seq, par);
+}
+
+TEST(Observer, MultiObserverFansOutInOrder) {
+  std::vector<int> order;
+  auto mk = [&](int tag) {
+    return std::make_shared<CallbackObserver>(
+        [&order, tag](NodeId, NodeId, const Message&, std::uint32_t) {
+          order.push_back(tag);
+        });
+  };
+  auto combined = MultiObserver::combine(mk(1), mk(2));
+  ASSERT_NE(combined, nullptr);
+  Message msg;
+  combined->on_deliver(0, 1, msg, 1);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+
+  // combine() passes a lone observer through untouched.
+  auto lone = mk(3);
+  EXPECT_EQ(MultiObserver::combine(lone, nullptr), lone);
+  EXPECT_EQ(MultiObserver::combine(nullptr, lone), lone);
+  EXPECT_EQ(MultiObserver::combine(nullptr, nullptr), nullptr);
 }
 
 TEST(Observer, TraceRecorderClearWorks) {
