@@ -5,9 +5,12 @@
 //  * threshold decision (the Theorem 2 problem shape): amplitude
 //    amplification without the maximization ladder;
 //  * quantum counting [BHT98]: estimating how many vertices are peripheral;
-//  * robustness: the Theorem 1 algorithm across topology families.
+//  * robustness: the Theorem 1 algorithm across topology families;
+//  * fault sweep: BFS-with-retry degradation under message drops (the
+//    deterministic fault-injection layer — a model extension).
 
 #include "algos/apsp_census.hpp"
+#include "algos/bfs_tree.hpp"
 #include "bench/harness.hpp"
 #include "core/quantum_decision.hpp"
 #include "core/quantum_diameter.hpp"
@@ -133,6 +136,28 @@ int main(int argc, char** argv) {
     }
     std::cout << "Theorem 1 across topology families (exactness + scaling):\n";
     t.print(std::cout);
+  }
+
+  // ---- Fault sweep: graceful degradation of BFS under message drops.
+  {
+    const std::uint32_t n = opt.quick ? 64 : 128;
+    auto g = workload(n, 8, opt.seed + 3);
+    Table t({"drop %", "status", "attempts", "rounds", "dropped msgs"});
+    for (double drop : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+      congest::NetworkConfig net;
+      net.fault.drop_probability = drop;
+      net.fault.seed = opt.seed;
+      auto out = algos::build_bfs_tree_with_retry(g, 0, net);
+      t.add_row({fmt(100.0 * drop, 0), algos::to_string(out.status),
+                 fmt(out.attempts), fmt(out.stats.rounds),
+                 fmt(out.stats.messages_dropped)});
+    }
+    std::cout << "\nBFS under a deterministic fault plan (retry budget x2 "
+                 "per attempt):\n";
+    t.print(std::cout);
+    std::cout << "  faults are a model extension beyond the paper; the "
+                 "status column shows the graceful-degradation contract "
+                 "instead of hard aborts.\n";
   }
   return 0;
 }

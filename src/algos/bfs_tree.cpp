@@ -64,7 +64,8 @@ std::uint64_t BfsTreeProgram::memory_bits() const {
 }
 
 BfsOutcome build_bfs_tree(const graph::Graph& g, NodeId root,
-                          congest::NetworkConfig cfg) {
+                          congest::NetworkConfig cfg,
+                          std::uint32_t max_rounds) {
   require(root < g.n(), "build_bfs_tree: root out of range");
   require(g.is_connected(), "build_bfs_tree: graph must be connected");
   Network net(g, cfg);
@@ -72,17 +73,24 @@ BfsOutcome build_bfs_tree(const graph::Graph& g, NodeId root,
     return std::make_unique<BfsTreeProgram>(root);
   });
   BfsOutcome out;
-  out.stats = net.run_until_quiescent(g.n() + 2);
-  check_internal(out.stats.quiesced, "build_bfs_tree: wave did not quiesce");
+  const std::uint32_t budget = max_rounds != 0 ? max_rounds : g.n() + 2;
+  out.stats = net.run_until_quiescent(budget);
+  if (!out.stats.quiesced) out.status = PhaseStatus::kTimedOut;
 
   auto& t = out.tree;
   t.root = root;
   t.parent.assign(g.n(), graph::kInvalidNode);
   t.depth.assign(g.n(), 0);
   t.children.assign(g.n(), {});
+  bool complete = true;
   for (NodeId v = 0; v < g.n(); ++v) {
     const auto& p = net.program_as<BfsTreeProgram>(v);
-    check_internal(p.active(), "build_bfs_tree: node was never activated");
+    if (!p.active()) {
+      // Possible only under a fault plan (a dropped activation); the node
+      // keeps the kInvalidNode parent and depth 0 it started with.
+      complete = false;
+      continue;
+    }
     t.parent[v] = p.parent();
     t.depth[v] = p.dist();
     t.height = std::max(t.height, p.dist());
@@ -90,14 +98,45 @@ BfsOutcome build_bfs_tree(const graph::Graph& g, NodeId root,
   // Child lists are reconstructed driver-side (each node only keeps its
   // parent and a child count); sorted by id to match dfs_numbering.
   for (NodeId v = 0; v < g.n(); ++v) {
-    if (v != root) t.children[t.parent[v]].push_back(v);
+    if (v != root && t.parent[v] != graph::kInvalidNode) {
+      t.children[t.parent[v]].push_back(v);
+    }
   }
   for (NodeId v = 0; v < g.n(); ++v) {
     std::sort(t.children[v].begin(), t.children[v].end());
-    check_internal(net.program_as<BfsTreeProgram>(v).child_count() ==
-                       t.children[v].size(),
-                   "build_bfs_tree: child count disagrees with claims");
+    // A dropped child-claim flag leaves the distributed count behind the
+    // reconstructed list; both ways of disagreeing mark degradation.
+    if (net.program_as<BfsTreeProgram>(v).child_count() !=
+        t.children[v].size()) {
+      complete = false;
+    }
   }
+  if (out.status == PhaseStatus::kQuiesced && !complete) {
+    out.status = PhaseStatus::kDegraded;
+  }
+  return out;
+}
+
+BfsOutcome build_bfs_tree_with_retry(const graph::Graph& g, NodeId root,
+                                     congest::NetworkConfig cfg,
+                                     RetryPolicy policy) {
+  require(policy.max_attempts >= 1,
+          "build_bfs_tree_with_retry: need at least one attempt");
+  require(policy.budget_growth >= 1,
+          "build_bfs_tree_with_retry: budget_growth must be >= 1");
+  congest::RunStats acc;
+  BfsOutcome out;
+  std::uint32_t budget = g.n() + 2;
+  for (std::uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    auto attempt_cfg = cfg;
+    attempt_cfg.fault = cfg.fault.for_attempt(attempt);
+    out = build_bfs_tree(g, root, attempt_cfg, budget);
+    acc += out.stats;
+    out.attempts = attempt + 1;
+    if (out.status == PhaseStatus::kQuiesced) break;
+    budget *= policy.budget_growth;
+  }
+  out.stats = acc;
   return out;
 }
 
@@ -217,31 +256,38 @@ AggregateOutcome aggregate_to_root(const graph::Graph& g,
   });
   AggregateOutcome out;
   out.stats = net.run_until_quiescent(tree.height + 2);
-  check_internal(out.stats.quiesced, "aggregate_to_root: did not quiesce");
+  if (!out.stats.quiesced) out.status = PhaseStatus::kTimedOut;
   const auto& rootp = net.program_as<ConvergecastProgram>(tree.root);
-  check_internal(rootp.done(), "aggregate_to_root: root never completed");
+  if (!rootp.done()) {
+    // A dropped or crash-lost report keeps the root waiting forever; its
+    // partial aggregate is still returned, flagged as degraded.
+    out.status = worst_of(out.status, PhaseStatus::kDegraded);
+  }
   out.primary = rootp.primary();
   out.secondary = rootp.secondary();
   return out;
 }
 
-congest::RunStats broadcast_from_root(const graph::Graph& g,
-                                      const TreeState& tree,
-                                      std::uint64_t value,
-                                      std::uint32_t value_bits,
-                                      congest::NetworkConfig cfg) {
+BroadcastOutcome broadcast_from_root(const graph::Graph& g,
+                                     const TreeState& tree,
+                                     std::uint64_t value,
+                                     std::uint32_t value_bits,
+                                     congest::NetworkConfig cfg) {
   Network net(g, cfg);
   net.init_programs([&](NodeId v) {
     return std::make_unique<TreeBroadcastProgram>(
         tree.parent[v], v == tree.root ? value : 0, value_bits);
   });
-  auto stats = net.run_until_quiescent(tree.height + 2);
-  check_internal(stats.quiesced, "broadcast_from_root: did not quiesce");
+  BroadcastOutcome out;
+  out.stats = net.run_until_quiescent(tree.height + 2);
+  if (!out.stats.quiesced) out.status = PhaseStatus::kTimedOut;
   for (NodeId v = 0; v < g.n(); ++v) {
-    check_internal(net.program_as<TreeBroadcastProgram>(v).received(),
-                   "broadcast_from_root: node missed the broadcast");
+    if (!net.program_as<TreeBroadcastProgram>(v).received()) {
+      out.status = worst_of(out.status, PhaseStatus::kDegraded);
+      break;
+    }
   }
-  return stats;
+  return out;
 }
 
 EccOutcome compute_eccentricity(const graph::Graph& g, NodeId root,
@@ -250,6 +296,7 @@ EccOutcome compute_eccentricity(const graph::Graph& g, NodeId root,
   auto bfs = build_bfs_tree(g, root, cfg);
   out.tree = std::move(bfs.tree);
   out.stats = bfs.stats;
+  out.status = bfs.status;
 
   std::vector<std::uint64_t> depths(g.n()), ids(g.n());
   for (NodeId v = 0; v < g.n(); ++v) {
@@ -260,9 +307,14 @@ EccOutcome compute_eccentricity(const graph::Graph& g, NodeId root,
   auto agg = aggregate_to_root(g, out.tree, AggregateOp::kMax, depths, ids,
                                bits, bits, cfg);
   out.stats += agg.stats;
+  out.status = worst_of(out.status, agg.status);
   out.ecc = static_cast<std::uint32_t>(agg.primary);
-  check_internal(out.ecc == out.tree.height,
-                 "compute_eccentricity: convergecast disagrees with tree");
+  if (out.ecc != out.tree.height) {
+    // On a fault-free network this is unreachable (the convergecast
+    // maximum of tree depths IS the height); under faults a corrupted or
+    // partial aggregate can disagree — surface it, don't abort.
+    out.status = worst_of(out.status, PhaseStatus::kDegraded);
+  }
   return out;
 }
 

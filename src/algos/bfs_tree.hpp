@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "algos/phase_status.hpp"
 #include "algos/tree_state.hpp"
 #include "congest/network.hpp"
 #include "graph/graph.hpp"
@@ -112,19 +113,45 @@ class TreeBroadcastProgram : public congest::NodeProgram {
 struct BfsOutcome {
   TreeState tree;
   congest::RunStats stats;
+  /// kQuiesced: every node was activated and child claims are consistent.
+  /// kTimedOut: the wave did not quiesce within the round budget.
+  /// kDegraded: quiesced, but some node was never activated or a child
+  /// claim went missing (possible only under a fault plan) — `tree` then
+  /// covers only the reached nodes (unreached nodes keep kInvalidNode
+  /// parents and depth 0).
+  PhaseStatus status = PhaseStatus::kQuiesced;
+  std::uint32_t attempts = 1;  ///< attempts consumed (retry wrapper only)
 };
 
 /// Runs BfsTreeProgram from `root` and assembles the TreeState.
+/// `max_rounds` of 0 means the default budget n + 2, which always
+/// suffices on a fault-free network. Never throws on degradation: the
+/// outcome's status reports it.
 BfsOutcome build_bfs_tree(const graph::Graph& g, graph::NodeId root,
-                          congest::NetworkConfig cfg = {});
+                          congest::NetworkConfig cfg = {},
+                          std::uint32_t max_rounds = 0);
+
+/// build_bfs_tree with the bounded retry-with-extended-budget discipline
+/// of RetryPolicy: re-runs (fresh programs, per-attempt fault seed,
+/// growing round budget) until an attempt returns kQuiesced or the
+/// attempt budget is spent. The returned stats accumulate every attempt;
+/// tree/status are the last attempt's.
+BfsOutcome build_bfs_tree_with_retry(const graph::Graph& g,
+                                     graph::NodeId root,
+                                     congest::NetworkConfig cfg = {},
+                                     RetryPolicy policy = {});
 
 struct AggregateOutcome {
   std::uint64_t primary = 0;
   std::uint64_t secondary = 0;
   congest::RunStats stats;
+  /// kTimedOut: no quiescence in height+2 rounds; kDegraded: quiesced but
+  /// the root never combined all reports (a dropped/crashed child).
+  PhaseStatus status = PhaseStatus::kQuiesced;
 };
 
 /// Convergecast of per-node (primary, secondary) contributions to the root.
+/// Never throws on degradation: check the outcome's status.
 AggregateOutcome aggregate_to_root(const graph::Graph& g,
                                    const TreeState& tree, AggregateOp op,
                                    const std::vector<std::uint64_t>& primary,
@@ -133,17 +160,27 @@ AggregateOutcome aggregate_to_root(const graph::Graph& g,
                                    std::uint32_t secondary_bits,
                                    congest::NetworkConfig cfg = {});
 
-/// Broadcasts `value` from the tree root to every node; returns stats.
-congest::RunStats broadcast_from_root(const graph::Graph& g,
-                                      const TreeState& tree,
-                                      std::uint64_t value,
-                                      std::uint32_t value_bits,
-                                      congest::NetworkConfig cfg = {});
+struct BroadcastOutcome {
+  congest::RunStats stats;
+  /// kDegraded: some node missed the broadcast (dropped on every path).
+  PhaseStatus status = PhaseStatus::kQuiesced;
+};
+
+/// Broadcasts `value` from the tree root to every node. Never throws on
+/// degradation: check the outcome's status.
+BroadcastOutcome broadcast_from_root(const graph::Graph& g,
+                                     const TreeState& tree,
+                                     std::uint64_t value,
+                                     std::uint32_t value_bits,
+                                     congest::NetworkConfig cfg = {});
 
 struct EccOutcome {
   std::uint32_t ecc = 0;
   TreeState tree;
   congest::RunStats stats;
+  /// worst_of the BFS build and the convergecast, escalated to kDegraded
+  /// when the convergecast disagrees with the tree height.
+  PhaseStatus status = PhaseStatus::kQuiesced;
 };
 
 /// ecc(root): BFS-tree construction plus a max-depth convergecast; the

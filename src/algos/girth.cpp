@@ -86,24 +86,39 @@ GirthOutcome classical_girth_census(const graph::Graph& g,
   out.stats += election.stats;
   auto lead = compute_eccentricity(g, election.leader, cfg);
   out.stats += lead.stats;
+  out.status = worst_of(out.status, lead.status);
 
   std::vector<bool> everyone(g.n(), true);
   auto det = detect_sources(g, everyone, cfg);
   out.stats += det.stats;
+  out.status = worst_of(out.status, det.status);
 
   Network net(g, cfg);
   net.init_programs([&](NodeId v) {
     std::vector<std::uint32_t> dist(g.n());
     std::vector<NodeId> hop(g.n());
     for (NodeId s = 0; s < g.n(); ++s) {
-      dist[s] = det.distances[v].at(s);
+      const auto it = det.distances[v].find(s);
+      if (it == det.distances[v].end()) {
+        // Degraded detection lost this wave; an "infinite" (n) but
+        // well-formed distance keeps the exchange messages within their
+        // declared widths and can never win the cycle minimum.
+        dist[s] = g.n();
+        hop[s] = v;
+        continue;
+      }
+      dist[s] = it->second;
       hop[s] = det.first_hops[v].at(s);
     }
     return std::make_unique<GirthExchangeProgram>(std::move(dist),
                                                   std::move(hop), g.n());
   });
   auto exch_stats = net.run_until_quiescent(g.n() + 4);
-  check_internal(exch_stats.quiesced, "girth: exchange did not quiesce");
+  if (!exch_stats.quiesced) {
+    // Under a fault plan the fixed exchange schedule can stall; report a
+    // timed-out census (best-effort candidates follow) instead of aborting.
+    out.status = worst_of(out.status, PhaseStatus::kTimedOut);
+  }
   out.stats += exch_stats;
 
   // Min-convergecast of the local candidates; the sentinel for "no cycle
@@ -113,11 +128,14 @@ GirthOutcome classical_girth_census(const graph::Graph& g,
   std::vector<std::uint64_t> primary(g.n()), zero(g.n(), 0);
   for (NodeId v = 0; v < g.n(); ++v) {
     const auto b = net.program_as<GirthExchangeProgram>(v).best();
-    primary[v] = b == graph::kUnreachable ? sentinel : b;
+    // Candidates above n are impossible for a real cycle — they come from
+    // the "infinite" placeholder distances of a degraded detection phase.
+    primary[v] = (b == graph::kUnreachable || b > g.n()) ? sentinel : b;
   }
   auto agg = aggregate_to_root(g, lead.tree, AggregateOp::kMin, primary,
                                zero, bits, 1, cfg);
   out.stats += agg.stats;
+  out.status = worst_of(out.status, agg.status);
   out.girth = agg.primary == sentinel
                   ? graph::kUnreachable
                   : static_cast<std::uint32_t>(agg.primary);

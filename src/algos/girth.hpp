@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "algos/phase_status.hpp"
 #include "congest/network.hpp"
 #include "graph/graph.hpp"
 
@@ -29,6 +30,11 @@ struct GirthOutcome {
   /// Girth, or graph::kUnreachable if the graph is a forest/tree.
   std::uint32_t girth = 0;
   congest::RunStats stats;
+  /// worst_of the leader eccentricity phase, the exchange (kTimedOut when
+  /// it fails to quiesce), and the final min-convergecast. Non-kQuiesced
+  /// statuses are possible only under a congest::FaultPlan; `girth` is
+  /// then a best-effort value.
+  PhaseStatus status = PhaseStatus::kQuiesced;
 };
 
 GirthOutcome classical_girth_census(const graph::Graph& g,

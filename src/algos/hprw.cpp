@@ -25,7 +25,7 @@ std::uint64_t probe_count(const graph::Graph& g, const TreeState& tree,
   // Nodes need the probe parameters: broadcast (t, c) packed in one value.
   const std::uint64_t packed =
       (static_cast<std::uint64_t>(t) << id_bits) | static_cast<std::uint64_t>(c);
-  acc += broadcast_from_root(g, tree, packed, 2 * id_bits, cfg);
+  acc += broadcast_from_root(g, tree, packed, 2 * id_bits, cfg).stats;
 
   std::vector<std::uint64_t> ind(g.n(), 0), zero(g.n(), 0);
   for (NodeId v = 0; v < g.n(); ++v) {
@@ -114,7 +114,7 @@ PreparationOutcome hprw_preparation(const graph::Graph& g, std::uint32_t s,
                                  id_bits, id_bits, cfg);
     out.stats += agg.stats;
     out.w = static_cast<NodeId>(agg.secondary);
-    out.stats += broadcast_from_root(g, tree_l, out.w, id_bits, cfg);
+    out.stats += broadcast_from_root(g, tree_l, out.w, id_bits, cfg).stats;
   }
 
   // Step 3: BFS(w); the s closest nodes (by (depth, id)) join R. The

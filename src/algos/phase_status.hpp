@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+namespace qc::algos {
+
+/// How a distributed phase (BFS wave, convergecast, broadcast, census
+/// exchange) ended. Under the paper's fault-free model every phase ends
+/// kQuiesced; the other states exist for executions under a
+/// congest::FaultPlan, where the graceful-degradation contract is to
+/// *report* the failure instead of aborting via check_internal.
+///
+/// The enum is ordered by severity (kQuiesced best), so combining phase
+/// statuses is a max.
+enum class PhaseStatus : std::uint8_t {
+  kQuiesced = 0,  ///< quiesced within budget and outputs are complete
+  kTimedOut = 1,  ///< round budget elapsed before quiescence
+  kDegraded = 2,  ///< quiesced, but outputs are incomplete or inconsistent
+                  ///< (e.g. a dropped activation or a corrupted report)
+};
+
+inline const char* to_string(PhaseStatus s) {
+  switch (s) {
+    case PhaseStatus::kQuiesced: return "quiesced";
+    case PhaseStatus::kTimedOut: return "timed-out";
+    case PhaseStatus::kDegraded: return "degraded";
+  }
+  return "?";
+}
+
+/// Combined status of a multi-phase pipeline: the worst of the parts.
+inline PhaseStatus worst_of(PhaseStatus a, PhaseStatus b) {
+  return a >= b ? a : b;
+}
+
+/// Bounded retry discipline for phases running under a fault plan: each
+/// attempt multiplies the round budget by `budget_growth` and re-derives
+/// the fault seed via FaultPlan::for_attempt, so a deterministic plan that
+/// starved one attempt does not starve the next one identically. Attempt
+/// 0 uses the caller's plan unchanged — with max_attempts == 1 the
+/// wrapper is bit-identical to the un-wrapped call.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 3;  ///< total attempts, >= 1
+  std::uint32_t budget_growth = 2; ///< round-budget multiplier per retry
+};
+
+}  // namespace qc::algos

@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "algos/phase_status.hpp"
 #include "algos/tree_state.hpp"
 #include "congest/network.hpp"
 #include "graph/graph.hpp"
@@ -62,6 +63,11 @@ struct SourceDetectionOutcome {
   /// shortest path from that source (v itself if v is the source).
   std::vector<std::map<graph::NodeId, graph::NodeId>> first_hops;
   congest::RunStats stats;
+  /// kTimedOut: no quiescence within the round cap; kDegraded: quiesced
+  /// but some node is missing a source entry (a dropped wave under a
+  /// congest::FaultPlan). The tables then hold what was learned; a missing
+  /// (v, s) entry simply has no key in distances[v].
+  PhaseStatus status = PhaseStatus::kQuiesced;
 };
 
 /// Runs source detection with the given source set (by mask).

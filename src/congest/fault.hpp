@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+
+namespace qc::congest {
+
+/// One node-crash interval of a FaultPlan: `node` is down for every round
+/// r with crash_round <= r < recover_round (rounds are 1-based). A
+/// recover_round of 0 means the node never comes back.
+///
+/// While down, a node neither sends nor receives nor computes: messages it
+/// queued before the crash are lost, messages addressed to it are dropped,
+/// and `on_round` is not invoked. Its `vote_halt` state is frozen, so a
+/// permanently crashed node that had not halted keeps
+/// `run_until_quiescent` from reporting quiescence (the run times out —
+/// the graceful-degradation layer in src/algos turns that into a
+/// timed-out/degraded status instead of an abort).
+struct CrashWindow {
+  graph::NodeId node = 0;
+  std::uint32_t crash_round = 1;
+  std::uint32_t recover_round = 0;  ///< 0 = never recovers
+};
+
+/// Deterministic fault schedule applied by Network::deliver_range — a
+/// model *extension* beyond the paper, whose CONGEST network is perfectly
+/// reliable (see docs/model.md).
+///
+/// Every decision (drop this message? corrupt it? which bit?) is a pure
+/// function of (seed, round, sender, receiver): no shared RNG stream is
+/// consumed, so the decisions do not depend on delivery order, engine, or
+/// thread count. For a fixed plan, sequential and parallel executions are
+/// bit-identical — the same guarantee the observer layer gives for
+/// fault-free runs.
+struct FaultPlan {
+  /// Per-delivery probability that a queued message vanishes in transit.
+  double drop_probability = 0.0;
+  /// Per-delivery probability that one bit of one field is flipped (the
+  /// flipped bit stays inside the field's declared width, so a corrupted
+  /// message is still well-formed and costs the same bandwidth).
+  double corrupt_probability = 0.0;
+  /// Seed of the stateless per-edge-per-round fault rolls.
+  std::uint64_t seed = 1;
+  /// Node crash/recover schedule; empty = no crashes.
+  std::vector<CrashWindow> crashes;
+
+  /// True if the plan can affect an execution at all. A disabled plan is
+  /// never consulted, so default-constructed configs behave exactly as
+  /// before the fault layer existed.
+  bool enabled() const {
+    return drop_probability > 0.0 || corrupt_probability > 0.0 ||
+           !crashes.empty();
+  }
+
+  /// True iff `v` is down in round `round` under the crash schedule.
+  bool crashed(graph::NodeId v, std::uint32_t round) const;
+
+  /// True iff the message from->to of round `round` is dropped.
+  bool drops(std::uint32_t round, graph::NodeId from, graph::NodeId to) const;
+
+  /// True iff the message from->to of round `round` gets a bit flip.
+  bool corrupts(std::uint32_t round, graph::NodeId from,
+                graph::NodeId to) const;
+
+  /// Flips one deterministically chosen bit of one field of `msg` (no-op
+  /// for field-less messages). Call only when corrupts(...) returned true.
+  void corrupt_in_place(Message& msg, std::uint32_t round, graph::NodeId from,
+                        graph::NodeId to) const;
+
+  /// The same plan with a seed decorrelated per retry attempt; attempt 0
+  /// returns the plan unchanged, so a single attempt is bit-identical to
+  /// calling the un-wrapped function. Used by the retry-with-extended-
+  /// budget wrappers in src/algos.
+  FaultPlan for_attempt(std::uint32_t attempt) const;
+};
+
+}  // namespace qc::congest

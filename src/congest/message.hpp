@@ -35,6 +35,46 @@ class Message {
     return values_[i];
   }
 
+  /// Declared width of field `i` in bits.
+  std::uint32_t field_bits(std::size_t i) const {
+    require(i < widths_.size(), "Message::field_bits: index out of range");
+    return widths_[i];
+  }
+
+  /// Overwrites field `i`; the new value must fit the declared width.
+  /// Used by the fault layer to flip bits without changing the layout.
+  void set_field(std::size_t i, std::uint64_t value) {
+    require(i < values_.size(), "Message::set_field: index out of range");
+    require(widths_[i] == 64 || value < (1ULL << widths_[i]),
+            "Message::set_field: value does not fit in declared width");
+    values_[i] = value;
+  }
+
+  /// The message clipped to at most `max_bits`: leading fields are kept
+  /// whole while they fit, the first field that does not fit is narrowed
+  /// to the remaining bits (low bits of its value), and everything after
+  /// it is discarded. This is BandwidthPolicy::kTruncate's wire behavior.
+  Message truncated(std::uint32_t max_bits) const {
+    Message out;
+    std::uint32_t used = 0;
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      const std::uint32_t w = widths_[i];
+      if (used + w <= max_bits) {
+        out.push(values_[i], w);
+        used += w;
+        continue;
+      }
+      const std::uint32_t rem = max_bits - used;
+      if (rem > 0) {
+        const std::uint64_t mask =
+            rem >= 64 ? ~0ULL : (1ULL << rem) - 1;
+        out.push(values_[i] & mask, rem);
+      }
+      break;
+    }
+    return out;
+  }
+
   std::size_t num_fields() const { return values_.size(); }
 
   std::uint32_t size_bits() const {

@@ -8,6 +8,12 @@
 
 namespace qc::congest {
 
+bool neighbors_strictly_sorted(std::span<const graph::NodeId> neighbors) {
+  return std::adjacent_find(neighbors.begin(), neighbors.end(),
+                            std::greater_equal<graph::NodeId>()) ==
+         neighbors.end();
+}
+
 std::uint32_t NodeContext::port_to(NodeId v) const {
   const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), v);
   require(it != neighbors_.end() && *it == v,
@@ -36,6 +42,9 @@ RunStats& RunStats::operator+=(const RunStats& other) {
   quiesced = other.quiesced;
   max_node_memory_bits =
       std::max(max_node_memory_bits, other.max_node_memory_bits);
+  messages_dropped += other.messages_dropped;
+  messages_corrupted += other.messages_corrupted;
+  crashed_node_rounds += other.crashed_node_rounds;
   return *this;
 }
 
@@ -44,19 +53,40 @@ Network::Network(const graph::Graph& g, NetworkConfig cfg)
   bandwidth_bits_ = cfg_.bandwidth_bits != 0
                         ? cfg_.bandwidth_bits
                         : qc::congest_bandwidth_bits(g.n());
+  require(cfg_.fault.drop_probability >= 0.0 &&
+              cfg_.fault.drop_probability <= 1.0,
+          "Network: fault drop_probability must be in [0,1]");
+  require(cfg_.fault.corrupt_probability >= 0.0 &&
+              cfg_.fault.corrupt_probability <= 1.0,
+          "Network: fault corrupt_probability must be in [0,1]");
+  for (const auto& w : cfg_.fault.crashes) {
+    require(w.node < g.n(), "Network: crash schedule names unknown node");
+    require(w.crash_round >= 1, "Network: crash rounds are 1-based");
+    require(w.recover_round == 0 || w.recover_round > w.crash_round,
+            "Network: crash window must recover after it crashes");
+  }
+  fault_enabled_ = cfg_.fault.enabled();
   contexts_.resize(g.n());
-  Rng master(cfg_.seed);
   for (NodeId v = 0; v < g.n(); ++v) {
     auto& ctx = contexts_[v];
     ctx.id_ = v;
     ctx.n_ = g.n();
     const auto nb = g.neighbors(v);
+    require(neighbors_strictly_sorted(nb),
+            "Network: Graph::neighbors must be strictly sorted (port_to "
+            "binary-searches the adjacency list; an unsorted list would "
+            "silently misroute messages)");
     ctx.neighbors_.assign(nb.begin(), nb.end());
     ctx.outbox_.resize(ctx.neighbors_.size());
     ctx.port_used_.assign(ctx.neighbors_.size(), false);
-    ctx.rng_ = master.child(v);
   }
+  reseed_node_rngs();
   programs_.resize(g.n());
+}
+
+void Network::reseed_node_rngs() {
+  Rng master(cfg_.seed);
+  for (NodeId v = 0; v < n(); ++v) contexts_[v].rng_ = master.child(v);
 }
 
 void Network::init_programs(
@@ -71,6 +101,11 @@ void Network::init_programs(
     std::fill(ctx.port_used_.begin(), ctx.port_used_.end(), false);
     ctx.halted_ = false;
   }
+  // Restart the per-node RNG streams from the master seed so a rerun of a
+  // randomized program on the same Network reproduces the first run
+  // bit-for-bit (the constructor seeds identically, so run one after
+  // construction is unaffected).
+  reseed_node_rngs();
   round_ = 0;
   stats_ = RunStats{};
   started_ = false;
@@ -95,18 +130,29 @@ void Network::deliver_range(std::uint32_t begin, std::uint32_t end,
   // deterministic regardless of engine or thread count. Observer events
   // either fire inline (sequential engine, sink == nullptr) or are
   // buffered per worker and flushed in receiver order at the round
-  // barrier — the same (round, to, from) order either way.
+  // barrier — the same (round, to, from) order either way. Fault decisions
+  // are stateless hashes of (seed, round, from, to), so they are the same
+  // under both engines as well.
+  const FaultPlan& fault = cfg_.fault;
   for (NodeId w = begin; w < end; ++w) {
     auto& ctx = contexts_[w];
     ctx.round_ = round_;
     ctx.inbox_.clear();
+    const bool w_crashed = fault_enabled_ && fault.crashed(w, round_);
+    if (w_crashed) ++local.crashed_node_rounds;
     for (std::uint32_t p = 0; p < ctx.degree(); ++p) {
       const NodeId u = ctx.neighbors_[p];
       const auto& sender = contexts_[u];
       const std::uint32_t q = sender.port_to(w);
       if (!sender.port_used_[q]) continue;
+      if (fault_enabled_ &&
+          (w_crashed || fault.crashed(u, round_) || fault.drops(round_, u, w))) {
+        ++local.messages_dropped;
+        continue;
+      }
       const Message& msg = sender.outbox_[q];
       const std::uint32_t sz = msg.size_bits();
+      Message delivered = msg;
       if (sz > bandwidth_bits_) {
         if (cfg_.policy == BandwidthPolicy::kEnforce) {
           std::ostringstream os;
@@ -116,18 +162,27 @@ void Network::deliver_range(std::uint32_t begin, std::uint32_t end,
           throw BandwidthViolationError(os.str());
         }
         ++local.violations;
-      }
-      ++local.messages;
-      local.bits += sz;
-      local.max_edge_bits = std::max(local.max_edge_bits, sz);
-      if (cfg_.observer != nullptr) {
-        if (sink != nullptr) {
-          sink->push_back(PendingDelivery{u, w, &msg});
-        } else {
-          cfg_.observer->on_deliver(u, w, msg, round_);
+        if (cfg_.policy == BandwidthPolicy::kTruncate) {
+          delivered = msg.truncated(bandwidth_bits_);
         }
       }
-      ctx.inbox_.push_back(Incoming{p, msg});
+      if (fault_enabled_ && fault.corrupts(round_, u, w)) {
+        fault.corrupt_in_place(delivered, round_, u, w);
+        ++local.messages_corrupted;
+      }
+      const std::uint32_t delivered_bits = delivered.size_bits();
+      ++local.messages;
+      local.bits += delivered_bits;
+      local.max_edge_bits = std::max(local.max_edge_bits, delivered_bits);
+      ctx.inbox_.push_back(Incoming{p, std::move(delivered)});
+      if (cfg_.observer != nullptr) {
+        if (sink != nullptr) {
+          sink->push_back(PendingDelivery{
+              u, w, static_cast<std::uint32_t>(ctx.inbox_.size() - 1)});
+        } else {
+          cfg_.observer->on_deliver(u, w, ctx.inbox_.back().msg, round_);
+        }
+      }
       ctx.halted_ = false;  // a message re-activates a halted node
     }
   }
@@ -138,13 +193,16 @@ void Network::compute_range(std::uint32_t begin, std::uint32_t end) {
     auto& ctx = contexts_[v];
     // The outbox slots were consumed by every receiver in the deliver
     // phase of this round; clear them before the program writes new ones.
+    // A crashed node's slots clear too — whatever it queued before the
+    // crash is lost with it — but its program does not run.
     std::fill(ctx.port_used_.begin(), ctx.port_used_.end(), false);
+    if (fault_enabled_ && cfg_.fault.crashed(v, round_)) continue;
     if (ctx.halted_ && ctx.inbox_.empty()) continue;
     programs_[v]->on_round(ctx);
   }
 }
 
-void Network::step_round() {
+void Network::step_round(RunStats& phase) {
   ++round_;
   RunStats local;
   deliver_range(0, n(), local, /*sink=*/nullptr);
@@ -154,18 +212,18 @@ void Network::step_round() {
         std::max(local.max_node_memory_bits, programs_[v]->memory_bits());
   }
   local.rounds = 1;
-  stats_ += local;
+  phase += local;
 }
 
 std::uint32_t Network::run_parallel_block(std::uint32_t max_rounds,
-                                          bool until_quiet) {
+                                          bool until_quiet, RunStats& phase) {
   const unsigned hw = std::thread::hardware_concurrency();
   const unsigned requested = cfg_.num_threads != 0 ? cfg_.num_threads : hw;
   const unsigned T = std::max(1u, std::min(requested, n() == 0 ? 1u : n()));
   if (T == 1) {
     std::uint32_t executed = 0;
     while (executed < max_rounds && !(until_quiet && all_quiet())) {
-      step_round();
+      step_round(phase);
       ++executed;
     }
     return executed;
@@ -201,12 +259,15 @@ std::uint32_t Network::run_parallel_block(std::uint32_t max_rounds,
         // Single-threaded flush: workers hold contiguous ascending
         // receiver ranges, so draining buffers in worker order replays
         // the sequential engine's (round, receiver, port) event order
-        // exactly. The extra barrier keeps the pointed-to outbox slots
-        // alive until the flush is done (compute overwrites them).
+        // exactly. The flushed message is read from the receiver's inbox
+        // slot, i.e. exactly what was delivered (post-fault/truncation);
+        // the extra barrier keeps the flush ahead of the compute phase.
         if (t == 0) {
           for (auto& buf : pending) {
             for (const auto& ev : buf) {
-              cfg_.observer->on_deliver(ev.from, ev.to, *ev.msg, round_);
+              cfg_.observer->on_deliver(
+                  ev.from, ev.to, contexts_[ev.to].inbox_[ev.inbox_index].msg,
+                  round_);
             }
             buf.clear();
           }
@@ -235,63 +296,50 @@ std::uint32_t Network::run_parallel_block(std::uint32_t max_rounds,
     merged.max_edge_bits = std::max(merged.max_edge_bits, l.max_edge_bits);
     merged.max_node_memory_bits =
         std::max(merged.max_node_memory_bits, l.max_node_memory_bits);
+    merged.messages_dropped += l.messages_dropped;
+    merged.messages_corrupted += l.messages_corrupted;
+    merged.crashed_node_rounds += l.crashed_node_rounds;
   }
   merged.rounds = executed.load();
-  stats_ += merged;
+  phase += merged;
   return executed.load();
 }
 
-RunStats Network::run_rounds(std::uint32_t rounds) {
-  RunStats before = stats_;
-  if (!started_) {
-    for (NodeId v = 0; v < n(); ++v) {
-      require(programs_[v] != nullptr,
-              "Network::run: init_programs was not called");
-      programs_[v]->on_start(contexts_[v]);
-    }
-    started_ = true;
+void Network::start_if_needed() {
+  if (started_) return;
+  for (NodeId v = 0; v < n(); ++v) {
+    require(programs_[v] != nullptr,
+            "Network::run: init_programs was not called");
+    programs_[v]->on_start(contexts_[v]);
   }
-  if (cfg_.engine == Engine::kParallel) {
-    run_parallel_block(rounds, /*until_quiet=*/false);
-  } else {
-    for (std::uint32_t i = 0; i < rounds; ++i) step_round();
-  }
-  RunStats delta = stats_;
-  delta.rounds -= before.rounds;
-  delta.messages -= before.messages;
-  delta.bits -= before.bits;
-  delta.violations -= before.violations;
-  return delta;
+  started_ = true;
 }
 
-RunStats Network::run_until_quiescent(std::uint32_t max_rounds) {
-  RunStats before = stats_;
-  if (!started_) {
-    for (NodeId v = 0; v < n(); ++v) {
-      require(programs_[v] != nullptr,
-              "Network::run: init_programs was not called");
-      programs_[v]->on_start(contexts_[v]);
-    }
-    started_ = true;
-  }
+RunStats Network::run_phase(std::uint32_t max_rounds, bool until_quiet) {
+  start_if_needed();
+  RunStats phase;
   if (cfg_.engine == Engine::kParallel) {
-    run_parallel_block(max_rounds, /*until_quiet=*/true);
+    run_parallel_block(max_rounds, until_quiet, phase);
   } else {
     std::uint32_t executed = 0;
-    while (executed < max_rounds && !all_quiet()) {
-      step_round();
+    while (executed < max_rounds && !(until_quiet && all_quiet())) {
+      step_round(phase);
       ++executed;
     }
   }
-  const bool quiesced = all_quiet();
-  stats_.quiesced = quiesced;
-  RunStats delta = stats_;
-  delta.rounds -= before.rounds;
-  delta.messages -= before.messages;
-  delta.bits -= before.bits;
-  delta.violations -= before.violations;
-  delta.quiesced = quiesced;
-  return delta;
+  // Per-phase truth, not lifetime state: quiesced reports whether the
+  // network is quiescent *now*, at the end of this call.
+  phase.quiesced = all_quiet();
+  stats_ += phase;
+  return phase;
+}
+
+RunStats Network::run_rounds(std::uint32_t rounds) {
+  return run_phase(rounds, /*until_quiet=*/false);
+}
+
+RunStats Network::run_until_quiescent(std::uint32_t max_rounds) {
+  return run_phase(max_rounds, /*until_quiet=*/true);
 }
 
 }  // namespace qc::congest

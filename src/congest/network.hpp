@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "congest/fault.hpp"
 #include "congest/message.hpp"
 #include "congest/observer.hpp"
 #include "graph/graph.hpp"
@@ -113,9 +114,20 @@ class NodeProgram {
 
 /// How the network reacts to a bandwidth violation.
 enum class BandwidthPolicy {
-  kEnforce,  ///< throw BandwidthViolationError immediately (default)
-  kRecord,   ///< count violations in the stats but deliver anyway
+  kEnforce,   ///< throw BandwidthViolationError immediately (default)
+  kRecord,    ///< count violations in the stats but deliver anyway
+  kTruncate,  ///< count the violation but deliver Message::truncated(bw):
+              ///< leading fields that fit survive, the first overflowing
+              ///< field is narrowed to the remaining bits, the rest is
+              ///< cut. Stats count the clipped (delivered) bits.
 };
+
+/// True iff `neighbors` is strictly increasing — the port-order invariant
+/// that NodeContext::port_to's binary search (and the deterministic inbox
+/// assembly) relies on. The Network constructor validates every adjacency
+/// list with this so an unsorted topology fails loudly at construction
+/// instead of silently misrouting messages.
+bool neighbors_strictly_sorted(std::span<const graph::NodeId> neighbors);
 
 /// Execution engine choice; both produce bit-identical traces.
 enum class Engine {
@@ -141,19 +153,36 @@ struct NetworkConfig {
   /// engine produces, so observed streams are bit-identical either way.
   /// Compose several observers with MultiObserver.
   std::shared_ptr<DeliveryObserver> observer;
+
+  /// Deterministic fault schedule (message drops, bit corruption, node
+  /// crashes) applied during delivery. Disabled by default; a disabled
+  /// plan leaves every execution bit-identical to the pre-fault-layer
+  /// behavior. Decisions are stateless hashes of (fault seed, round,
+  /// sender, receiver), so for a fixed plan both engines produce the same
+  /// trace at every thread count. Observers never see dropped messages and
+  /// see corrupted/truncated messages as delivered.
+  FaultPlan fault;
 };
 
-/// Aggregate statistics of one execution.
+/// Aggregate statistics of one execution phase. run_rounds and
+/// run_until_quiescent return the stats of *that call only* — counters
+/// count the phase's own traffic and the maxima are per-phase maxima, not
+/// lifetime high-water marks; Network::stats() keeps the lifetime
+/// aggregate.
 struct RunStats {
   std::uint32_t rounds = 0;        ///< rounds actually executed
   std::uint64_t messages = 0;      ///< messages delivered
   std::uint64_t bits = 0;          ///< total bits delivered
   std::uint32_t max_edge_bits = 0; ///< max bits on one edge-direction in a round
-  std::uint64_t violations = 0;    ///< bandwidth violations (kRecord only)
-  bool quiesced = false;           ///< true if the run ended by quiescence
+  std::uint64_t violations = 0;    ///< bandwidth violations (kRecord/kTruncate)
+  bool quiesced = false;           ///< network was quiescent when the phase ended
   std::uint64_t max_node_memory_bits = 0;  ///< high-water mark of memory_bits()
+  std::uint64_t messages_dropped = 0;    ///< deliveries suppressed by the fault plan
+  std::uint64_t messages_corrupted = 0;  ///< deliveries with a fault bit flip
+  std::uint64_t crashed_node_rounds = 0; ///< (node, round) pairs spent crashed
 
-  /// Merges stats of a later phase into this one (rounds add up).
+  /// Merges stats of a later phase into this one (rounds add up, maxima
+  /// combine by max, quiesced reflects the later phase).
   RunStats& operator+=(const RunStats& other);
 };
 
@@ -174,11 +203,13 @@ class Network {
       const std::function<std::unique_ptr<NodeProgram>(NodeId)>& make);
 
   /// Runs exactly `rounds` rounds (time-driven procedures such as Figure 2,
-  /// which executes for a fixed 6d-round budget, use this mode).
+  /// which executes for a fixed 6d-round budget, use this mode). Returns
+  /// the stats of this call only (true per-phase deltas).
   RunStats run_rounds(std::uint32_t rounds);
 
   /// Runs until every node has halted and no message is in flight, or
   /// until `max_rounds` elapses. stats.quiesced tells which happened.
+  /// Returns the stats of this call only (true per-phase deltas).
   RunStats run_until_quiescent(std::uint32_t max_rounds);
 
   const graph::Graph& topology() const { return *graph_; }
@@ -207,29 +238,37 @@ class Network {
 
  private:
   /// A delivery buffered by one parallel worker for the round-barrier
-  /// flush; `msg` points into the sender's outbox, which is stable until
-  /// the compute phase (the flush happens before it).
+  /// flush. It names the receiver's inbox slot rather than the sender's
+  /// outbox slot so the flushed event carries the message *as delivered*
+  /// (after any fault corruption or bandwidth truncation); the inbox is
+  /// fully assembled and stable at the flush barrier.
   struct PendingDelivery {
     NodeId from;
     NodeId to;
-    const Message* msg;
+    std::uint32_t inbox_index;
   };
 
-  void step_round();
+  void start_if_needed();
+  /// Shared body of run_rounds / run_until_quiescent: executes one phase,
+  /// accumulates it into the lifetime stats_, and returns the phase stats.
+  RunStats run_phase(std::uint32_t max_rounds, bool until_quiet);
+  void step_round(RunStats& phase);
   void compute_range(std::uint32_t begin, std::uint32_t end);
   void deliver_range(std::uint32_t begin, std::uint32_t end,
                      RunStats& local_stats,
                      std::vector<PendingDelivery>* sink);
   bool all_quiet() const;
+  void reseed_node_rngs();
   /// Runs up to `max_rounds` with persistent worker threads (one spawn per
   /// call, 3 barriers per round); stops early at quiescence when
-  /// `until_quiet`. Returns rounds executed.
-  std::uint32_t run_parallel_block(std::uint32_t max_rounds,
-                                   bool until_quiet);
+  /// `until_quiet`. Accumulates into `phase` and returns rounds executed.
+  std::uint32_t run_parallel_block(std::uint32_t max_rounds, bool until_quiet,
+                                   RunStats& phase);
 
   const graph::Graph* graph_;
   NetworkConfig cfg_;
   std::uint32_t bandwidth_bits_ = 0;
+  bool fault_enabled_ = false;
   std::uint32_t round_ = 0;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
   std::vector<NodeContext> contexts_;

@@ -33,14 +33,14 @@ InitPhase run_initialization(const graph::Graph& g,
   init.d = ecc.ecc;
 
   const std::uint32_t id_bits = qc::bit_width_for(g.n()) + 1;
-  acc += algos::broadcast_from_root(g, init.tree, init.d, id_bits, net);
+  acc += algos::broadcast_from_root(g, init.tree, init.d, id_bits, net).stats;
   init.rounds = acc.rounds;
 
   // Proposition 2: Setup broadcasts the internal register down BFS(leader)
   // with CNOT copies — per branch this is exactly a value broadcast, so
   // measure its round cost with one instrumentation run (not charged).
   init.t_setup =
-      algos::broadcast_from_root(g, init.tree, 0, id_bits, net).rounds;
+      algos::broadcast_from_root(g, init.tree, 0, id_bits, net).stats.rounds;
   return init;
 }
 

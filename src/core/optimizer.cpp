@@ -14,7 +14,11 @@ OptimizationReport distributed_quantum_optimize(const OptimizationProblem& p,
   require(p.domain_size >= 1, "optimize: empty domain");
   require(p.evaluate != nullptr, "optimize: no objective");
   require(p.epsilon > 0 && p.epsilon <= 1, "optimize: epsilon out of range");
-
+  OptimizationReport rep;
+  // Precondition violations above are caller bugs and still throw; a
+  // qc::Error from here on comes from the distributed subroutine (branch
+  // simulation) and is surfaced in the report instead.
+  try {
   const auto setup_state =
       p.support.empty()
           ? qsim::AmplitudeVector::uniform(p.domain_size)
@@ -38,7 +42,6 @@ OptimizationReport distributed_quantum_optimize(const OptimizationProblem& p,
       setup_state, [&branches](std::size_t x) { return branches(x); },
       p.epsilon, p.delta, rng);
 
-  OptimizationReport rep;
   rep.argmax = m.argmax;
   rep.value = m.value;
   rep.budget_exhausted = m.budget_exhausted;
@@ -59,6 +62,10 @@ OptimizationReport distributed_quantum_optimize(const OptimizationProblem& p,
       std::ceil(std::log2(1.0 / p.epsilon)) + 1);
   rep.leader_memory_qubits =
       rep.per_node_memory_qubits + x_bits * outcome_slots;
+  } catch (const qc::Error& e) {
+    rep.subroutine_failed = true;
+    rep.failure_reason = e.what();
+  }
   return rep;
 }
 
@@ -66,7 +73,8 @@ SearchReport distributed_quantum_search(const SearchProblem& p, Rng& rng) {
   require(p.domain_size >= 1, "search: empty domain");
   require(p.marked != nullptr, "search: no predicate");
   require(p.epsilon > 0 && p.epsilon <= 1, "search: epsilon out of range");
-
+  SearchReport rep;
+  try {
   const auto setup_state =
       p.support.empty()
           ? qsim::AmplitudeVector::uniform(p.domain_size)
@@ -83,7 +91,6 @@ SearchReport distributed_quantum_search(const SearchProblem& p, Rng& rng) {
       setup_state, [&branches](std::size_t x) { return branches(x); },
       p.epsilon, p.delta, rng);
 
-  SearchReport rep;
   rep.found = s.found;
   rep.witness = s.item;
   rep.costs = s.costs;
@@ -100,6 +107,10 @@ SearchReport distributed_quantum_search(const SearchProblem& p, Rng& rng) {
   const std::uint64_t x_bits = qc::bit_width_for(p.domain_size);
   rep.per_node_memory_qubits = x_bits + 4ULL * (x_bits + 2);
   rep.leader_memory_qubits = rep.per_node_memory_qubits + x_bits;
+  } catch (const qc::Error& e) {
+    rep.subroutine_failed = true;
+    rep.failure_reason = e.what();
+  }
   return rep;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "qsim/search.hpp"
@@ -52,6 +53,13 @@ struct OptimizationReport {
   std::size_t argmax = 0;
   std::int64_t value = 0;
   bool budget_exhausted = false;
+  /// True when a branch simulation (the distributed Evaluation subroutine)
+  /// raised a qc::Error — e.g. a bandwidth violation under kEnforce or an
+  /// internal consistency failure under a fault plan. The report is then
+  /// returned with `failure_reason` instead of propagating the exception;
+  /// argmax/value/costs are meaningless.
+  bool subroutine_failed = false;
+  std::string failure_reason;
 
   qsim::SearchCosts costs;            ///< Setup/Grover/check counts
   std::uint64_t distinct_evaluations = 0;  ///< distinct branches simulated
@@ -107,6 +115,9 @@ struct SearchProblem {
 struct SearchReport {
   bool found = false;
   std::size_t witness = 0;  ///< a marked element when found
+  /// Same contract as OptimizationReport::subroutine_failed.
+  bool subroutine_failed = false;
+  std::string failure_reason;
 
   qsim::SearchCosts costs;
   std::uint64_t distinct_evaluations = 0;

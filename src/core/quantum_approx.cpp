@@ -78,10 +78,11 @@ QuantumApproxReport quantum_diameter_approx(const graph::Graph& g,
     // Setup distributes u0 over BFS(w); measure its cost (Prop. 2).
     const std::uint32_t t_setup =
         algos::broadcast_from_root(g, prep.tree_w, 0, id_bits, cfg.net)
-            .rounds;
+            .stats.rounds;
     // Announce the window parameter (2d_sub) so nodes know the schedule.
     prep_acc += algos::broadcast_from_root(g, prep.tree_w, d_sub, id_bits,
-                                           cfg.net);
+                                           cfg.net)
+                    .stats;
     rep.prep_rounds = prep_acc.rounds;
 
     // The same Figure 2 oracle as the exact algorithm, restricted to R via
@@ -105,7 +106,10 @@ QuantumApproxReport quantum_diameter_approx(const graph::Graph& g,
 
     Rng rng(cfg.seed ^ 0xa99ae5u);
     auto opt = distributed_quantum_optimize(prob, rng);
-    quantum_value = static_cast<std::uint32_t>(opt.value);
+    rep.subroutine_failed = opt.subroutine_failed;
+    rep.failure_reason = opt.failure_reason;
+    quantum_value =
+        opt.subroutine_failed ? 0 : static_cast<std::uint32_t>(opt.value);
     rep.quantum_rounds = opt.total_rounds;
     rep.costs = opt.costs;
     rep.distinct_branch_evaluations = opt.distinct_evaluations;

@@ -22,6 +22,11 @@ struct QuantumApproxReport {
   std::uint64_t distinct_branch_evaluations = 0;
   std::uint64_t per_node_memory_qubits = 0;
   std::uint64_t leader_memory_qubits = 0;
+
+  /// Propagated from OptimizationReport: the quantum phase's Evaluation
+  /// subroutine failed and `estimate` rests on the classical phase only.
+  bool subroutine_failed = false;
+  std::string failure_reason;
 };
 
 /// Theorem 4: the quantum 3/2-approximation of Figure 3. The preparation

@@ -58,6 +58,8 @@ DecisionReport quantum_diameter_decide(const graph::Graph& g,
   Rng rng(cfg.seed ^ 0xdec1deULL);
   auto s = distributed_quantum_search(prob, rng);
 
+  rep.subroutine_failed = s.subroutine_failed;
+  rep.failure_reason = s.failure_reason;
   rep.diameter_exceeds = s.found;
   rep.witness = s.found ? static_cast<graph::NodeId>(s.witness)
                         : graph::kInvalidNode;

@@ -21,6 +21,11 @@ struct DecisionReport {
   std::uint64_t distinct_branch_evaluations = 0;
   std::uint64_t per_node_memory_qubits = 0;
   std::uint64_t leader_memory_qubits = 0;
+
+  /// Propagated from SearchReport: the checking subroutine raised a
+  /// qc::Error and `diameter_exceeds` is meaningless.
+  bool subroutine_failed = false;
+  std::string failure_reason;
 };
 
 /// Decides "diameter > threshold?" — the decision form the paper's lower

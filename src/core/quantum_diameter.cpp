@@ -61,6 +61,8 @@ QuantumDiameterReport run_diameter_optimization(const graph::Graph& g,
   rep.budget_exhausted = opt.budget_exhausted;
   rep.per_node_memory_qubits = opt.per_node_memory_qubits;
   rep.leader_memory_qubits = opt.leader_memory_qubits;
+  rep.subroutine_failed = opt.subroutine_failed;
+  rep.failure_reason = opt.failure_reason;
   return rep;
 }
 

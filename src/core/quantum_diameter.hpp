@@ -57,6 +57,12 @@ struct QuantumDiameterReport {
 
   std::uint64_t per_node_memory_qubits = 0;
   std::uint64_t leader_memory_qubits = 0;
+
+  /// Propagated from OptimizationReport: the distributed Evaluation
+  /// subroutine raised a qc::Error (e.g. under a fault plan) and
+  /// `diameter` is meaningless.
+  bool subroutine_failed = false;
+  std::string failure_reason;
 };
 
 /// The simpler algorithm of Section 3.1: quantum maximization of

@@ -39,7 +39,11 @@ RadiusReport quantum_radius(const graph::Graph& g, const QuantumConfig& cfg) {
   Rng rng(cfg.seed ^ 0x5ad105ULL);
   auto opt = distributed_quantum_optimize(prob, rng);
 
-  rep.radius = static_cast<std::uint32_t>(-opt.value);
+  rep.subroutine_failed = opt.subroutine_failed;
+  rep.failure_reason = opt.failure_reason;
+  rep.radius = opt.subroutine_failed
+                   ? 0
+                   : static_cast<std::uint32_t>(-opt.value);
   rep.center = static_cast<graph::NodeId>(opt.argmax);
   rep.total_rounds = opt.total_rounds;
   rep.costs = opt.costs;

@@ -22,6 +22,11 @@ struct RadiusReport {
   bool budget_exhausted = false;
   std::uint64_t per_node_memory_qubits = 0;
   std::uint64_t leader_memory_qubits = 0;
+
+  /// Propagated from OptimizationReport: the Evaluation subroutine raised
+  /// a qc::Error and `radius`/`center` are meaningless.
+  bool subroutine_failed = false;
+  std::string failure_reason;
 };
 
 /// Quantum radius (and a center vertex) in O~(sqrt(n) * D) rounds: the

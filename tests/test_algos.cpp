@@ -96,8 +96,9 @@ TEST(Convergecast, Sum) {
 TEST(Broadcast, ReachesEveryone) {
   auto g = random_graph(30, 6, 5);
   auto tree = build_bfs_tree(g, 2).tree;
-  auto stats = broadcast_from_root(g, tree, 12345, 20);
-  EXPECT_LE(stats.rounds, tree.height + 3);
+  auto out = broadcast_from_root(g, tree, 12345, 20);
+  EXPECT_EQ(out.status, PhaseStatus::kQuiesced);
+  EXPECT_LE(out.stats.rounds, tree.height + 3);
 }
 
 TEST(EccentricityDistributed, MatchesCentralized) {

@@ -89,9 +89,10 @@ INSTANTIATE_TEST_SUITE_P(Shapes, AggregationShapes,
 TEST(Broadcast, ValueSurvivesDeepTrees) {
   auto g = graph::make_path(80);
   auto tree = build_bfs_tree(g, 0).tree;
-  auto stats = broadcast_from_root(g, tree, 0xABCDE, 20);
-  EXPECT_GE(stats.rounds, 79u);
-  EXPECT_LE(stats.rounds, 82u);
+  auto out = broadcast_from_root(g, tree, 0xABCDE, 20);
+  EXPECT_EQ(out.status, PhaseStatus::kQuiesced);
+  EXPECT_GE(out.stats.rounds, 79u);
+  EXPECT_LE(out.stats.rounds, 82u);
 }
 
 TEST(Broadcast, NonTreeNeighborsIgnoreCopies) {
@@ -100,8 +101,8 @@ TEST(Broadcast, NonTreeNeighborsIgnoreCopies) {
   // exactly one level deep.
   auto g = graph::make_complete(10);
   auto tree = build_bfs_tree(g, 3).tree;
-  auto stats = broadcast_from_root(g, tree, 5, 8);
-  EXPECT_LE(stats.rounds, 3u);
+  auto out = broadcast_from_root(g, tree, 5, 8);
+  EXPECT_LE(out.stats.rounds, 3u);
 }
 
 // ---------------------------------------------------------------------------

@@ -129,11 +129,13 @@ struct TracedRun {
 };
 
 TracedRun traced_bfs(const Graph& g, congest::Engine engine,
-                     std::uint32_t threads) {
+                     std::uint32_t threads,
+                     congest::FaultPlan fault = {}) {
   congest::TraceRecorder rec;
   congest::NetworkConfig cfg;
   cfg.engine = engine;
   cfg.num_threads = threads;
+  cfg.fault = fault;
   TracedRun out;
   out.stats = algos::build_bfs_tree(g, 0, rec.arm(cfg)).stats;
   out.events = rec.events();
@@ -154,6 +156,38 @@ TEST(EngineParity, TraceIdenticalSequentialVsParallel) {
       EXPECT_EQ(par.events, base.events)
           << "seed " << seed << ", " << threads << " threads";
     }
+  }
+}
+
+TEST(EngineParity, FaultPlanIdenticalSequentialVsParallel) {
+  // Fault decisions are stateless hashes of (seed, round, from, to), so a
+  // fixed plan must leave the delivered event stream — and every fault
+  // counter — bit-identical across engines and thread counts.
+  congest::FaultPlan plan;
+  plan.drop_probability = 0.1;
+  plan.corrupt_probability = 0.05;
+  plan.seed = 77;
+  for (std::uint64_t seed : {31ULL, 32ULL}) {
+    auto g = random_graph(42 + 2 * static_cast<std::uint32_t>(seed), 7, seed);
+    auto base = traced_bfs(g, congest::Engine::kSequential, 1, plan);
+    ASSERT_FALSE(base.events.empty());
+    EXPECT_GT(base.stats.messages_dropped, 0u) << "seed " << seed;
+    for (std::uint32_t threads : {2u, 8u}) {
+      auto par = traced_bfs(g, congest::Engine::kParallel, threads, plan);
+      EXPECT_EQ(par.stats.rounds, base.stats.rounds) << threads << " threads";
+      EXPECT_EQ(par.stats.messages, base.stats.messages)
+          << threads << " threads";
+      EXPECT_EQ(par.stats.bits, base.stats.bits) << threads << " threads";
+      EXPECT_EQ(par.stats.messages_dropped, base.stats.messages_dropped)
+          << threads << " threads";
+      EXPECT_EQ(par.stats.messages_corrupted, base.stats.messages_corrupted)
+          << threads << " threads";
+      EXPECT_EQ(par.events, base.events)
+          << "seed " << seed << ", " << threads << " threads";
+    }
+    // Same plan, same engine: reproducible run to run.
+    auto again = traced_bfs(g, congest::Engine::kSequential, 1, plan);
+    EXPECT_EQ(again.events, base.events) << "seed " << seed;
   }
 }
 

@@ -1,0 +1,484 @@
+// The deterministic fault-injection layer and the run-lifecycle fixes that
+// shipped with it: true per-phase RunStats deltas, RNG reseeding on
+// init_programs, adjacency sortedness validation, kTruncate clipping, and
+// the graceful-degradation contract of the algorithm layer.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "algos/bfs_tree.hpp"
+#include "algos/girth.hpp"
+#include "congest/fault.hpp"
+#include "congest/network.hpp"
+#include "congest/trace.hpp"
+#include "core/optimizer.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qc {
+namespace {
+
+using congest::CrashWindow;
+using congest::Message;
+using congest::Network;
+using congest::NetworkConfig;
+using congest::NodeContext;
+using graph::Graph;
+using graph::NodeId;
+
+Graph random_graph(std::uint32_t n, std::uint32_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  return graph::make_random_with_diameter(n, d, rng);
+}
+
+/// Broadcasts one `width(round)`-bit message per round through round
+/// `last_send`, then goes quiet; never reacts to its inbox, so the send
+/// schedule (and hence the fault-free delivery count) is input-independent.
+class ChatterProgram : public congest::NodeProgram {
+ public:
+  explicit ChatterProgram(std::uint32_t last_send, std::uint32_t bits = 8)
+      : last_send_(last_send), bits_(bits) {}
+
+  void on_start(NodeContext& ctx) override {
+    ctx.broadcast(Message().push(1, bits_));
+  }
+
+  void on_round(NodeContext& ctx) override {
+    if (ctx.round() <= last_send_) {
+      ctx.broadcast(Message().push(1, bits_));
+    }
+    ctx.vote_halt();
+  }
+
+ private:
+  std::uint32_t last_send_;
+  std::uint32_t bits_;
+};
+
+// ---------------------------------------------------------------------------
+// Satellite regression: run_rounds / run_until_quiescent report true
+// per-phase deltas, not lifetime state.
+// ---------------------------------------------------------------------------
+
+// Sends wide (16-bit) messages through round 2 and narrow (4-bit) ones
+// afterwards; memory_bits shrinks at the same boundary.
+class ShrinkingProgram : public congest::NodeProgram {
+ public:
+  void on_start(NodeContext& ctx) override {
+    ctx.broadcast(Message().push(1, 16));
+  }
+
+  void on_round(NodeContext& ctx) override {
+    last_round_ = ctx.round();
+    if (ctx.round() <= 5) {
+      const std::uint32_t bits = ctx.round() <= 2 ? 16 : 4;
+      ctx.broadcast(Message().push(1, bits));
+    } else {
+      ctx.vote_halt();
+    }
+  }
+
+  std::uint64_t memory_bits() const override {
+    return last_round_ <= 3 ? 1000 : 10;
+  }
+
+ private:
+  std::uint32_t last_round_ = 0;
+};
+
+TEST(PerPhaseStats, MaximaAreNotLifetimeHighWaterMarks) {
+  auto g = graph::make_path(4);
+  Network net(g);
+  net.init_programs(
+      [](NodeId) { return std::make_unique<ShrinkingProgram>(); });
+
+  // Phase 1 (rounds 1-3): every delivery is 16 bits and memory is high.
+  auto phase1 = net.run_rounds(3);
+  EXPECT_EQ(phase1.rounds, 3u);
+  EXPECT_EQ(phase1.max_edge_bits, 16u);
+  EXPECT_EQ(phase1.max_node_memory_bits, 1000u);
+
+  // Phase 2 (rounds 4-6): only 4-bit messages (queued in rounds 3-5) and
+  // shrunk memory. The old delta computation copied the lifetime maxima
+  // (16 / 1000) into the second phase.
+  auto phase2 = net.run_rounds(3);
+  EXPECT_EQ(phase2.rounds, 3u);
+  EXPECT_EQ(phase2.max_edge_bits, 4u);
+  EXPECT_EQ(phase2.max_node_memory_bits, 10u);
+
+  // The lifetime aggregate still carries the high-water marks.
+  EXPECT_EQ(net.stats().max_edge_bits, 16u);
+  EXPECT_EQ(net.stats().max_node_memory_bits, 1000u);
+  EXPECT_EQ(net.stats().rounds, 6u);
+}
+
+TEST(PerPhaseStats, RunRoundsReportsCurrentQuiescence) {
+  auto g = graph::make_path(3);
+  Network net(g);
+  net.init_programs(
+      [](NodeId) { return std::make_unique<ChatterProgram>(4); });
+
+  // Mid-chatter: messages still in flight.
+  auto phase1 = net.run_rounds(2);
+  EXPECT_FALSE(phase1.quiesced);
+
+  // By round 7 the last send (round 4) has long been delivered and every
+  // node has halted; run_rounds must say so. (The old code copied the
+  // stale lifetime flag, which run_rounds never set.)
+  auto phase2 = net.run_rounds(5);
+  EXPECT_TRUE(phase2.quiesced);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regression: init_programs reseeds the per-node RNG streams.
+// ---------------------------------------------------------------------------
+
+class RngDrawProgram : public congest::NodeProgram {
+ public:
+  void on_round(NodeContext& ctx) override {
+    draws.push_back(ctx.rng().next_below(1u << 30));
+    if (ctx.round() >= 3) ctx.vote_halt();
+  }
+
+  std::vector<std::uint64_t> draws;
+};
+
+TEST(Lifecycle, InitProgramsReseedsNodeRngs) {
+  auto g = graph::make_complete(5);
+  Network net(g);
+  auto run_once = [&net, &g] {
+    net.init_programs(
+        [](NodeId) { return std::make_unique<RngDrawProgram>(); });
+    net.run_rounds(3);
+    std::vector<std::vector<std::uint64_t>> all;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      all.push_back(net.program_as<RngDrawProgram>(v).draws);
+    }
+    return all;
+  };
+  const auto first = run_once();
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first[0].size(), 3u);
+  // Distinct nodes get distinct streams...
+  EXPECT_NE(first[0], first[1]);
+  // ...and a rerun on the same Network reproduces run one bit-for-bit
+  // (pre-fix, the second run continued the consumed streams).
+  EXPECT_EQ(run_once(), first);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regression: adjacency sortedness is validated, not assumed.
+// ---------------------------------------------------------------------------
+
+TEST(Lifecycle, NeighborsStrictlySortedPredicate) {
+  using congest::neighbors_strictly_sorted;
+  const std::vector<NodeId> ok{1, 2, 5};
+  const std::vector<NodeId> unsorted{1, 3, 2};
+  const std::vector<NodeId> duplicate{1, 1};
+  const std::vector<NodeId> empty;
+  EXPECT_TRUE(neighbors_strictly_sorted(ok));
+  EXPECT_TRUE(neighbors_strictly_sorted(empty));
+  EXPECT_FALSE(neighbors_strictly_sorted(unsorted));
+  EXPECT_FALSE(neighbors_strictly_sorted(duplicate));
+}
+
+// ---------------------------------------------------------------------------
+// Fault plan: accounting and determinism.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, DisabledPlanIsBitIdenticalToDefault) {
+  auto g = random_graph(30, 6, 5);
+  auto run = [&g](NetworkConfig cfg) {
+    congest::TraceRecorder rec;
+    auto out = algos::build_bfs_tree(g, 0, rec.arm(cfg));
+    return std::tuple{rec.events(), out.stats, out.status};
+  };
+  NetworkConfig zeroed;
+  zeroed.fault.seed = 999;  // seed alone must not matter: the plan is off
+  const auto base = run(NetworkConfig{});
+  const auto sameness = run(zeroed);
+  EXPECT_EQ(std::get<0>(sameness), std::get<0>(base));
+  EXPECT_EQ(std::get<1>(sameness).messages, std::get<1>(base).messages);
+  EXPECT_EQ(std::get<1>(sameness).bits, std::get<1>(base).bits);
+  EXPECT_EQ(std::get<1>(base).messages_dropped, 0u);
+  EXPECT_EQ(std::get<1>(base).messages_corrupted, 0u);
+  EXPECT_EQ(std::get<1>(base).crashed_node_rounds, 0u);
+  EXPECT_EQ(std::get<2>(base), algos::PhaseStatus::kQuiesced);
+}
+
+TEST(FaultPlan, DroppedPlusDeliveredIsConserved) {
+  auto g = graph::make_complete(6);
+  auto run = [&g](double drop) {
+    NetworkConfig cfg;
+    cfg.fault.drop_probability = drop;
+    cfg.fault.seed = 42;
+    Network net(g, cfg);
+    net.init_programs(
+        [](NodeId) { return std::make_unique<ChatterProgram>(5); });
+    return net.run_rounds(6);
+  };
+  const auto clean = run(0.0);
+  EXPECT_EQ(clean.messages_dropped, 0u);
+  const auto faulty = run(0.4);
+  EXPECT_GT(faulty.messages_dropped, 0u);
+  // Chatter sends regardless of its inbox, so the queue contents are
+  // identical in both runs and every queued message is either delivered
+  // or counted as dropped.
+  EXPECT_EQ(faulty.messages + faulty.messages_dropped, clean.messages);
+  // Same plan, same run: the decisions are a pure function of the seed.
+  const auto again = run(0.4);
+  EXPECT_EQ(again.messages, faulty.messages);
+  EXPECT_EQ(again.messages_dropped, faulty.messages_dropped);
+}
+
+// Receiver-side audit for the corruption test: every delivered message
+// must keep its layout (2 fields of widths 6 and 7) — corruption flips a
+// bit *inside* a field, it never breaks framing.
+class LayoutAuditProgram : public congest::NodeProgram {
+ public:
+  void on_start(NodeContext& ctx) override { send(ctx); }
+
+  void on_round(NodeContext& ctx) override {
+    for (const auto& in : ctx.inbox()) {
+      ++received;
+      if (in.msg.num_fields() != 2 || in.msg.field_bits(0) != 6 ||
+          in.msg.field_bits(1) != 7 || in.msg.field(0) >= (1u << 6) ||
+          in.msg.field(1) >= (1u << 7)) {
+        malformed = true;
+      }
+      if (in.msg.field(0) != 9 || in.msg.field(1) != 42) ++altered;
+    }
+    if (ctx.round() <= 5) send(ctx);
+    ctx.vote_halt();
+  }
+
+  std::uint64_t received = 0;
+  std::uint64_t altered = 0;
+  bool malformed = false;
+
+ private:
+  void send(NodeContext& ctx) {
+    ctx.broadcast(Message().push(9, 6).push(42, 7));
+  }
+};
+
+TEST(FaultPlan, CorruptionFlipsBitsButKeepsMessagesWellFormed) {
+  auto g = graph::make_complete(4);
+  NetworkConfig cfg;
+  cfg.fault.corrupt_probability = 1.0;  // flip one bit of every delivery
+  cfg.fault.seed = 7;
+  Network net(g, cfg);
+  net.init_programs(
+      [](NodeId) { return std::make_unique<LayoutAuditProgram>(); });
+  auto stats = net.run_rounds(6);
+  EXPECT_GT(stats.messages, 0u);
+  EXPECT_EQ(stats.messages_corrupted, stats.messages);
+  std::uint64_t received = 0, altered = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto& p = net.program_as<LayoutAuditProgram>(v);
+    EXPECT_FALSE(p.malformed) << "node " << v;
+    received += p.received;
+    altered += p.altered;
+  }
+  EXPECT_EQ(received, stats.messages);
+  // One flipped bit always changes exactly one field value.
+  EXPECT_EQ(altered, stats.messages);
+}
+
+TEST(FaultPlan, CrashWindowAccountingIsExact) {
+  auto g = graph::make_complete(3);
+  NetworkConfig cfg;
+  cfg.fault.crashes = {CrashWindow{1, 2, 5}};  // node 1 down rounds 2-4
+  Network net(g, cfg);
+  net.init_programs(
+      [](NodeId) { return std::make_unique<ChatterProgram>(5); });
+  auto stats = net.run_rounds(6);
+  EXPECT_EQ(stats.crashed_node_rounds, 3u);
+  // Round 2 drops node 1's two queued sends plus the two sends addressed
+  // to it; rounds 3-4 drop only the two inbound each (a crashed node
+  // queues nothing).
+  EXPECT_EQ(stats.messages_dropped, 8u);
+}
+
+TEST(FaultPlan, ForAttemptDecorrelatesButKeepsAttemptZero) {
+  congest::FaultPlan plan;
+  plan.drop_probability = 0.2;
+  plan.seed = 5;
+  EXPECT_EQ(plan.for_attempt(0).seed, plan.seed);
+  EXPECT_NE(plan.for_attempt(1).seed, plan.seed);
+  EXPECT_NE(plan.for_attempt(2).seed, plan.for_attempt(1).seed);
+  EXPECT_EQ(plan.for_attempt(1).drop_probability, plan.drop_probability);
+}
+
+TEST(FaultPlan, InvalidPlansFailLoudlyAtConstruction) {
+  auto g = graph::make_path(3);
+  NetworkConfig bad_prob;
+  bad_prob.fault.drop_probability = 1.5;
+  EXPECT_THROW(Network(g, bad_prob), InvalidArgumentError);
+  NetworkConfig bad_node;
+  bad_node.fault.crashes = {CrashWindow{7, 1, 0}};
+  EXPECT_THROW(Network(g, bad_node), InvalidArgumentError);
+  NetworkConfig bad_window;
+  bad_window.fault.crashes = {CrashWindow{0, 3, 2}};
+  EXPECT_THROW(Network(g, bad_window), InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
+// BandwidthPolicy::kTruncate.
+// ---------------------------------------------------------------------------
+
+TEST(Truncate, MessageTruncatedKeepsLeadingFields) {
+  const auto msg = Message().push(3, 5).push(200, 8).push(1, 4);
+  // Whole message fits: unchanged.
+  EXPECT_EQ(msg.truncated(17), msg);
+  // First field whole, second narrowed to 3 bits (low bits of 200 = 0).
+  const auto cut = msg.truncated(8);
+  EXPECT_EQ(cut.num_fields(), 2u);
+  EXPECT_EQ(cut.size_bits(), 8u);
+  EXPECT_EQ(cut.field(0), 3u);
+  EXPECT_EQ(cut.field_bits(1), 3u);
+  EXPECT_EQ(cut.field(1), 200u & 0x7u);
+  // Cut inside the first field.
+  EXPECT_EQ(msg.truncated(2).num_fields(), 1u);
+  EXPECT_EQ(msg.truncated(2).field(0), 3u & 0x3u);
+  // Nothing fits.
+  EXPECT_EQ(msg.truncated(0).num_fields(), 0u);
+}
+
+class OversizedSender : public congest::NodeProgram {
+ public:
+  void on_round(NodeContext& ctx) override {
+    if (ctx.id() == 0 && ctx.round() == 1) {
+      ctx.broadcast(Message().push(3, 5).push(200, 8));  // 13 bits
+    }
+    if (ctx.round() >= 2) {
+      for (const auto& in : ctx.inbox()) inbox.push_back(in.msg);
+      ctx.vote_halt();
+    }
+  }
+
+  std::vector<Message> inbox;
+};
+
+TEST(Truncate, PolicyClipsInsteadOfThrowing) {
+  auto g = graph::make_path(2);
+  NetworkConfig cfg;
+  cfg.bandwidth_bits = 8;
+  cfg.policy = congest::BandwidthPolicy::kTruncate;
+  Network net(g, cfg);
+  net.init_programs([](NodeId) { return std::make_unique<OversizedSender>(); });
+  auto stats = net.run_until_quiescent(5);
+  EXPECT_TRUE(stats.quiesced);
+  EXPECT_EQ(stats.violations, 1u);
+  EXPECT_EQ(stats.max_edge_bits, 8u);  // stats count the clipped bits
+  const auto& receiver = net.program_as<OversizedSender>(1);
+  ASSERT_EQ(receiver.inbox.size(), 1u);
+  EXPECT_EQ(receiver.inbox[0].size_bits(), 8u);
+  EXPECT_EQ(receiver.inbox[0].field(0), 3u);
+
+  NetworkConfig strict = cfg;
+  strict.policy = congest::BandwidthPolicy::kEnforce;
+  Network net2(g, strict);
+  net2.init_programs(
+      [](NodeId) { return std::make_unique<OversizedSender>(); });
+  EXPECT_THROW(net2.run_until_quiescent(5), BandwidthViolationError);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation of the algorithm layer.
+// ---------------------------------------------------------------------------
+
+TEST(GracefulDegradation, BfsUnderDropsReportsInsteadOfAborting) {
+  auto g = random_graph(40, 7, 3);
+  NetworkConfig cfg;
+  cfg.fault.drop_probability = 0.05;
+  cfg.fault.seed = 11;
+  algos::BfsOutcome out;
+  EXPECT_NO_THROW(out = algos::build_bfs_tree(g, 0, cfg));
+  // Any status is acceptable — what matters is that faults never abort.
+  // A clean-status tree must at least span the graph (a dropped
+  // activation can delay a node, so depths are >= the true distances and
+  // the height can exceed ecc(0), but never undercut it).
+  if (out.status == algos::PhaseStatus::kQuiesced) {
+    for (NodeId v = 1; v < g.n(); ++v) {
+      EXPECT_NE(out.tree.parent[v], graph::kInvalidNode) << "node " << v;
+    }
+    EXPECT_GE(out.tree.height, graph::eccentricity(g, 0));
+  }
+
+  auto retried = algos::build_bfs_tree_with_retry(g, 0, cfg);
+  EXPECT_GE(retried.attempts, 1u);
+  EXPECT_LE(retried.attempts, 3u);
+  EXPECT_GE(retried.stats.rounds, out.stats.rounds);
+}
+
+TEST(GracefulDegradation, RetryWrapperIsIdentityOnCleanRuns) {
+  auto g = random_graph(25, 5, 9);
+  auto plain = algos::build_bfs_tree(g, 2);
+  auto retried = algos::build_bfs_tree_with_retry(g, 2);
+  EXPECT_EQ(retried.attempts, 1u);
+  EXPECT_EQ(retried.status, algos::PhaseStatus::kQuiesced);
+  EXPECT_EQ(retried.tree.parent, plain.tree.parent);
+  EXPECT_EQ(retried.stats.rounds, plain.stats.rounds);
+}
+
+TEST(GracefulDegradation, PermanentCrashSurfacesAsNonQuiesced) {
+  auto g = graph::make_path(6);
+  NetworkConfig cfg;
+  cfg.fault.crashes = {CrashWindow{5, 1, 0}};  // the far end never speaks
+  auto out = algos::build_bfs_tree(g, 0, cfg);
+  EXPECT_NE(out.status, algos::PhaseStatus::kQuiesced);
+  // The reachable prefix is still built.
+  EXPECT_EQ(out.tree.parent[1], 0u);
+}
+
+TEST(GracefulDegradation, GirthCensusCarriesStatus) {
+  auto g = graph::make_torus(4, 4);
+  auto clean = algos::classical_girth_census(g);
+  EXPECT_EQ(clean.status, algos::PhaseStatus::kQuiesced);
+  EXPECT_EQ(clean.girth, 4u);
+
+  NetworkConfig cfg;
+  cfg.fault.drop_probability = 0.2;
+  cfg.fault.seed = 13;
+  algos::GirthOutcome noisy;
+  EXPECT_NO_THROW(noisy = algos::classical_girth_census(g, cfg));
+}
+
+TEST(GracefulDegradation, OptimizerSurfacesSubroutineFailure) {
+  core::OptimizationProblem prob;
+  prob.domain_size = 8;
+  prob.epsilon = 0.5;
+  prob.evaluate = [](std::size_t x) -> std::int64_t {
+    if (x == 3) throw BandwidthViolationError("simulated branch blowup");
+    return static_cast<std::int64_t>(x);
+  };
+  Rng rng(1);
+  core::OptimizationReport rep;
+  EXPECT_NO_THROW(rep = core::distributed_quantum_optimize(prob, rng));
+  EXPECT_TRUE(rep.subroutine_failed);
+  EXPECT_NE(rep.failure_reason.find("blowup"), std::string::npos);
+
+  core::SearchProblem sp;
+  sp.domain_size = 8;
+  sp.epsilon = 0.5;
+  sp.marked = [](std::size_t) -> bool {
+    throw InternalError("predicate died");
+  };
+  core::SearchReport srep;
+  EXPECT_NO_THROW(srep = core::distributed_quantum_search(sp, rng));
+  EXPECT_TRUE(srep.subroutine_failed);
+  EXPECT_FALSE(srep.found);
+
+  // Precondition violations are caller bugs and still throw.
+  core::OptimizationProblem bad;
+  EXPECT_THROW(core::distributed_quantum_optimize(bad, rng),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace qc
