@@ -9,12 +9,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "graph/generators.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -57,18 +59,31 @@ inline graph::Graph workload(std::uint32_t n, std::uint32_t d,
 
 /// Quick-mode switch: `--quick` shrinks sweeps for smoke runs; the default
 /// sizes are chosen so every bench completes in seconds.
+///
+/// Parsing is strict: malformed values (--trials=abc) and flags outside
+/// {--quick, --trials, --seed} + `extra` abort with a message instead of
+/// silently running the default sweep.
 struct BenchOptions {
   bool quick = false;
   int trials = 3;
   std::uint64_t seed = 1234;
 
-  static BenchOptions parse(int argc, char** argv) {
-    Cli cli(argc, argv);
-    BenchOptions o;
-    o.quick = cli.get_bool("quick", false);
-    o.trials = static_cast<int>(cli.get_int("trials", o.quick ? 2 : 3));
-    o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1234));
-    return o;
+  static BenchOptions parse(int argc, char** argv,
+                            const std::vector<std::string>& extra = {}) {
+    try {
+      Cli cli(argc, argv);
+      std::vector<std::string> allowed = {"quick", "trials", "seed"};
+      allowed.insert(allowed.end(), extra.begin(), extra.end());
+      cli.expect_flags(allowed);
+      BenchOptions o;
+      o.quick = cli.get_bool("quick", false);
+      o.trials = static_cast<int>(cli.get_int("trials", o.quick ? 2 : 3));
+      o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1234));
+      return o;
+    } catch (const Error& e) {  // bench mains have no try/catch of their own
+      std::cerr << "error: " << e.what() << "\n";
+      std::exit(2);
+    }
   }
 };
 

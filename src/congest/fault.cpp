@@ -71,4 +71,27 @@ FaultPlan FaultPlan::for_attempt(std::uint32_t attempt) const {
   return plan;
 }
 
+CrashIndex::CrashIndex(const FaultPlan& plan, std::uint32_t n)
+    : windows_(plan.crashes) {
+  if (windows_.empty()) return;  // down_ stays empty; down() is always false
+  down_.assign(n, 0);
+  std::vector<std::uint8_t> seen(n, 0);
+  for (const auto& w : windows_) {
+    if (!seen[w.node]) {
+      seen[w.node] = 1;
+      touched_.push_back(w.node);
+    }
+  }
+}
+
+void CrashIndex::refresh(std::uint32_t round) {
+  for (const graph::NodeId v : touched_) down_[v] = 0;
+  for (const auto& w : windows_) {
+    if (round >= w.crash_round &&
+        (w.recover_round == 0 || round < w.recover_round)) {
+      down_[w.node] = 1;
+    }
+  }
+}
+
 }  // namespace qc::congest

@@ -77,4 +77,37 @@ struct FaultPlan {
   FaultPlan for_attempt(std::uint32_t attempt) const;
 };
 
+/// O(1)-per-check view of a FaultPlan's crash schedule.
+///
+/// FaultPlan::crashed linearly scans the crash list, which the delivery
+/// hot loop would otherwise pay per (sender, receiver) edge per round. The
+/// Network instead builds one CrashIndex at construction and refreshes it
+/// once per round: refresh(r) recomputes the down-set in O(#crash windows)
+/// (only nodes named by some window are ever touched), after which down(v)
+/// is a flat array read.
+///
+/// Semantics are exactly FaultPlan::crashed — proven by a parity test over
+/// every (node, round) pair (see tests/test_faults.cpp).
+class CrashIndex {
+ public:
+  CrashIndex() = default;
+  /// `n` = node count; windows naming nodes >= n are rejected upstream by
+  /// the Network constructor.
+  CrashIndex(const FaultPlan& plan, std::uint32_t n);
+
+  /// Recomputes the down-set for `round`. Call once per round, before any
+  /// down() query for that round.
+  void refresh(std::uint32_t round);
+
+  /// True iff `v` is down in the round last passed to refresh().
+  bool down(graph::NodeId v) const {
+    return !down_.empty() && down_[v] != 0;
+  }
+
+ private:
+  std::vector<CrashWindow> windows_;
+  std::vector<graph::NodeId> touched_;  ///< distinct nodes with windows
+  std::vector<std::uint8_t> down_;      ///< empty when no crash windows
+};
+
 }  // namespace qc::congest

@@ -66,6 +66,7 @@ Network::Network(const graph::Graph& g, NetworkConfig cfg)
             "Network: crash window must recover after it crashes");
   }
   fault_enabled_ = cfg_.fault.enabled();
+  crash_index_ = CrashIndex(cfg_.fault, g.n());
   contexts_.resize(g.n());
   for (NodeId v = 0; v < g.n(); ++v) {
     auto& ctx = contexts_[v];
@@ -132,13 +133,15 @@ void Network::deliver_range(std::uint32_t begin, std::uint32_t end,
   // buffered per worker and flushed in receiver order at the round
   // barrier — the same (round, to, from) order either way. Fault decisions
   // are stateless hashes of (seed, round, from, to), so they are the same
-  // under both engines as well.
+  // under both engines as well. Crash checks go through the per-round
+  // CrashIndex (refreshed at round start) instead of scanning the crash
+  // list per edge.
   const FaultPlan& fault = cfg_.fault;
   for (NodeId w = begin; w < end; ++w) {
     auto& ctx = contexts_[w];
     ctx.round_ = round_;
     ctx.inbox_.clear();
-    const bool w_crashed = fault_enabled_ && fault.crashed(w, round_);
+    const bool w_crashed = fault_enabled_ && crash_index_.down(w);
     if (w_crashed) ++local.crashed_node_rounds;
     for (std::uint32_t p = 0; p < ctx.degree(); ++p) {
       const NodeId u = ctx.neighbors_[p];
@@ -146,7 +149,7 @@ void Network::deliver_range(std::uint32_t begin, std::uint32_t end,
       const std::uint32_t q = sender.port_to(w);
       if (!sender.port_used_[q]) continue;
       if (fault_enabled_ &&
-          (w_crashed || fault.crashed(u, round_) || fault.drops(round_, u, w))) {
+          (w_crashed || crash_index_.down(u) || fault.drops(round_, u, w))) {
         ++local.messages_dropped;
         continue;
       }
@@ -196,7 +199,7 @@ void Network::compute_range(std::uint32_t begin, std::uint32_t end) {
     // A crashed node's slots clear too — whatever it queued before the
     // crash is lost with it — but its program does not run.
     std::fill(ctx.port_used_.begin(), ctx.port_used_.end(), false);
-    if (fault_enabled_ && cfg_.fault.crashed(v, round_)) continue;
+    if (fault_enabled_ && crash_index_.down(v)) continue;
     if (ctx.halted_ && ctx.inbox_.empty()) continue;
     programs_[v]->on_round(ctx);
   }
@@ -204,6 +207,7 @@ void Network::compute_range(std::uint32_t begin, std::uint32_t end) {
 
 void Network::step_round(RunStats& phase) {
   ++round_;
+  if (fault_enabled_) crash_index_.refresh(round_);
   RunStats local;
   deliver_range(0, n(), local, /*sink=*/nullptr);
   compute_range(0, n());
@@ -249,9 +253,10 @@ std::uint32_t Network::run_parallel_block(std::uint32_t max_rounds,
         if (!done.load()) {
           ++round_;
           executed.fetch_add(1);
+          if (fault_enabled_) crash_index_.refresh(round_);
         }
       }
-      sync.arrive_and_wait();  // round_ visible / stop decision visible
+      sync.arrive_and_wait();  // round_ / crash index / stop decision visible
       if (done.load()) break;
       deliver_range(b, e, local[t], &pending[t]);
       sync.arrive_and_wait();  // all inboxes assembled

@@ -269,6 +269,9 @@ class Network {
   NetworkConfig cfg_;
   std::uint32_t bandwidth_bits_ = 0;
   bool fault_enabled_ = false;
+  /// O(1) per-check crash lookup, refreshed once per round (the hot
+  /// delivery loop would otherwise scan the crash list per edge).
+  CrashIndex crash_index_;
   std::uint32_t round_ = 0;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
   std::vector<NodeContext> contexts_;

@@ -47,17 +47,21 @@ InitPhase run_initialization(const graph::Graph& g,
 WindowOracle::WindowOracle(const graph::Graph& g,
                            const algos::TreeState& tree, std::uint32_t steps,
                            OracleMode mode, congest::NetworkConfig net,
-                           std::vector<bool> mask)
+                           std::vector<bool> mask, std::uint32_t num_threads)
     : g_(&g),
       tree_(&tree),
       steps_(steps),
       mode_(mode),
       net_(std::move(net)),
-      mask_(std::move(mask)) {
+      mask_(std::move(mask)),
+      engine_(g, num_threads) {
   graph::BfsTree walk_tree =
       mask_.empty() ? tree.to_bfs_tree()
                     : graph::induced_subtree(tree.to_bfs_tree(), mask_);
   num_ = graph::dfs_numbering(walk_tree);
+  // One eccentricity sweep (n BFS) plus an O(len log len) table build here;
+  // every branch's reference value is then an O(1) range-max query.
+  seg_max_ = engine_.segment_max(num_);
   // Figure 2's round budget is oblivious to u0: Step 1 runs 3*steps rounds
   // (token + probe/reply cycles), Step 2 its fixed pipeline window,
   // Steps 3-4 one convergecast. Every branch costs the same.
@@ -67,8 +71,7 @@ WindowOracle::WindowOracle(const graph::Graph& g,
 
 std::int64_t WindowOracle::operator()(std::size_t u0) {
   const auto node = static_cast<NodeId>(u0);
-  const std::uint32_t reference =
-      graph::max_ecc_in_segment(*g_, num_, node, steps_);
+  const std::uint32_t reference = seg_max_.max_ecc_in_segment(node, steps_);
   if (mode_ == OracleMode::kSimulate || !validated_once_) {
     auto eval = algos::evaluate_window_ecc(*g_, *tree_, node, steps_, net_,
                                            mask_.empty() ? nullptr : &mask_);

@@ -13,6 +13,7 @@
 #include "congest/network.hpp"
 #include "core/quantum_diameter.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/ecc_engine.hpp"
 #include "graph/graph.hpp"
 
 namespace qc::core::detail {
@@ -44,16 +45,30 @@ std::uint32_t effective_branch_threads(const QuantumConfig& cfg);
 /// distributed Figure 2 execution against the centralized reference (on
 /// every branch in kSimulate mode, at least once in kDirect mode).
 ///
+/// The centralized reference is served by a shared graph::EccEngine — one
+/// BFS per vertex for the whole oracle lifetime plus an O(1) sparse-table
+/// segment query per branch — instead of the naive Theta(d) BFS per
+/// branch. Only the reference path changed: the distributed Figure 2
+/// simulation, its round accounting, and the kSimulate cross-check are
+/// untouched and stay bit-identical.
+///
 /// operator() is safe to call from several threads at once (each branch
 /// simulation builds its own Network over the shared read-only graph and
 /// tree), so a core::BranchEvaluator can fan branches across workers.
 class WindowOracle {
  public:
+  /// `num_threads` fans the engine's one-time eccentricity sweep across
+  /// that many workers (0 = hardware concurrency); results are identical
+  /// at any value.
   WindowOracle(const graph::Graph& g, const algos::TreeState& tree,
                std::uint32_t steps, OracleMode mode,
-               congest::NetworkConfig net, std::vector<bool> mask = {});
+               congest::NetworkConfig net, std::vector<bool> mask = {},
+               std::uint32_t num_threads = 1);
 
   std::uint32_t t_eval_forward() const { return t_eval_forward_; }
+
+  /// BFS runs of the centralized reference path (<= n by construction).
+  std::uint64_t reference_bfs_runs() const { return engine_.bfs_runs(); }
 
   /// f(u0), per the configured mode.
   std::int64_t operator()(std::size_t u0);
@@ -66,6 +81,8 @@ class WindowOracle {
   congest::NetworkConfig net_;
   std::vector<bool> mask_;
   graph::DfsNumbering num_;
+  graph::EccEngine engine_;
+  graph::EccEngine::SegmentMax seg_max_;
   std::uint32_t t_eval_forward_ = 0;
   std::atomic<bool> validated_once_{false};
 };

@@ -87,8 +87,10 @@ QuantumApproxReport quantum_diameter_approx(const graph::Graph& g,
 
     // The same Figure 2 oracle as the exact algorithm, restricted to R via
     // the mask (windows walk the DFS numbering of BFS(w) induced on R).
+    const std::uint32_t branch_threads = detail::effective_branch_threads(cfg);
     auto oracle = std::make_shared<detail::WindowOracle>(
-        g, prep.tree_w, steps, cfg.oracle, cfg.net, prep.r_mask);
+        g, prep.tree_w, steps, cfg.oracle, cfg.net, prep.r_mask,
+        branch_threads);
     const std::uint32_t t_eval_forward = oracle->t_eval_forward();
 
     OptimizationProblem prob;
@@ -102,7 +104,7 @@ QuantumApproxReport quantum_diameter_approx(const graph::Graph& g,
         1.0, static_cast<double>(std::max(1u, d_sub)) /
                  (2.0 * static_cast<double>(prep.r_size)));
     prob.delta = cfg.delta;
-    prob.num_threads = detail::effective_branch_threads(cfg);
+    prob.num_threads = branch_threads;
 
     Rng rng(cfg.seed ^ 0xa99ae5u);
     auto opt = distributed_quantum_optimize(prob, rng);
@@ -113,6 +115,7 @@ QuantumApproxReport quantum_diameter_approx(const graph::Graph& g,
     rep.quantum_rounds = opt.total_rounds;
     rep.costs = opt.costs;
     rep.distinct_branch_evaluations = opt.distinct_evaluations;
+    rep.reference_bfs_runs = oracle->reference_bfs_runs();
     rep.per_node_memory_qubits = opt.per_node_memory_qubits;
     rep.leader_memory_qubits = opt.leader_memory_qubits;
   }

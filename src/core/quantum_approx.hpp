@@ -20,6 +20,9 @@ struct QuantumApproxReport {
 
   qsim::SearchCosts costs;
   std::uint64_t distinct_branch_evaluations = 0;
+  /// BFS runs of the centralized reference path (<= n; see
+  /// QuantumDiameterReport::reference_bfs_runs).
+  std::uint64_t reference_bfs_runs = 0;
   std::uint64_t per_node_memory_qubits = 0;
   std::uint64_t leader_memory_qubits = 0;
 

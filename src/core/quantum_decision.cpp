@@ -36,8 +36,10 @@ DecisionReport quantum_diameter_decide(const graph::Graph& g,
   }
 
   const std::uint32_t steps = 2 * init.d;
+  const std::uint32_t branch_threads = detail::effective_branch_threads(cfg);
   auto oracle = std::make_shared<detail::WindowOracle>(
-      g, init.tree, steps, cfg.oracle, cfg.net);
+      g, init.tree, steps, cfg.oracle, cfg.net, std::vector<bool>{},
+      branch_threads);
   rep.t_eval_forward = oracle->t_eval_forward();
 
   SearchProblem prob;
@@ -53,7 +55,7 @@ DecisionReport quantum_diameter_decide(const graph::Graph& g,
   prob.epsilon = std::min(
       1.0, static_cast<double>(init.d) / (2.0 * static_cast<double>(g.n())));
   prob.delta = cfg.delta;
-  prob.num_threads = detail::effective_branch_threads(cfg);
+  prob.num_threads = branch_threads;
 
   Rng rng(cfg.seed ^ 0xdec1deULL);
   auto s = distributed_quantum_search(prob, rng);
@@ -66,6 +68,7 @@ DecisionReport quantum_diameter_decide(const graph::Graph& g,
   rep.total_rounds = s.total_rounds;
   rep.costs = s.costs;
   rep.distinct_branch_evaluations = s.distinct_evaluations;
+  rep.reference_bfs_runs = oracle->reference_bfs_runs();
   rep.per_node_memory_qubits = s.per_node_memory_qubits;
   rep.leader_memory_qubits = s.leader_memory_qubits;
   return rep;

@@ -37,8 +37,10 @@ QuantumDiameterReport run_diameter_optimization(const graph::Graph& g,
       windowed ? std::min(1.0, static_cast<double>(init.d) / (2.0 * n))
                : 1.0 / n;
 
+  const std::uint32_t branch_threads = detail::effective_branch_threads(cfg);
   auto oracle = std::make_shared<detail::WindowOracle>(
-      g, init.tree, steps, cfg.oracle, cfg.net);
+      g, init.tree, steps, cfg.oracle, cfg.net, std::vector<bool>{},
+      branch_threads);
   rep.t_eval_forward = oracle->t_eval_forward();
 
   OptimizationProblem prob;
@@ -49,7 +51,7 @@ QuantumDiameterReport run_diameter_optimization(const graph::Graph& g,
   prob.t_eval_forward = oracle->t_eval_forward();
   prob.epsilon = epsilon;
   prob.delta = cfg.delta;
-  prob.num_threads = detail::effective_branch_threads(cfg);
+  prob.num_threads = branch_threads;
 
   Rng rng(cfg.seed);
   auto opt = distributed_quantum_optimize(prob, rng);
@@ -58,6 +60,7 @@ QuantumDiameterReport run_diameter_optimization(const graph::Graph& g,
   rep.total_rounds = opt.total_rounds;
   rep.costs = opt.costs;
   rep.distinct_branch_evaluations = opt.distinct_evaluations;
+  rep.reference_bfs_runs = oracle->reference_bfs_runs();
   rep.budget_exhausted = opt.budget_exhausted;
   rep.per_node_memory_qubits = opt.per_node_memory_qubits;
   rep.leader_memory_qubits = opt.leader_memory_qubits;

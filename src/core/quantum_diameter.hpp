@@ -55,6 +55,11 @@ struct QuantumDiameterReport {
   std::uint64_t distinct_branch_evaluations = 0;
   bool budget_exhausted = false;
 
+  /// BFS runs spent by the centralized reference path (the EccEngine
+  /// behind the branch oracle): <= n, versus Theta(n*d) before the shared
+  /// engine. Purely simulator bookkeeping — no CONGEST rounds involved.
+  std::uint64_t reference_bfs_runs = 0;
+
   std::uint64_t per_node_memory_qubits = 0;
   std::uint64_t leader_memory_qubits = 0;
 

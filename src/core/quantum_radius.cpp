@@ -22,8 +22,10 @@ RadiusReport quantum_radius(const graph::Graph& g, const QuantumConfig& cfg) {
 
   // steps = 0: the window is {u}, so the oracle returns ecc(u) exactly
   // (the Section 3.1 objective); we maximize its negation.
+  const std::uint32_t branch_threads = detail::effective_branch_threads(cfg);
   auto oracle = std::make_shared<detail::WindowOracle>(
-      g, init.tree, /*steps=*/0, cfg.oracle, cfg.net);
+      g, init.tree, /*steps=*/0, cfg.oracle, cfg.net, std::vector<bool>{},
+      branch_threads);
   rep.t_eval_forward = oracle->t_eval_forward();
 
   OptimizationProblem prob;
@@ -34,7 +36,7 @@ RadiusReport quantum_radius(const graph::Graph& g, const QuantumConfig& cfg) {
   prob.t_eval_forward = oracle->t_eval_forward();
   prob.epsilon = 1.0 / static_cast<double>(g.n());
   prob.delta = cfg.delta;
-  prob.num_threads = detail::effective_branch_threads(cfg);
+  prob.num_threads = branch_threads;
 
   Rng rng(cfg.seed ^ 0x5ad105ULL);
   auto opt = distributed_quantum_optimize(prob, rng);
@@ -48,6 +50,7 @@ RadiusReport quantum_radius(const graph::Graph& g, const QuantumConfig& cfg) {
   rep.total_rounds = opt.total_rounds;
   rep.costs = opt.costs;
   rep.distinct_branch_evaluations = opt.distinct_evaluations;
+  rep.reference_bfs_runs = oracle->reference_bfs_runs();
   rep.budget_exhausted = opt.budget_exhausted;
   rep.per_node_memory_qubits = opt.per_node_memory_qubits;
   rep.leader_memory_qubits = opt.leader_memory_qubits;

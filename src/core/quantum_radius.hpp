@@ -20,6 +20,9 @@ struct RadiusReport {
   qsim::SearchCosts costs;
   std::uint64_t distinct_branch_evaluations = 0;
   bool budget_exhausted = false;
+  /// BFS runs of the centralized reference path (<= n; see
+  /// QuantumDiameterReport::reference_bfs_runs).
+  std::uint64_t reference_bfs_runs = 0;
   std::uint64_t per_node_memory_qubits = 0;
   std::uint64_t leader_memory_qubits = 0;
 

@@ -1,8 +1,8 @@
 #include "graph/algorithms.hpp"
 
 #include <algorithm>
-#include <deque>
 
+#include "graph/ecc_engine.hpp"
 #include "util/error.hpp"
 
 namespace qc::graph {
@@ -11,21 +11,10 @@ BfsResult bfs(const Graph& g, NodeId root) {
   require(root < g.n(), "bfs: root out of range");
   BfsResult r;
   r.root = root;
-  r.dist.assign(g.n(), kUnreachable);
+  BfsScratch scratch;
+  r.ecc = flat_bfs_distances(g, root, scratch);
+  r.dist = std::move(scratch.dist);
   r.parent.assign(g.n(), kInvalidNode);
-  r.dist[root] = 0;
-  std::deque<NodeId> queue{root};
-  while (!queue.empty()) {
-    const NodeId u = queue.front();
-    queue.pop_front();
-    for (NodeId v : g.neighbors(u)) {
-      if (r.dist[v] == kUnreachable) {
-        r.dist[v] = r.dist[u] + 1;
-        r.ecc = std::max(r.ecc, r.dist[v]);
-        queue.push_back(v);
-      }
-    }
-  }
   // Parent rule: the smallest-id neighbor in the previous BFS level. In the
   // distributed wave of Figure 1 every previous-level neighbor activates a
   // node in the same round and the node adopts the smallest id among them,
@@ -44,49 +33,46 @@ BfsResult bfs(const Graph& g, NodeId root) {
 }
 
 std::uint32_t eccentricity(const Graph& g, NodeId v) {
-  return bfs(g, v).ecc;
+  BfsScratch scratch;
+  return flat_bfs_distances(g, v, scratch);
 }
 
 std::uint32_t diameter(const Graph& g) {
   require(g.n() > 0, "diameter: empty graph");
   require(g.is_connected(), "diameter: graph must be connected");
-  std::uint32_t best = 0;
-  for (NodeId v = 0; v < g.n(); ++v) {
-    best = std::max(best, eccentricity(g, v));
-  }
-  return best;
+  return EccEngine(g).diameter();
 }
 
 std::vector<std::uint32_t> all_eccentricities(const Graph& g) {
   require(g.n() > 0, "all_eccentricities: empty graph");
   require(g.is_connected(), "all_eccentricities: graph must be connected");
-  std::vector<std::uint32_t> ecc(g.n());
-  for (NodeId v = 0; v < g.n(); ++v) ecc[v] = eccentricity(g, v);
-  return ecc;
+  return EccEngine(g).all();
 }
 
 std::uint32_t radius(const Graph& g) {
-  const auto ecc = all_eccentricities(g);
-  return *std::min_element(ecc.begin(), ecc.end());
+  require(g.n() > 0, "radius: empty graph");
+  require(g.is_connected(), "radius: graph must be connected");
+  return EccEngine(g).radius();
 }
 
 NodeId center(const Graph& g) {
-  const auto ecc = all_eccentricities(g);
-  return static_cast<NodeId>(
-      std::min_element(ecc.begin(), ecc.end()) - ecc.begin());
+  require(g.n() > 0, "center: empty graph");
+  require(g.is_connected(), "center: graph must be connected");
+  return EccEngine(g).center();
 }
 
 std::uint32_t girth(const Graph& g) {
   std::uint32_t best = kUnreachable;
   const auto all_edges = g.edges();
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> queue;
   for (const auto& removed : all_edges) {
     // BFS in G - e from one endpoint to the other.
-    std::vector<std::uint32_t> dist(g.n(), kUnreachable);
-    std::deque<NodeId> queue{removed.first};
+    dist.assign(g.n(), kUnreachable);
+    queue.assign(1, removed.first);
     dist[removed.first] = 0;
-    while (!queue.empty()) {
-      const NodeId u = queue.front();
-      queue.pop_front();
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
       if (u == removed.second) break;
       for (NodeId v : g.neighbors(u)) {
         const bool is_removed =
@@ -107,8 +93,10 @@ std::uint32_t girth(const Graph& g) {
 std::vector<std::vector<std::uint32_t>> apsp(const Graph& g) {
   std::vector<std::vector<std::uint32_t>> d;
   d.reserve(g.n());
+  BfsScratch scratch;
   for (NodeId v = 0; v < g.n(); ++v) {
-    d.push_back(bfs(g, v).dist);
+    flat_bfs_distances(g, v, scratch);
+    d.push_back(std::move(scratch.dist));
   }
   return d;
 }
@@ -116,12 +104,13 @@ std::vector<std::vector<std::uint32_t>> apsp(const Graph& g) {
 std::uint32_t max_cross_distance(const Graph& g, std::span<const NodeId> us,
                                  std::span<const NodeId> vs) {
   std::uint32_t best = 0;
+  BfsScratch scratch;
   for (NodeId u : us) {
-    const auto r = bfs(g, u);
+    flat_bfs_distances(g, u, scratch);
     for (NodeId v : vs) {
-      require(r.dist[v] != kUnreachable,
+      require(scratch.dist[v] != kUnreachable,
               "max_cross_distance: graph not connected across partition");
-      best = std::max(best, r.dist[v]);
+      best = std::max(best, scratch.dist[v]);
     }
   }
   return best;

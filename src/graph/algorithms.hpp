@@ -124,8 +124,12 @@ SegmentWindow segment_window(const DfsNumbering& num, NodeId u,
 
 /// max_{v in S} ecc(v) for the Figure 2 segment window: the objective f(u)
 /// of Equation (2) as the distributed procedure actually evaluates it.
-/// Reference (centralized) implementation used to validate Figure 2 and as
-/// the branch oracle of the quantum algorithms.
+///
+/// Naive reference implementation (one BFS per window member, Theta(d) BFS
+/// per call) kept as the ground truth the fast path is tested against; hot
+/// callers (the branch oracle, the bench harness) use
+/// EccEngine::SegmentMax, which answers the same query in O(1) after a
+/// one-time O(n*BFS + len*log(len)) build (see graph/ecc_engine.hpp).
 std::uint32_t max_ecc_in_segment(const Graph& g, const DfsNumbering& num,
                                  NodeId u, std::uint32_t steps);
 

@@ -1,0 +1,163 @@
+#include "graph/ecc_engine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qc::graph {
+
+namespace {
+
+// Below this size the n BFS runs are cheaper than spawning workers.
+constexpr std::uint32_t kParallelCutoff = 256;
+
+}  // namespace
+
+std::uint32_t flat_bfs_distances(const Graph& g, NodeId root,
+                                 BfsScratch& scratch) {
+  require(root < g.n(), "flat_bfs_distances: root out of range");
+  scratch.dist.assign(g.n(), kUnreachable);
+  scratch.frontier.clear();
+  scratch.next.clear();
+  scratch.frontier.reserve(g.n());
+  scratch.next.reserve(g.n());
+  scratch.dist[root] = 0;
+  scratch.frontier.push_back(root);
+  std::uint32_t level = 0;
+  std::uint32_t ecc = 0;
+  while (!scratch.frontier.empty()) {
+    ++level;
+    for (const NodeId u : scratch.frontier) {
+      for (const NodeId v : g.neighbors(u)) {
+        if (scratch.dist[v] == kUnreachable) {
+          scratch.dist[v] = level;
+          scratch.next.push_back(v);
+        }
+      }
+    }
+    if (!scratch.next.empty()) ecc = level;
+    scratch.frontier.swap(scratch.next);
+    scratch.next.clear();
+  }
+  return ecc;
+}
+
+EccEngine::EccEngine(const Graph& g, std::uint32_t num_threads)
+    : g_(&g),
+      num_threads_(num_threads != 0
+                       ? num_threads
+                       : std::max(1u, std::thread::hardware_concurrency())) {
+  require(g.n() > 0, "EccEngine: empty graph");
+}
+
+void EccEngine::ensure_all() const {
+  std::call_once(computed_, [this] {
+    const std::uint32_t n = g_->n();
+    ecc_.resize(n);
+    const auto workers = std::min<std::uint32_t>(num_threads_, n);
+    if (n < kParallelCutoff || workers <= 1) {
+      BfsScratch scratch;
+      for (NodeId v = 0; v < n; ++v) {
+        ecc_[v] = flat_bfs_distances(*g_, v, scratch);
+      }
+      bfs_runs_.fetch_add(n, std::memory_order_relaxed);
+      return;
+    }
+    ThreadPool pool(workers);
+    std::atomic<NodeId> next{0};
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      pool.submit([this, &next, n] {
+        BfsScratch scratch;
+        for (;;) {
+          const NodeId v = next.fetch_add(1);
+          if (v >= n) return;
+          ecc_[v] = flat_bfs_distances(*g_, v, scratch);
+          bfs_runs_.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    pool.wait_idle();
+  });
+}
+
+std::uint32_t EccEngine::eccentricity(NodeId v) const {
+  require(v < g_->n(), "EccEngine::eccentricity: node out of range");
+  ensure_all();
+  return ecc_[v];
+}
+
+const std::vector<std::uint32_t>& EccEngine::all() const {
+  ensure_all();
+  return ecc_;
+}
+
+std::uint32_t EccEngine::diameter() const {
+  const auto& e = all();
+  return *std::max_element(e.begin(), e.end());
+}
+
+std::uint32_t EccEngine::radius() const {
+  const auto& e = all();
+  return *std::min_element(e.begin(), e.end());
+}
+
+NodeId EccEngine::center() const {
+  const auto& e = all();
+  return static_cast<NodeId>(std::min_element(e.begin(), e.end()) - e.begin());
+}
+
+EccEngine::SegmentMax EccEngine::segment_max(const DfsNumbering& num) const {
+  ensure_all();
+  SegmentMax sm;
+  sm.tau_ = num.tau;
+  sm.in_walk_ = num.in_walk;
+  sm.ecc_ = &ecc_;
+  sm.len_ = num.walk_length();
+  const std::uint32_t len = sm.len_;
+  if (len == 0) return sm;  // single-vertex walk: queries read ecc_[u]
+
+  // Sparse table over the per-position values ecc(walk[t]), t in
+  // [0, len): position len duplicates position 0 (the walk is closed) and
+  // the circular window arithmetic below never indexes it.
+  sm.log2_.assign(len + 1, 0);
+  for (std::uint32_t i = 2; i <= len; ++i) sm.log2_[i] = sm.log2_[i / 2] + 1;
+  const std::uint32_t levels = sm.log2_[len] + 1;
+  sm.table_.resize(levels);
+  sm.table_[0].resize(len);
+  for (std::uint32_t t = 0; t < len; ++t) {
+    sm.table_[0][t] = ecc_[num.walk[t]];
+  }
+  for (std::uint32_t k = 1; k < levels; ++k) {
+    const std::uint32_t half = 1u << (k - 1);
+    const std::uint32_t span = 1u << k;
+    sm.table_[k].resize(len - span + 1);
+    for (std::uint32_t t = 0; t + span <= len; ++t) {
+      sm.table_[k][t] =
+          std::max(sm.table_[k - 1][t], sm.table_[k - 1][t + half]);
+    }
+  }
+  return sm;
+}
+
+std::uint32_t EccEngine::SegmentMax::range_max(std::uint32_t lo,
+                                               std::uint32_t hi) const {
+  const std::uint32_t k = log2_[hi - lo + 1];
+  return std::max(table_[k][lo], table_[k][hi + 1 - (1u << k)]);
+}
+
+std::uint32_t EccEngine::SegmentMax::max_ecc_in_segment(
+    NodeId u, std::uint32_t steps) const {
+  require(u < tau_.size() && in_walk_[u],
+          "SegmentMax: u is not on the traversal");
+  if (len_ == 0) return (*ecc_)[u];
+  const std::uint32_t start = tau_[u];
+  const std::uint32_t moves = std::min(steps, len_);
+  if (moves == len_) return range_max(0, len_ - 1);
+  const std::uint32_t end = start + moves;  // inclusive final position
+  if (end < len_) return range_max(start, end);
+  // The window wraps: positions [start, len) then [0, end - len].
+  return std::max(range_max(start, len_ - 1), range_max(0, end - len_));
+}
+
+}  // namespace qc::graph

@@ -1,0 +1,124 @@
+#pragma once
+
+// Shared eccentricity/distance engine.
+//
+// The Theorem 1 reference path evaluates f(u) = max_{v in segment(u)} ecc(v)
+// over Euler-walk windows that overlap heavily across the n branches. Doing
+// that naively costs one BFS per window member per branch — Theta(n*d) BFS
+// runs where n suffice. This engine factors the work into three reusable
+// pieces:
+//
+//  1. a flat-array CSR frontier BFS kernel with caller-owned scratch
+//     buffers (no per-call allocation, no std::deque),
+//  2. a thread-safe compute-once eccentricity cache fanned across
+//     qc::ThreadPool (exactly one BFS per vertex, ever),
+//  3. a sparse-table (binary-lifting) range-maximum structure over the
+//     Euler-walk positions of a DfsNumbering, answering
+//     max_ecc_in_segment(u, steps) in O(1) per query after an
+//     O(n*BFS + len*log(len)) build.
+//
+// The engine only accelerates the *centralized reference* computations; the
+// distributed Figure 2 simulation (round accounting, message traffic, the
+// kSimulate cross-check) is untouched and stays bit-identical.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+
+namespace qc::graph {
+
+/// Caller-owned scratch buffers for the flat BFS kernel. Reuse one instance
+/// across calls (per thread) to amortize the allocations away.
+struct BfsScratch {
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> frontier;
+  std::vector<NodeId> next;
+};
+
+/// Flat frontier BFS over the CSR adjacency of `g`: fills `scratch.dist`
+/// (kUnreachable where not reached) and returns ecc(root). Distance values
+/// are identical to bfs(g, root).dist; no parent array is built.
+std::uint32_t flat_bfs_distances(const Graph& g, NodeId root,
+                                 BfsScratch& scratch);
+
+/// Compute-once eccentricity cache over a fixed graph, plus O(1) range-max
+/// queries over Euler-walk segments.
+///
+/// Thread-safe: the first accessor to need the eccentricities computes all
+/// of them exactly once (fanned across a ThreadPool for large graphs);
+/// concurrent readers block until the table is ready and then read without
+/// locking. Every derived value (diameter, radius, segment maxima) is a
+/// pure function of the table, so results are independent of thread count.
+class EccEngine {
+ public:
+  /// `num_threads` = 0 means hardware_concurrency. Small graphs
+  /// (n < kParallelCutoff) always compute serially — spawning workers
+  /// would cost more than the BFS runs.
+  explicit EccEngine(const Graph& g, std::uint32_t num_threads = 0);
+
+  const Graph& graph() const { return *g_; }
+
+  /// ecc(v); forces the (single) full computation on first use.
+  std::uint32_t eccentricity(NodeId v) const;
+
+  /// All eccentricities, indexed by vertex.
+  const std::vector<std::uint32_t>& all() const;
+
+  std::uint32_t diameter() const;
+  std::uint32_t radius() const;
+  /// A center vertex (minimum eccentricity, smallest id on ties).
+  NodeId center() const;
+
+  /// Number of BFS runs the engine has executed. At most n for the life of
+  /// the engine — the counter the reference-path cost assertions check.
+  std::uint64_t bfs_runs() const {
+    return bfs_runs_.load(std::memory_order_relaxed);
+  }
+
+  /// O(1) max-eccentricity queries over segments of one Euler walk.
+  ///
+  /// Built from a DfsNumbering (of the full BFS tree or of an induced
+  /// subtree — anything dfs_numbering produces); self-contained after
+  /// construction (copies what it needs), so it may outlive the numbering
+  /// but not the engine's eccentricity table.
+  class SegmentMax {
+   public:
+    /// Empty structure; assign from EccEngine::segment_max before querying.
+    SegmentMax() = default;
+
+    /// max_{v in segment window of u} ecc(v): bit-identical to
+    /// graph::max_ecc_in_segment(g, num, u, steps) on the same numbering.
+    std::uint32_t max_ecc_in_segment(NodeId u, std::uint32_t steps) const;
+
+   private:
+    friend class EccEngine;
+    std::uint32_t range_max(std::uint32_t lo, std::uint32_t hi) const;
+
+    std::vector<std::uint32_t> tau_;  ///< first-visit time per node
+    std::vector<bool> in_walk_;       ///< nodes the walk reaches
+    std::uint32_t len_ = 0;           ///< closed-walk length (2(k-1))
+    std::uint32_t ecc_u_single_ = 0;  ///< n == 1 fallback has no table
+    const std::vector<std::uint32_t>* ecc_ = nullptr;  ///< engine's table
+    std::vector<std::uint32_t> log2_;                ///< floor(log2(i))
+    std::vector<std::vector<std::uint32_t>> table_;  ///< sparse table
+  };
+
+  /// Builds the range-max structure for `num` (forces the eccentricity
+  /// table). O(len * log(len)) time and space.
+  SegmentMax segment_max(const DfsNumbering& num) const;
+
+ private:
+  void ensure_all() const;
+
+  const Graph* g_;
+  std::uint32_t num_threads_;
+  mutable std::once_flag computed_;
+  mutable std::vector<std::uint32_t> ecc_;
+  mutable std::atomic<std::uint64_t> bfs_runs_{0};
+};
+
+}  // namespace qc::graph

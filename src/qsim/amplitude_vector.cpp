@@ -76,12 +76,24 @@ void AmplitudeVector::grover_iterate(const BasisPredicate& pred,
 }
 
 std::size_t AmplitudeVector::sample(Rng& rng) const {
-  double u = rng.next_double() * norm_sq();
+  return sample_at(rng.next_double());
+}
+
+std::size_t AmplitudeVector::sample_at(double u01) const {
+  double u = u01 * norm_sq();
+  // Skip zero-mass entries so a boundary draw (u01 == 0.0, or a cumulative
+  // sum landing exactly on a support state's edge) can never select a
+  // basis state outside the populated support — the branch oracle may be
+  // undefined there. The first positive-mass entry absorbs u01 = 0.
+  std::size_t last_populated = amps_.size() - 1;  // numerical-tail fallback
   for (std::size_t i = 0; i < amps_.size(); ++i) {
-    u -= std::norm(amps_[i]);
+    const double p = std::norm(amps_[i]);
+    if (p <= 0) continue;
+    last_populated = i;
+    u -= p;
     if (u <= 0) return i;
   }
-  return amps_.size() - 1;  // numerical tail
+  return last_populated;
 }
 
 }  // namespace qc::qsim

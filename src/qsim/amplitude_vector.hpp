@@ -63,6 +63,13 @@ class AmplitudeVector {
   /// discards the register and re-runs Setup afterwards).
   std::size_t sample(Rng& rng) const;
 
+  /// Deterministic core of sample(): the basis state measured when the
+  /// uniform draw is `u01` in [0, 1). Zero-amplitude states are never
+  /// returned — even at the u01 = 0 boundary — so the result always lies
+  /// in the populated support, where the branch oracle is defined (f of
+  /// Figure 3 is only defined on R). Exposed for boundary tests.
+  std::size_t sample_at(double u01) const;
+
  private:
   explicit AmplitudeVector(std::vector<std::complex<double>> amps)
       : amps_(std::move(amps)) {}

@@ -28,13 +28,25 @@ bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
 std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const char* begin = it->second.c_str();
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(begin, &end, 10);
+  // A valid parse consumes the entire (non-empty) value; anything else
+  // (e.g. "--trials=abc", "--seed=", "--n=12x") is a user error, not a 0.
+  require(end != begin && *end == '\0',
+          "flag --" + name + ": '" + it->second + "' is not an integer");
+  return value;
 }
 
 double Cli::get_double(const std::string& name, double def) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  const char* begin = it->second.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  require(end != begin && *end == '\0',
+          "flag --" + name + ": '" + it->second + "' is not a number");
+  return value;
 }
 
 std::string Cli::get_string(const std::string& name, std::string def) const {
@@ -46,7 +58,40 @@ std::string Cli::get_string(const std::string& name, std::string def) const {
 bool Cli::get_bool(const std::string& name, bool def) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  require(v == "false" || v == "0" || v == "no",
+          "flag --" + name + ": '" + v +
+              "' is not a boolean (use true/false/1/0/yes/no)");
+  return false;
+}
+
+std::vector<std::string> Cli::unknown_flags(
+    const std::vector<std::string>& allowed) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    bool known = false;
+    for (const auto& a : allowed) {
+      if (name == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+void Cli::expect_flags(const std::vector<std::string>& allowed) const {
+  const auto unknown = unknown_flags(allowed);
+  if (unknown.empty()) return;
+  std::string msg = "unknown flag";
+  if (unknown.size() > 1) msg += "s";
+  for (const auto& f : unknown) msg += " --" + f;
+  msg += " (known:";
+  for (const auto& a : allowed) msg += " --" + a;
+  msg += ")";
+  require(false, msg);
 }
 
 }  // namespace qc

@@ -11,6 +11,11 @@ namespace qc {
 ///
 /// Accepts flags of the form `--name=value`; bare `--name` is treated as
 /// boolean true. Anything not starting with "--" is a positional argument.
+///
+/// Numeric and boolean accessors parse strictly: `--trials=abc` throws
+/// InvalidArgumentError instead of silently yielding 0. expect_flags()
+/// rejects flags outside a binary's declared set, so a typo'd flag fails
+/// loudly instead of being silently ignored.
 class Cli {
  public:
   Cli(int argc, char** argv);
@@ -18,10 +23,23 @@ class Cli {
   /// True if the flag appeared on the command line at all.
   bool has(const std::string& name) const;
 
+  /// Value of `--name`, or `def` when absent. Throws InvalidArgumentError
+  /// when the value is present but does not parse fully as an integer /
+  /// double / boolean (accepted booleans: true/false/1/0/yes/no).
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
   double get_double(const std::string& name, double def) const;
-  std::string get_string(const std::string& name, std::string def) const;
   bool get_bool(const std::string& name, bool def) const;
+
+  std::string get_string(const std::string& name, std::string def) const;
+
+  /// Flags on the command line that are not in `allowed`.
+  std::vector<std::string> unknown_flags(
+      const std::vector<std::string>& allowed) const;
+
+  /// Throws InvalidArgumentError naming every unknown flag (strict mode;
+  /// catches typos like `--trialz=5`). Call once after construction with
+  /// the binary's full flag set.
+  void expect_flags(const std::vector<std::string>& allowed) const;
 
   /// Positional (non-flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }

@@ -157,6 +157,23 @@ TEST(QuantumExact, DirectOracleMatchesSimulated) {
   EXPECT_EQ(a.costs.grover_iterations, b.costs.grover_iterations);
 }
 
+TEST(QuantumExact, ReferencePathUsesAtMostNBfsRuns) {
+  // The shared EccEngine answers every branch's f(u) from one eccentricity
+  // table: at most one BFS per vertex for the whole run, versus Theta(n*d)
+  // for the per-branch naive evaluation it replaced.
+  auto g = random_graph(48, 8, 21);
+  QuantumConfig cfg;
+  cfg.oracle = OracleMode::kDirect;
+  auto rep = quantum_diameter_exact(g, cfg);
+  EXPECT_EQ(rep.diameter, 8u);
+  EXPECT_GT(rep.reference_bfs_runs, 0u);
+  EXPECT_LE(rep.reference_bfs_runs, g.n());
+
+  cfg.oracle = OracleMode::kSimulate;  // cross-check path: same bound
+  auto sim = quantum_diameter_exact(g, cfg);
+  EXPECT_LE(sim.reference_bfs_runs, g.n());
+}
+
 TEST(QuantumSimple, AlsoExactButSlower) {
   auto g = random_graph(30, 10, 7);
   QuantumConfig cfg;

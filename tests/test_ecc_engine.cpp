@@ -1,0 +1,185 @@
+// The shared eccentricity engine (graph/ecc_engine.hpp): the flat BFS
+// kernel, the compute-once eccentricity cache, and the sparse-table
+// segment-max structure — each checked against the naive reference
+// implementations in graph/algorithms.hpp, which stay in the tree as
+// ground truth.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/ecc_engine.hpp"
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qc::graph {
+namespace {
+
+Graph random_graph(std::uint32_t n, std::uint32_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  return make_random_with_diameter(n, d, rng);
+}
+
+std::vector<Graph> test_graphs() {
+  std::vector<Graph> gs;
+  gs.push_back(make_path(1));
+  gs.push_back(make_path(2));
+  gs.push_back(make_path(17));
+  gs.push_back(make_star(9));
+  gs.push_back(make_cycle(12));
+  gs.push_back(make_grid(4, 5));
+  Rng rng(42);
+  gs.push_back(make_connected_er(40, 0.12, rng));
+  gs.push_back(random_graph(60, 7, 7));
+  return gs;
+}
+
+TEST(FlatBfs, MatchesReferenceBfs) {
+  BfsScratch scratch;
+  for (const Graph& g : test_graphs()) {
+    for (NodeId root = 0; root < g.n(); root += (g.n() > 8 ? 5 : 1)) {
+      const BfsResult ref = bfs(g, root);
+      const std::uint32_t ecc = flat_bfs_distances(g, root, scratch);
+      ASSERT_EQ(scratch.dist.size(), ref.dist.size());
+      for (NodeId v = 0; v < g.n(); ++v) {
+        EXPECT_EQ(scratch.dist[v], ref.dist[v]) << "root " << root;
+      }
+      EXPECT_EQ(ecc, eccentricity(g, root));
+    }
+  }
+}
+
+TEST(FlatBfs, DisconnectedMarksUnreachable) {
+  const std::vector<Edge> edges = {{0, 1}, {2, 3}};  // {2,3} unreachable
+  const Graph g = Graph::from_edges(4, edges);
+  BfsScratch scratch;
+  flat_bfs_distances(g, 0, scratch);
+  EXPECT_EQ(scratch.dist[1], 1u);
+  EXPECT_EQ(scratch.dist[2], kUnreachable);
+  EXPECT_EQ(scratch.dist[3], kUnreachable);
+}
+
+TEST(EccEngine, AllEccentricitiesMatchNaive) {
+  for (const Graph& g : test_graphs()) {
+    EccEngine engine(g, 1);
+    const auto& all = engine.all();
+    ASSERT_EQ(all.size(), g.n());
+    for (NodeId v = 0; v < g.n(); ++v) {
+      EXPECT_EQ(all[v], eccentricity(g, v)) << "vertex " << v;
+      EXPECT_EQ(engine.eccentricity(v), all[v]);
+    }
+    EXPECT_EQ(engine.diameter(), *std::max_element(all.begin(), all.end()));
+    EXPECT_EQ(engine.radius(), *std::min_element(all.begin(), all.end()));
+    EXPECT_EQ(engine.eccentricity(engine.center()), engine.radius());
+  }
+}
+
+TEST(EccEngine, AgreesWithClassicalBaselines) {
+  const Graph g = random_graph(80, 9, 3);
+  EccEngine engine(g);
+  EXPECT_EQ(engine.diameter(), diameter(g));
+  EXPECT_EQ(engine.radius(), radius(g));
+  EXPECT_EQ(engine.center(), center(g));
+  EXPECT_EQ(engine.all(), all_eccentricities(g));
+}
+
+TEST(EccEngine, ExactlyOneBfsPerVertex) {
+  const Graph g = random_graph(64, 6, 11);
+  EccEngine engine(g, 2);
+  EXPECT_EQ(engine.bfs_runs(), 0u);  // lazy until first query
+  engine.diameter();
+  EXPECT_EQ(engine.bfs_runs(), g.n());
+  // Repeated queries never re-run BFS.
+  engine.all();
+  engine.radius();
+  for (NodeId v = 0; v < g.n(); ++v) engine.eccentricity(v);
+  EXPECT_EQ(engine.bfs_runs(), g.n());
+}
+
+TEST(EccEngine, SerialAndParallelAgree) {
+  // Large enough to cross the parallel cutoff (256).
+  const Graph g = random_graph(300, 12, 5);
+  EccEngine serial(g, 1);
+  EccEngine parallel(g, 4);
+  EXPECT_EQ(serial.all(), parallel.all());
+  EXPECT_EQ(parallel.bfs_runs(), g.n());
+}
+
+TEST(SegmentMax, MatchesNaiveOnFullTree) {
+  for (const Graph& g : test_graphs()) {
+    const BfsTree tree = bfs_tree(g, 0);
+    const DfsNumbering num = dfs_numbering(tree);
+    EccEngine engine(g, 1);
+    const EccEngine::SegmentMax seg = engine.segment_max(num);
+    const std::uint32_t len = num.walk_length();
+    const std::vector<std::uint32_t> steps_to_try = {
+        0, 1, 2, len / 2, len == 0 ? 0 : len - 1, len, len + 3, 2 * len};
+    for (NodeId u = 0; u < g.n(); ++u) {
+      if (!num.in_walk[u]) continue;
+      for (std::uint32_t steps : steps_to_try) {
+        EXPECT_EQ(seg.max_ecc_in_segment(u, steps),
+                  max_ecc_in_segment(g, num, u, steps))
+            << "u=" << u << " steps=" << steps << " n=" << g.n();
+      }
+    }
+  }
+}
+
+TEST(SegmentMax, MatchesNaiveOnInducedSubtree) {
+  const Graph g = random_graph(50, 6, 19);
+  const BfsTree tree = bfs_tree(g, 0);
+  // Keep the s closest vertices to the root (ancestor-closed by depth),
+  // the shape Figure 3's set R takes.
+  const std::uint32_t s = 20;
+  std::vector<std::pair<std::uint32_t, NodeId>> by_depth;
+  for (NodeId v = 0; v < g.n(); ++v) by_depth.push_back({tree.depth[v], v});
+  std::sort(by_depth.begin(), by_depth.end());
+  std::vector<bool> keep(g.n(), false);
+  for (std::uint32_t i = 0; i < s; ++i) keep[by_depth[i].second] = true;
+  const BfsTree sub = induced_subtree(tree, keep);
+  const DfsNumbering num = dfs_numbering(sub);
+
+  EccEngine engine(g, 1);
+  const EccEngine::SegmentMax seg = engine.segment_max(num);
+  for (NodeId u = 0; u < g.n(); ++u) {
+    if (!num.in_walk[u]) continue;
+    for (std::uint32_t steps : {0u, 3u, num.walk_length()}) {
+      EXPECT_EQ(seg.max_ecc_in_segment(u, steps),
+                max_ecc_in_segment(g, num, u, steps))
+          << "u=" << u << " steps=" << steps;
+    }
+  }
+}
+
+TEST(SegmentMax, RejectsNodesOutsideWalk) {
+  const Graph g = random_graph(30, 5, 23);
+  const BfsTree tree = bfs_tree(g, 0);
+  std::vector<bool> keep(g.n(), false);
+  keep[0] = true;  // root only
+  const DfsNumbering num = dfs_numbering(induced_subtree(tree, keep));
+  EccEngine engine(g, 1);
+  const EccEngine::SegmentMax seg = engine.segment_max(num);
+  // The root is the whole walk: every query returns ecc(root).
+  EXPECT_EQ(seg.max_ecc_in_segment(0, 10), engine.eccentricity(0));
+  // Nodes outside the walk are rejected, same contract as the naive path.
+  NodeId outside = 1;
+  while (outside < g.n() && num.in_walk[outside]) ++outside;
+  ASSERT_LT(outside, g.n());
+  EXPECT_THROW(seg.max_ecc_in_segment(outside, 1), Error);
+}
+
+TEST(SegmentMax, SingleVertexGraph) {
+  const Graph g = make_path(1);
+  const DfsNumbering num = dfs_numbering(bfs_tree(g, 0));
+  EccEngine engine(g, 1);
+  const EccEngine::SegmentMax seg = engine.segment_max(num);
+  EXPECT_EQ(seg.max_ecc_in_segment(0, 0), 0u);
+  EXPECT_EQ(seg.max_ecc_in_segment(0, 5), 0u);
+}
+
+}  // namespace
+}  // namespace qc::graph

@@ -304,6 +304,59 @@ TEST(FaultPlan, CrashWindowAccountingIsExact) {
   EXPECT_EQ(stats.messages_dropped, 8u);
 }
 
+TEST(CrashIndex, MatchesFaultPlanCrashedOnEveryNodeRound) {
+  // The O(1)-per-check index the Network uses in the delivery hot loop
+  // must agree with the linear-scan reference on every (node, round) pair:
+  // overlapping windows, repeat windows for one node, never-recovering
+  // windows, and nodes with no window at all.
+  const std::uint32_t n = 12;
+  congest::FaultPlan plan;
+  plan.crashes = {
+      CrashWindow{3, 2, 5},   CrashWindow{3, 8, 10},  // two windows, one node
+      CrashWindow{5, 1, 0},                           // never recovers
+      CrashWindow{7, 4, 6},   CrashWindow{7, 5, 9},   // overlapping
+      CrashWindow{11, 30, 31},
+  };
+  congest::CrashIndex index(plan, n);
+  for (std::uint32_t round = 1; round <= 40; ++round) {
+    index.refresh(round);
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(index.down(v), plan.crashed(v, round))
+          << "node " << v << " round " << round;
+    }
+  }
+}
+
+TEST(CrashIndex, EmptyPlanNeverReportsDown) {
+  congest::CrashIndex index(congest::FaultPlan{}, 8);
+  index.refresh(1);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_FALSE(index.down(v));
+}
+
+TEST(CrashIndex, EnginesAgreeUnderCrashPlan) {
+  // The index is refreshed inside the parallel round barrier as well; both
+  // engines must keep producing identical fault accounting.
+  auto g = random_graph(24, 4, 31);
+  NetworkConfig cfg;
+  cfg.fault.crashes = {CrashWindow{2, 2, 6}, CrashWindow{9, 1, 0},
+                       CrashWindow{15, 3, 4}};
+  cfg.fault.drop_probability = 0.05;
+  congest::RunStats seq_stats, par_stats;
+  for (auto engine : {congest::Engine::kSequential, congest::Engine::kParallel}) {
+    cfg.engine = engine;
+    cfg.num_threads = engine == congest::Engine::kParallel ? 4 : 0;
+    Network net(g, cfg);
+    net.init_programs(
+        [](NodeId) { return std::make_unique<ChatterProgram>(8); });
+    auto stats = net.run_rounds(10);
+    (engine == congest::Engine::kSequential ? seq_stats : par_stats) = stats;
+  }
+  EXPECT_EQ(seq_stats.crashed_node_rounds, par_stats.crashed_node_rounds);
+  EXPECT_EQ(seq_stats.messages, par_stats.messages);
+  EXPECT_EQ(seq_stats.messages_dropped, par_stats.messages_dropped);
+  EXPECT_EQ(seq_stats.bits, par_stats.bits);
+}
+
 TEST(FaultPlan, ForAttemptDecorrelatesButKeepsAttemptZero) {
   congest::FaultPlan plan;
   plan.drop_probability = 0.2;

@@ -83,6 +83,30 @@ TEST(AmplitudeVector, SamplingFollowsDistribution) {
   EXPECT_NEAR(counts[1], 2000, 200);
 }
 
+TEST(AmplitudeVector, SampleAtZeroSkipsZeroMassPrefix) {
+  // Regression: with u01 == 0.0, the cumulative scan used to stop at the
+  // first basis state even when its amplitude was exactly zero, returning
+  // a state outside the support. A measurement must never do that.
+  auto v = AmplitudeVector::over_support(6, {2, 4});
+  EXPECT_EQ(v.sample_at(0.0), 2u);  // first *positive-mass* index
+}
+
+TEST(AmplitudeVector, SampleAtAlwaysInSupport) {
+  auto v = AmplitudeVector::over_support(8, {1, 3, 6});
+  for (double u : {0.0, 1e-18, 0.2, 1.0 / 3.0, 0.5, 2.0 / 3.0, 0.9,
+                   1.0 - 1e-16}) {
+    const std::size_t x = v.sample_at(u);
+    EXPECT_GT(std::norm(v.amp(x)), 0.0) << "u=" << u;
+  }
+}
+
+TEST(AmplitudeVector, SampleAtTailFallsBackToLastPopulated) {
+  // Rounding in the cumulative sum may leave a sliver of u unconsumed; the
+  // fallback must be the last populated state, not a zero-amplitude one.
+  auto v = AmplitudeVector::over_support(10, {0, 4});
+  EXPECT_EQ(v.sample_at(1.0), 4u);
+}
+
 TEST(StateVector, InitialState) {
   StateVector sv(3);
   EXPECT_EQ(sv.dim(), 8u);

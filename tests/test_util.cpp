@@ -205,6 +205,40 @@ TEST(Cli, ParsesFlagsAndPositionals) {
   EXPECT_EQ(cli.positional()[0], "pos1");
 }
 
+TEST(Cli, RejectsMalformedNumericValues) {
+  // Regression: get_int/get_double used to return 0 for unparsable values
+  // (atoll semantics), so `--trials=abc` silently ran with 0 trials.
+  const char* argv[] = {"prog", "--n=12x",  "--trials=abc", "--p=0.5.3",
+                        "--ok=3", "--f=2.5", "--flag=maybe"};
+  Cli cli(7, const_cast<char**>(argv));
+  EXPECT_THROW(cli.get_int("n", 0), InvalidArgumentError);
+  EXPECT_THROW(cli.get_int("trials", 0), InvalidArgumentError);
+  EXPECT_THROW(cli.get_double("p", 0.0), InvalidArgumentError);
+  EXPECT_THROW(cli.get_bool("flag", false), InvalidArgumentError);
+  EXPECT_EQ(cli.get_int("ok", 0), 3);
+  EXPECT_DOUBLE_EQ(cli.get_double("f", 0.0), 2.5);
+}
+
+TEST(Cli, BoolAcceptsCommonSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=false"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_FALSE(cli.get_bool("d", true));
+}
+
+TEST(Cli, UnknownFlagsAreReported) {
+  const char* argv[] = {"prog", "--seed=1", "--trialz=5", "pos"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.unknown_flags({"seed", "trialz"}).empty());
+  const auto unknown = cli.unknown_flags({"seed", "trials"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "trialz");  // positionals are not flags
+  EXPECT_NO_THROW(cli.expect_flags({"seed", "trialz"}));
+  EXPECT_THROW(cli.expect_flags({"seed", "trials"}), InvalidArgumentError);
+}
+
 TEST(Bits, Widths) {
   EXPECT_EQ(bit_width_for(1), 1u);
   EXPECT_EQ(bit_width_for(2), 1u);
