@@ -11,12 +11,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/generators.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -28,7 +31,9 @@ inline void banner(const std::string& title, const std::string& claim) {
   std::cout << "\n=== " << title << " ===\n" << claim << "\n\n";
 }
 
-/// Median of `trials` runs of `f(seed)`.
+/// Median of `trials` runs of `f(seed)`. Moves the sample vector into
+/// quantile() — the selection-based implementation partitions in place, so
+/// no copy is made.
 template <typename F>
 double median_over_seeds(int trials, std::uint64_t base_seed, F&& f) {
   std::vector<double> xs;
@@ -36,7 +41,7 @@ double median_over_seeds(int trials, std::uint64_t base_seed, F&& f) {
   for (int t = 0; t < trials; ++t) {
     xs.push_back(static_cast<double>(f(base_seed + t)));
   }
-  return quantile(xs, 0.5);
+  return quantile(std::move(xs), 0.5);
 }
 
 /// Prints a fitted power law y ~ x^e next to the paper's predicted
@@ -61,24 +66,34 @@ inline graph::Graph workload(std::uint32_t n, std::uint32_t d,
 /// sizes are chosen so every bench completes in seconds.
 ///
 /// Parsing is strict: malformed values (--trials=abc) and flags outside
-/// {--quick, --trials, --seed} + `extra` abort with a message instead of
-/// silently running the default sweep.
+/// {--quick, --trials, --seed, --metrics-out} + `extra` abort with a
+/// message instead of silently running the default sweep.
+///
+/// `--metrics-out=FILE` arms a qc::metrics capture for the whole bench
+/// run: the session lives inside the returned options object and writes
+/// the JSONL when the options go out of scope at the end of main.
 struct BenchOptions {
   bool quick = false;
   int trials = 3;
   std::uint64_t seed = 1234;
+  std::string metrics_out;
+  std::shared_ptr<metrics::ScopedExport> metrics_session;
 
   static BenchOptions parse(int argc, char** argv,
                             const std::vector<std::string>& extra = {}) {
     try {
       Cli cli(argc, argv);
-      std::vector<std::string> allowed = {"quick", "trials", "seed"};
+      std::vector<std::string> allowed = {"quick", "trials", "seed",
+                                          "metrics-out"};
       allowed.insert(allowed.end(), extra.begin(), extra.end());
       cli.expect_flags(allowed);
       BenchOptions o;
       o.quick = cli.get_bool("quick", false);
       o.trials = static_cast<int>(cli.get_int("trials", o.quick ? 2 : 3));
       o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1234));
+      o.metrics_out = cli.get_string("metrics-out", "");
+      o.metrics_session =
+          std::make_shared<metrics::ScopedExport>(o.metrics_out);
       return o;
     } catch (const Error& e) {  // bench mains have no try/catch of their own
       std::cerr << "error: " << e.what() << "\n";

@@ -6,6 +6,7 @@
 #include "algos/leader_election.hpp"
 #include "algos/source_detection.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace qc::algos {
 
@@ -13,6 +14,7 @@ using graph::NodeId;
 
 CensusOutcome classical_apsp_census(const graph::Graph& g,
                                     congest::NetworkConfig cfg) {
+  metrics::ScopedTimer span("algos.apsp_census");
   require(g.n() >= 1, "classical_apsp_census: empty graph");
   CensusOutcome out;
   if (g.n() == 1) {
@@ -50,6 +52,7 @@ CensusOutcome classical_apsp_census(const graph::Graph& g,
       out.center = v;
     }
   }
+  span.add(out.stats.rounds, out.stats.messages, out.stats.bits);
   return out;
 }
 

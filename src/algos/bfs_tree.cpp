@@ -114,6 +114,7 @@ BfsOutcome build_bfs_tree(const graph::Graph& g, NodeId root,
   if (out.status == PhaseStatus::kQuiesced && !complete) {
     out.status = PhaseStatus::kDegraded;
   }
+  report_phase_status("bfs_tree", out.status);
   return out;
 }
 
@@ -265,6 +266,7 @@ AggregateOutcome aggregate_to_root(const graph::Graph& g,
   }
   out.primary = rootp.primary();
   out.secondary = rootp.secondary();
+  report_phase_status("aggregate", out.status);
   return out;
 }
 
@@ -287,6 +289,7 @@ BroadcastOutcome broadcast_from_root(const graph::Graph& g,
       break;
     }
   }
+  report_phase_status("broadcast", out.status);
   return out;
 }
 
@@ -315,6 +318,7 @@ EccOutcome compute_eccentricity(const graph::Graph& g, NodeId root,
     // partial aggregate can disagree — surface it, don't abort.
     out.status = worst_of(out.status, PhaseStatus::kDegraded);
   }
+  report_phase_status("eccentricity", out.status);
   return out;
 }
 

@@ -1,11 +1,13 @@
 #include "algos/diameter_classical.hpp"
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace qc::algos {
 
 DiameterOutcome classical_exact_diameter(const graph::Graph& g,
                                          congest::NetworkConfig cfg) {
+  metrics::ScopedTimer span("algos.classical_diameter");
   require(g.n() >= 1, "classical_exact_diameter: empty graph");
   DiameterOutcome out;
   if (g.n() == 1) {
@@ -32,6 +34,7 @@ DiameterOutcome classical_exact_diameter(const graph::Graph& g,
 
   out.stats = out.init_stats;
   out.stats += out.eval_stats;
+  span.add(out.stats.rounds, out.stats.messages, out.stats.bits);
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include "graph/algorithms.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace qc::algos {
 
@@ -77,6 +78,7 @@ class GirthExchangeProgram : public congest::NodeProgram {
 
 GirthOutcome classical_girth_census(const graph::Graph& g,
                                     congest::NetworkConfig cfg) {
+  metrics::ScopedTimer span("algos.girth_census");
   require(g.n() >= 1, "classical_girth_census: empty graph");
   GirthOutcome out;
   out.girth = graph::kUnreachable;
@@ -139,6 +141,8 @@ GirthOutcome classical_girth_census(const graph::Graph& g,
   out.girth = agg.primary == sentinel
                   ? graph::kUnreachable
                   : static_cast<std::uint32_t>(agg.primary);
+  report_phase_status("girth_census", out.status);
+  span.add(out.stats.rounds, out.stats.messages, out.stats.bits);
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include "algos/source_detection.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace qc::algos {
 
@@ -166,6 +167,7 @@ PreparationOutcome hprw_preparation(const graph::Graph& g, std::uint32_t s,
 ApproxOutcome classical_approx_diameter(const graph::Graph& g,
                                         std::uint32_t s,
                                         congest::NetworkConfig cfg) {
+  metrics::ScopedTimer span("algos.classical_approx");
   ApproxOutcome out;
   if (s == 0) {
     s = static_cast<std::uint32_t>(
@@ -178,6 +180,7 @@ ApproxOutcome classical_approx_diameter(const graph::Graph& g,
   out.aborted = prep.aborted;
   if (prep.aborted) {
     out.stats = out.prep_stats;
+    span.add(out.stats.rounds, out.stats.messages, out.stats.bits);
     return out;
   }
 
@@ -194,6 +197,7 @@ ApproxOutcome classical_approx_diameter(const graph::Graph& g,
 
   out.stats = out.prep_stats;
   out.stats += out.phase2_stats;
+  span.add(out.stats.rounds, out.stats.messages, out.stats.bits);
   return out;
 }
 

@@ -1,6 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+
+#include "util/metrics.hpp"
 
 namespace qc::algos {
 
@@ -31,6 +34,15 @@ inline const char* to_string(PhaseStatus s) {
 /// Combined status of a multi-phase pipeline: the worst of the parts.
 inline PhaseStatus worst_of(PhaseStatus a, PhaseStatus b) {
   return a >= b ? a : b;
+}
+
+/// Report a phase outcome to the metrics registry as a labeled counter
+/// ("algos.phase_status" with label "<phase>/<status>"). One relaxed
+/// atomic load and no allocations when metrics are disabled.
+inline void report_phase_status(const char* phase, PhaseStatus s) {
+  if (!metrics::enabled()) return;
+  metrics::count("algos.phase_status", 1,
+                 std::string(phase) + "/" + to_string(s));
 }
 
 /// Bounded retry discipline for phases running under a fault plan: each

@@ -92,6 +92,7 @@ SourceDetectionOutcome detect_sources(const graph::Graph& g,
     out.distances[v] = prog.distances();
     out.first_hops[v] = prog.first_hops();
   }
+  report_phase_status("source_detection", out.status);
   return out;
 }
 

@@ -1,0 +1,48 @@
+#include "congest/metrics_observer.hpp"
+
+namespace qc::congest {
+
+namespace {
+
+// Round-level bucket bounds: deliveries per round grow with n, so cover a
+// generous power-of-two range; message sizes are O(log n) bits under the
+// model, so a finer linear-ish ladder resolves bandwidth occupancy.
+const std::vector<double> kRoundBounds = {1,    2,    4,     8,     16,
+                                          32,   64,   128,   256,   512,
+                                          1024, 4096, 16384, 65536, 262144};
+const std::vector<double> kBitsBounds = {8,    16,    32,    64,     128,
+                                         256,  1024,  4096,  16384,  65536,
+                                         262144, 1048576, 4194304};
+const std::vector<double> kMessageBitsBounds = {1,  2,  4,  8,  12, 16, 20,
+                                                24, 32, 40, 48, 64, 96, 128};
+
+}  // namespace
+
+MetricsObserver::MetricsObserver(metrics::MetricsRegistry* reg) : reg_(reg) {
+  reg_->register_histogram("congest.round_messages", kRoundBounds);
+  reg_->register_histogram("congest.round_bits", kBitsBounds);
+  reg_->register_histogram("congest.message_bits", kMessageBitsBounds);
+}
+
+void MetricsObserver::on_deliver(graph::NodeId /*from*/, graph::NodeId /*to*/,
+                                 const Message& msg, std::uint32_t round) {
+  if (open_ && round != current_round_) flush();
+  open_ = true;
+  current_round_ = round;
+  ++round_messages_;
+  round_bits_ += msg.size_bits();
+  reg_->observe("congest.message_bits",
+                static_cast<double>(msg.size_bits()));
+}
+
+void MetricsObserver::flush() {
+  if (!open_) return;
+  reg_->observe("congest.round_messages",
+                static_cast<double>(round_messages_));
+  reg_->observe("congest.round_bits", static_cast<double>(round_bits_));
+  round_messages_ = 0;
+  round_bits_ = 0;
+  open_ = false;
+}
+
+}  // namespace qc::congest

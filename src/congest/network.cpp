@@ -6,6 +6,9 @@
 #include <sstream>
 #include <thread>
 
+#include "congest/metrics_observer.hpp"
+#include "util/metrics.hpp"
+
 namespace qc::congest {
 
 bool neighbors_strictly_sorted(std::span<const graph::NodeId> neighbors) {
@@ -67,6 +70,14 @@ Network::Network(const graph::Graph& g, NetworkConfig cfg)
   }
   fault_enabled_ = cfg_.fault.enabled();
   crash_index_ = CrashIndex(cfg_.fault, g.n());
+  if (auto* m = metrics::global()) {
+    // Observe-only: composing the histogram observer into the delivery
+    // seam never alters inboxes, stats or round accounting, so every
+    // execution stays bit-identical to a metrics-off run.
+    metrics_observer_ = std::make_shared<MetricsObserver>(m);
+    cfg_.observer =
+        MultiObserver::combine(std::move(cfg_.observer), metrics_observer_);
+  }
   contexts_.resize(g.n());
   for (NodeId v = 0; v < g.n(); ++v) {
     auto& ctx = contexts_[v];
@@ -336,6 +347,19 @@ RunStats Network::run_phase(std::uint32_t max_rounds, bool until_quiet) {
   // network is quiescent *now*, at the end of this call.
   phase.quiesced = all_quiet();
   stats_ += phase;
+  if (metrics_observer_ != nullptr) {
+    metrics_observer_->flush();
+    if (auto* m = metrics::global()) {
+      m->add_counter("congest.phases");
+      m->add_counter("congest.rounds", phase.rounds);
+      m->add_counter("congest.messages", phase.messages);
+      m->add_counter("congest.bits", phase.bits);
+      m->add_counter("congest.messages_dropped", phase.messages_dropped);
+      m->add_counter("congest.messages_corrupted", phase.messages_corrupted);
+      m->add_counter("congest.bandwidth_violations", phase.violations);
+      m->add_counter("congest.crashed_node_rounds", phase.crashed_node_rounds);
+    }
+  }
   return phase;
 }
 

@@ -267,6 +267,12 @@ class Network {
 
   const graph::Graph* graph_;
   NetworkConfig cfg_;
+  /// Armed at construction when a global metrics registry is installed:
+  /// a MetricsObserver composed into cfg_.observer streams per-round
+  /// delivery histograms, and run_phase reports phase totals (incl. the
+  /// drops/violations observers never see) as counters. Null when metrics
+  /// are disabled — the hot path then only ever checks this pointer.
+  std::shared_ptr<class MetricsObserver> metrics_observer_;
   std::uint32_t bandwidth_bits_ = 0;
   bool fault_enabled_ = false;
   /// O(1) per-check crash lookup, refreshed once per round (the hot

@@ -7,6 +7,7 @@
 #include "algos/leader_election.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace qc::core::detail {
 
@@ -18,8 +19,22 @@ std::uint32_t effective_branch_threads(const QuantumConfig& cfg) {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+void record_quantum_costs(const char* algo, const qsim::SearchCosts& costs,
+                          std::uint64_t distinct_evaluations,
+                          std::uint64_t reference_bfs_runs) {
+  if (!metrics::enabled()) return;
+  metrics::count("core.grover_iterations", costs.grover_iterations, algo);
+  metrics::count("core.setup_invocations", costs.setup_invocations, algo);
+  metrics::count("core.candidate_evaluations", costs.candidate_evaluations,
+                 algo);
+  metrics::count("core.distinct_branch_evaluations", distinct_evaluations,
+                 algo);
+  metrics::count("core.reference_bfs_runs", reference_bfs_runs, algo);
+}
+
 InitPhase run_initialization(const graph::Graph& g,
                              const congest::NetworkConfig& net) {
+  metrics::ScopedTimer span("core.init");
   InitPhase init;
   congest::RunStats acc;
 
@@ -41,6 +56,7 @@ InitPhase run_initialization(const graph::Graph& g,
   // measure its round cost with one instrumentation run (not charged).
   init.t_setup =
       algos::broadcast_from_root(g, init.tree, 0, id_bits, net).stats.rounds;
+  span.add(acc.rounds, acc.messages, acc.bits);
   return init;
 }
 
@@ -55,6 +71,7 @@ WindowOracle::WindowOracle(const graph::Graph& g,
       net_(std::move(net)),
       mask_(std::move(mask)),
       engine_(g, num_threads) {
+  metrics::ScopedTimer span("core.oracle_build");
   graph::BfsTree walk_tree =
       mask_.empty() ? tree.to_bfs_tree()
                     : graph::induced_subtree(tree.to_bfs_tree(), mask_);
@@ -71,10 +88,13 @@ WindowOracle::WindowOracle(const graph::Graph& g,
 
 std::int64_t WindowOracle::operator()(std::size_t u0) {
   const auto node = static_cast<NodeId>(u0);
+  metrics::count("core.branch_evaluations");
   const std::uint32_t reference = seg_max_.max_ecc_in_segment(node, steps_);
   if (mode_ == OracleMode::kSimulate || !validated_once_) {
+    metrics::ScopedTimer span("core.branch_simulate");
     auto eval = algos::evaluate_window_ecc(*g_, *tree_, node, steps_, net_,
                                            mask_.empty() ? nullptr : &mask_);
+    span.add(eval.stats.rounds, eval.stats.messages, eval.stats.bits);
     check_internal(eval.stats.rounds == t_eval_forward_,
                    "WindowOracle: evaluation round budget mismatch");
     check_internal(eval.max_ecc == reference,

@@ -40,6 +40,15 @@ InitPhase run_initialization(const graph::Graph& g,
 /// interleave the observed event stream nondeterministically.
 std::uint32_t effective_branch_threads(const QuantumConfig& cfg);
 
+/// Tags a completed quantum phase in the global metrics registry (no-op
+/// when metrics are disabled): Grover/Setup/check counters labeled with
+/// the front-end name, plus the branch-evaluation and reference-BFS
+/// totals. Shared by all four front-ends so the exported counter names
+/// stay uniform.
+void record_quantum_costs(const char* algo, const qsim::SearchCosts& costs,
+                          std::uint64_t distinct_evaluations,
+                          std::uint64_t reference_bfs_runs);
+
 /// The branch oracle for f(u) = max_{v in segment window of u} ecc(v),
 /// with the two evaluation modes of OracleMode. Cross-checks the
 /// distributed Figure 2 execution against the centralized reference (on

@@ -11,6 +11,7 @@
 #include "graph/algorithms.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace qc::core {
 
@@ -19,6 +20,7 @@ using graph::NodeId;
 QuantumApproxReport quantum_diameter_approx(const graph::Graph& g,
                                             const QuantumConfig& cfg,
                                             std::uint32_t s_override) {
+  metrics::ScopedTimer span("core.quantum_diameter_approx");
   QuantumApproxReport rep;
   if (g.n() <= 2) {
     rep.estimate = g.n() <= 1 ? 0 : 1;
@@ -107,7 +109,13 @@ QuantumApproxReport quantum_diameter_approx(const graph::Graph& g,
     prob.num_threads = branch_threads;
 
     Rng rng(cfg.seed ^ 0xa99ae5u);
+    metrics::PhaseTimer quantum_span(metrics::global(), "core.quantum_phase");
     auto opt = distributed_quantum_optimize(prob, rng);
+    quantum_span.add(opt.total_rounds, 0, 0);
+    quantum_span.finish();
+    detail::record_quantum_costs("quantum_diameter_approx", opt.costs,
+                                 opt.distinct_evaluations,
+                                 oracle->reference_bfs_runs());
     rep.subroutine_failed = opt.subroutine_failed;
     rep.failure_reason = opt.failure_reason;
     quantum_value =
@@ -122,6 +130,7 @@ QuantumApproxReport quantum_diameter_approx(const graph::Graph& g,
 
   rep.estimate = std::max({prep.ecc_w, prep.max_ecc_sample, quantum_value});
   rep.total_rounds = rep.prep_rounds + rep.quantum_rounds;
+  span.add(rep.total_rounds, 0, 0);
   return rep;
 }
 

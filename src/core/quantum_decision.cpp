@@ -5,12 +5,14 @@
 
 #include "core/detail.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace qc::core {
 
 DecisionReport quantum_diameter_decide(const graph::Graph& g,
                                        std::uint32_t threshold,
                                        const QuantumConfig& cfg) {
+  metrics::ScopedTimer span("core.quantum_diameter_decide");
   DecisionReport rep;
   rep.threshold = threshold;
   if (g.n() <= 1) {
@@ -58,7 +60,13 @@ DecisionReport quantum_diameter_decide(const graph::Graph& g,
   prob.num_threads = branch_threads;
 
   Rng rng(cfg.seed ^ 0xdec1deULL);
+  metrics::PhaseTimer quantum_span(metrics::global(), "core.quantum_phase");
   auto s = distributed_quantum_search(prob, rng);
+  quantum_span.add(s.total_rounds - init.rounds, 0, 0);
+  quantum_span.finish();
+  detail::record_quantum_costs("quantum_diameter_decide", s.costs,
+                               s.distinct_evaluations,
+                               oracle->reference_bfs_runs());
 
   rep.subroutine_failed = s.subroutine_failed;
   rep.failure_reason = s.failure_reason;
@@ -71,6 +79,7 @@ DecisionReport quantum_diameter_decide(const graph::Graph& g,
   rep.reference_bfs_runs = oracle->reference_bfs_runs();
   rep.per_node_memory_qubits = s.per_node_memory_qubits;
   rep.leader_memory_qubits = s.leader_memory_qubits;
+  span.add(rep.total_rounds, 0, 0);
   return rep;
 }
 

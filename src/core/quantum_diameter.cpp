@@ -5,6 +5,7 @@
 
 #include "core/detail.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace qc::core {
 
@@ -15,6 +16,10 @@ namespace {
 QuantumDiameterReport run_diameter_optimization(const graph::Graph& g,
                                                 const QuantumConfig& cfg,
                                                 bool windowed) {
+  const char* algo =
+      windowed ? "quantum_diameter_exact" : "quantum_diameter_simple";
+  metrics::ScopedTimer span(windowed ? "core.quantum_diameter_exact"
+                                     : "core.quantum_diameter_simple");
   QuantumDiameterReport rep;
   if (g.n() <= 1) {
     rep.diameter = 0;
@@ -54,7 +59,12 @@ QuantumDiameterReport run_diameter_optimization(const graph::Graph& g,
   prob.num_threads = branch_threads;
 
   Rng rng(cfg.seed);
+  metrics::PhaseTimer quantum_span(metrics::global(), "core.quantum_phase");
   auto opt = distributed_quantum_optimize(prob, rng);
+  quantum_span.add(opt.total_rounds - init.rounds, 0, 0);
+  quantum_span.finish();
+  detail::record_quantum_costs(algo, opt.costs, opt.distinct_evaluations,
+                               oracle->reference_bfs_runs());
 
   rep.diameter = static_cast<std::uint32_t>(opt.value);
   rep.total_rounds = opt.total_rounds;
@@ -66,6 +76,7 @@ QuantumDiameterReport run_diameter_optimization(const graph::Graph& g,
   rep.leader_memory_qubits = opt.leader_memory_qubits;
   rep.subroutine_failed = opt.subroutine_failed;
   rep.failure_reason = opt.failure_reason;
+  span.add(rep.total_rounds, 0, 0);
   return rep;
 }
 

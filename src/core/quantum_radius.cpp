@@ -4,10 +4,12 @@
 
 #include "core/detail.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace qc::core {
 
 RadiusReport quantum_radius(const graph::Graph& g, const QuantumConfig& cfg) {
+  metrics::ScopedTimer span("core.quantum_radius");
   RadiusReport rep;
   if (g.n() <= 1) {
     rep.radius = 0;
@@ -39,7 +41,13 @@ RadiusReport quantum_radius(const graph::Graph& g, const QuantumConfig& cfg) {
   prob.num_threads = branch_threads;
 
   Rng rng(cfg.seed ^ 0x5ad105ULL);
+  metrics::PhaseTimer quantum_span(metrics::global(), "core.quantum_phase");
   auto opt = distributed_quantum_optimize(prob, rng);
+  quantum_span.add(opt.total_rounds - init.rounds, 0, 0);
+  quantum_span.finish();
+  detail::record_quantum_costs("quantum_radius", opt.costs,
+                               opt.distinct_evaluations,
+                               oracle->reference_bfs_runs());
 
   rep.subroutine_failed = opt.subroutine_failed;
   rep.failure_reason = opt.failure_reason;
@@ -54,6 +62,7 @@ RadiusReport quantum_radius(const graph::Graph& g, const QuantumConfig& cfg) {
   rep.budget_exhausted = opt.budget_exhausted;
   rep.per_node_memory_qubits = opt.per_node_memory_qubits;
   rep.leader_memory_qubits = opt.leader_memory_qubits;
+  span.add(rep.total_rounds, 0, 0);
   return rep;
 }
 

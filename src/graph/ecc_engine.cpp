@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qc::graph {
@@ -53,6 +54,7 @@ EccEngine::EccEngine(const Graph& g, std::uint32_t num_threads)
 
 void EccEngine::ensure_all() const {
   std::call_once(computed_, [this] {
+    metrics::ScopedTimer span("graph.ecc_sweep");
     const std::uint32_t n = g_->n();
     ecc_.resize(n);
     const auto workers = std::min<std::uint32_t>(num_threads_, n);
@@ -62,22 +64,24 @@ void EccEngine::ensure_all() const {
         ecc_[v] = flat_bfs_distances(*g_, v, scratch);
       }
       bfs_runs_.fetch_add(n, std::memory_order_relaxed);
-      return;
+    } else {
+      ThreadPool pool(workers);
+      std::atomic<NodeId> next{0};
+      for (std::uint32_t w = 0; w < workers; ++w) {
+        pool.submit([this, &next, n] {
+          BfsScratch scratch;
+          for (;;) {
+            const NodeId v = next.fetch_add(1);
+            if (v >= n) return;
+            ecc_[v] = flat_bfs_distances(*g_, v, scratch);
+            bfs_runs_.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      pool.wait_idle();
     }
-    ThreadPool pool(workers);
-    std::atomic<NodeId> next{0};
-    for (std::uint32_t w = 0; w < workers; ++w) {
-      pool.submit([this, &next, n] {
-        BfsScratch scratch;
-        for (;;) {
-          const NodeId v = next.fetch_add(1);
-          if (v >= n) return;
-          ecc_[v] = flat_bfs_distances(*g_, v, scratch);
-          bfs_runs_.fetch_add(1, std::memory_order_relaxed);
-        }
-      });
-    }
-    pool.wait_idle();
+    metrics::count("graph.reference_bfs_runs",
+                   bfs_runs_.load(std::memory_order_relaxed));
   });
 }
 

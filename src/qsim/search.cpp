@@ -4,10 +4,21 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace qc::qsim {
 
 namespace {
+
+/// Emit the aggregated costs of one top-level search primitive as labeled
+/// counters. No-op (one relaxed load) when metrics are disabled.
+void record_costs(const char* primitive, const SearchCosts& costs) {
+  if (!metrics::enabled()) return;
+  metrics::count("qsim.grover_iterations", costs.grover_iterations, primitive);
+  metrics::count("qsim.setup_invocations", costs.setup_invocations, primitive);
+  metrics::count("qsim.candidate_evaluations", costs.candidate_evaluations,
+                 primitive);
+}
 
 /// One BBHT phase: randomized iteration counts with the classic m <- 6m/5
 /// growth, capped at sqrt(1/epsilon). Returns when a marked item is
@@ -63,9 +74,11 @@ SearchResult amplitude_amplification_search(const AmplitudeVector& setup_state,
     if (res.found) {
       total.found = true;
       total.item = res.item;
+      record_costs("search", total.costs);
       return total;
     }
   }
+  record_costs("search", total.costs);
   return total;  // declared empty
 }
 
@@ -120,6 +133,7 @@ MaximizationResult quantum_maximize(
   }
   res.argmax = a;
   res.value = fa;
+  record_costs("maximize", res.costs);
   return res;
 }
 
@@ -165,6 +179,7 @@ CountEstimate estimate_marked_fraction(const AmplitudeVector& setup_state,
     }
   }
   est.fraction = std::pow(std::sin(best_theta), 2);
+  record_costs("estimate", est.costs);
   return est;
 }
 

@@ -30,9 +30,11 @@ Summary summarize(std::span<const double> xs) {
     s.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
   }
 
-  s.median = quantile(sorted, 0.5);
-  s.p25 = quantile(sorted, 0.25);
-  s.p75 = quantile(sorted, 0.75);
+  // One sort, three O(1) lookups — quantile(sorted, p) per percentile
+  // would copy and re-select the sample three more times.
+  s.median = quantile_sorted(sorted, 0.5);
+  s.p25 = quantile_sorted(sorted, 0.25);
+  s.p75 = quantile_sorted(sorted, 0.75);
   return s;
 }
 
@@ -100,13 +102,35 @@ double correlation(std::span<const double> xs, std::span<const double> ys) {
 double quantile(std::vector<double> xs, double p) {
   require(!xs.empty(), "quantile: empty sample");
   require(p >= 0.0 && p <= 1.0, "quantile: p must be in [0,1]");
-  std::sort(xs.begin(), xs.end());
   if (xs.size() == 1) return xs[0];
+  // Selection instead of a full sort: one nth_element gives the lo-th
+  // order statistic and partitions everything >= it to the right, so the
+  // hi-th (= lo+1-th) order statistic is the minimum of that tail. Values
+  // are the exact order statistics a sort would produce, so the
+  // interpolation below is bit-identical to the historical
+  // copy-and-sort implementation (pinned by Stats.QuantileMatchesSortedReference).
   const double idx = p * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(idx);
   const std::size_t hi = std::min(lo + 1, xs.size() - 1);
   const double frac = idx - static_cast<double>(lo);
-  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  const auto lo_it = xs.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(xs.begin(), lo_it, xs.end());
+  const double lo_val = *lo_it;
+  const double hi_val = hi == lo
+                            ? lo_val
+                            : *std::min_element(std::next(lo_it), xs.end());
+  return lo_val * (1.0 - frac) + hi_val * frac;
+}
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+  require(!sorted.empty(), "quantile: empty sample");
+  require(p >= 0.0 && p <= 1.0, "quantile: p must be in [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 }  // namespace qc

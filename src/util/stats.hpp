@@ -44,6 +44,14 @@ LinearFit fit_power_law(std::span<const double> xs,
 double correlation(std::span<const double> xs, std::span<const double> ys);
 
 /// Exact p-quantile (linear interpolation) of the sample, p in [0,1].
+/// Selection-based (nth_element), O(n) per query — no full sort, and the
+/// by-value sample is consumed in place, so callers that own their vector
+/// should std::move it in.
 double quantile(std::vector<double> xs, double p);
+
+/// quantile() for a sample that is already sorted ascending: O(1), no
+/// copy. Same interpolation, bit-identical results. Callers computing
+/// several percentiles of one sample should sort once and use this.
+double quantile_sorted(std::span<const double> sorted, double p);
 
 }  // namespace qc

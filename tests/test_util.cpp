@@ -126,6 +126,40 @@ TEST(Stats, SummaryEmpty) {
   auto s = summarize(std::vector<double>{});
   EXPECT_EQ(s.count, 0u);
   EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+  EXPECT_EQ(s.p25, 0.0);
+  EXPECT_EQ(s.p75, 0.0);
+}
+
+TEST(Stats, SummaryQuartilesOddSample) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+}
+
+TEST(Stats, SummaryQuartilesEvenSample) {
+  std::vector<double> xs{1, 2, 3, 4};
+  auto s = summarize(xs);
+  // Linear interpolation at rank p*(n-1): p25 -> 0.75, p75 -> 2.25.
+  EXPECT_DOUBLE_EQ(s.p25, 1.75);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.p75, 3.25);
+}
+
+TEST(Stats, SummarySingleElement) {
+  std::vector<double> xs{42.0};
+  auto s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.p25, 42.0);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.p75, 42.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
 }
 
 TEST(Stats, LinearFitExact) {
@@ -157,6 +191,15 @@ TEST(Stats, PowerLawFitRecoversExponent) {
 TEST(Stats, PowerLawRejectsNonPositive) {
   std::vector<double> xs{1, 0}, ys{1, 1};
   EXPECT_THROW(fit_power_law(xs, ys), InvalidArgumentError);
+  std::vector<double> neg_y_xs{1, 2}, neg_ys{1, -1};
+  EXPECT_THROW(fit_power_law(neg_y_xs, neg_ys), InvalidArgumentError);
+}
+
+TEST(Stats, PowerLawRejectsSizeMismatch) {
+  std::vector<double> xs{1, 2, 3}, ys{1, 2};
+  EXPECT_THROW(fit_power_law(xs, ys), InvalidArgumentError);
+  std::vector<double> one{1};
+  EXPECT_THROW(fit_power_law(one, one), InvalidArgumentError);
 }
 
 TEST(Stats, CorrelationSigns) {
@@ -165,11 +208,53 @@ TEST(Stats, CorrelationSigns) {
   EXPECT_NEAR(correlation(xs, down), -1.0, 1e-12);
 }
 
+TEST(Stats, CorrelationRejectsBadSizes) {
+  std::vector<double> xs{1, 2, 3}, ys{1, 2};
+  EXPECT_THROW(correlation(xs, ys), InvalidArgumentError);
+  std::vector<double> one{1};
+  EXPECT_THROW(correlation(one, one), InvalidArgumentError);
+}
+
 TEST(Stats, QuantileInterpolates) {
   std::vector<double> xs{0, 10};
   EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
   EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
   EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+}
+
+// Regression test for the nth_element-based quantile(): pins bit-identical
+// results to the original copy-sort-interpolate implementation on random
+// samples across the whole percentile range.
+TEST(Stats, QuantileMatchesSortedReference) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.next_below(40);
+    std::vector<double> xs(n);
+    for (auto& x : xs) x = rng.next_double() * 1000.0 - 500.0;
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    for (double p : {0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+      // Reference: the old implementation, inlined.
+      const double rank = p * static_cast<double>(n - 1);
+      const auto lo = static_cast<std::size_t>(rank);
+      const auto hi = std::min(lo + 1, n - 1);
+      const double frac = rank - static_cast<double>(lo);
+      const double expected =
+          sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+      EXPECT_EQ(quantile(xs, p), expected)
+          << "trial " << trial << " n " << n << " p " << p;
+      EXPECT_EQ(quantile_sorted(sorted, p), expected)
+          << "trial " << trial << " n " << n << " p " << p;
+    }
+  }
+}
+
+TEST(Stats, QuantileSortedMatchesQuantile) {
+  std::vector<double> sorted{1, 2, 4, 8, 16};
+  for (double p : {0.0, 0.2, 0.35, 0.5, 0.8, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile_sorted(sorted, p),
+                     quantile(std::vector<double>(sorted), p));
+  }
 }
 
 TEST(Table, RendersAllCells) {
