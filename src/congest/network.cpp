@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <cassert>
 #include <sstream>
 #include <thread>
 
@@ -17,6 +18,32 @@ bool neighbors_strictly_sorted(std::span<const graph::NodeId> neighbors) {
          neighbors.end();
 }
 
+std::vector<std::vector<std::uint32_t>> build_reverse_ports(
+    std::span<const std::vector<graph::NodeId>> adjacency) {
+  const std::size_t n = adjacency.size();
+  std::vector<std::vector<std::uint32_t>> reverse(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    const auto& nb = adjacency[w];
+    require(neighbors_strictly_sorted(nb),
+            "build_reverse_ports: adjacency lists must be strictly sorted "
+            "(port numbering and the reverse-port table both rely on it; an "
+            "unsorted list would silently misroute messages)");
+    reverse[w].resize(nb.size());
+    for (std::size_t p = 0; p < nb.size(); ++p) {
+      const graph::NodeId u = nb[p];
+      require(u < n, "build_reverse_ports: adjacency names an unknown node");
+      const auto& unb = adjacency[u];
+      const auto it = std::lower_bound(unb.begin(), unb.end(),
+                                       static_cast<graph::NodeId>(w));
+      require(it != unb.end() && *it == static_cast<graph::NodeId>(w),
+              "build_reverse_ports: adjacency is not symmetric (a node "
+              "lists a neighbor whose list omits the reverse edge)");
+      reverse[w][p] = static_cast<std::uint32_t>(it - unb.begin());
+    }
+  }
+  return reverse;
+}
+
 std::uint32_t NodeContext::port_to(NodeId v) const {
   const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), v);
   require(it != neighbors_.end() && *it == v,
@@ -29,11 +56,22 @@ void NodeContext::send(std::uint32_t port, Message msg) {
   require(!port_used_[port],
           "NodeContext::send: at most one message per port per round");
   outbox_[port] = std::move(msg);
-  port_used_[port] = true;
+  port_used_[port] = 1;
+  ++pending_sends_;  // drained into the quiescence counter per slice
 }
 
 void NodeContext::broadcast(const Message& msg) {
-  for (std::uint32_t p = 0; p < degree(); ++p) send(p, msg);
+  // Copy-assigns straight into each outbox slot instead of routing through
+  // send(): the by-value Message parameter there costs a second copy per
+  // port, and broadcast is the hot send primitive of flooding workloads.
+  const std::uint32_t deg = degree();
+  for (std::uint32_t p = 0; p < deg; ++p) {
+    require(!port_used_[p],
+            "NodeContext::send: at most one message per port per round");
+    outbox_[p] = msg;
+    port_used_[p] = 1;
+  }
+  pending_sends_ += deg;
 }
 
 RunStats& RunStats::operator+=(const RunStats& other) {
@@ -79,18 +117,36 @@ Network::Network(const graph::Graph& g, NetworkConfig cfg)
         MultiObserver::combine(std::move(cfg_.observer), metrics_observer_);
   }
   contexts_.resize(g.n());
+  std::vector<std::vector<NodeId>> adjacency(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto nb = g.neighbors(v);
+    adjacency[v].assign(nb.begin(), nb.end());
+  }
+  // Validates sortedness and symmetry of every adjacency list, then gives
+  // delivery O(1) access to the sender's outbox slot for each edge.
+  const auto reverse_ports = build_reverse_ports(adjacency);
+  out_base_.resize(g.n());
+  std::uint32_t slots = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    out_base_[v] = slots;
+    slots += static_cast<std::uint32_t>(adjacency[v].size());
+  }
+  outbox_flat_.resize(slots);
+  port_used_flat_.assign(slots, 0);
   for (NodeId v = 0; v < g.n(); ++v) {
     auto& ctx = contexts_[v];
     ctx.id_ = v;
     ctx.n_ = g.n();
-    const auto nb = g.neighbors(v);
-    require(neighbors_strictly_sorted(nb),
-            "Network: Graph::neighbors must be strictly sorted (port_to "
-            "binary-searches the adjacency list; an unsorted list would "
-            "silently misroute messages)");
-    ctx.neighbors_.assign(nb.begin(), nb.end());
-    ctx.outbox_.resize(ctx.neighbors_.size());
-    ctx.port_used_.assign(ctx.neighbors_.size(), false);
+    ctx.neighbors_ = std::move(adjacency[v]);
+    ctx.outbox_ = outbox_flat_.data() + out_base_[v];
+    ctx.port_used_ = port_used_flat_.data() + out_base_[v];
+    // Fuse the reverse-port table with the flat-slot offsets: the slot
+    // receiver v pulls from on port p is one array index away.
+    ctx.in_slot_.resize(ctx.neighbors_.size());
+    for (std::size_t p = 0; p < ctx.neighbors_.size(); ++p) {
+      ctx.in_slot_[p] = out_base_[ctx.neighbors_[p]] + reverse_ports[v][p];
+    }
+    ctx.quiesce_ = quiesce_.get();
   }
   reseed_node_rngs();
   programs_.resize(g.n());
@@ -110,9 +166,15 @@ void Network::init_programs(
     auto& ctx = contexts_[v];
     ctx.round_ = 0;
     ctx.inbox_.clear();
-    std::fill(ctx.port_used_.begin(), ctx.port_used_.end(), false);
+    ctx.pending_sends_ = 0;
     ctx.halted_ = false;
   }
+  // A mid-run re-init may leave queued-but-undelivered slots behind; wipe
+  // the flat flags so the self-clearing invariant restarts from empty.
+  std::fill(port_used_flat_.begin(), port_used_flat_.end(), std::uint8_t{0});
+  quiesce_->inflight.store(0, std::memory_order_relaxed);
+  quiesce_->halted.store(0, std::memory_order_relaxed);
+  memory_audit_ = true;
   // Restart the per-node RNG streams from the master seed so a rerun of a
   // randomized program on the same Network reproduces the first run
   // bit-for-bit (the constructor seeds identically, so run one after
@@ -123,15 +185,28 @@ void Network::init_programs(
   started_ = false;
 }
 
-bool Network::all_quiet() const {
+bool Network::all_quiet_scan() const {
   for (NodeId v = 0; v < n(); ++v) {
-    const auto& ctx = contexts_[v];
-    if (!ctx.halted_) return false;
-    for (bool used : ctx.port_used_) {
-      if (used) return false;
-    }
+    if (!contexts_[v].halted_) return false;
+  }
+  for (const std::uint8_t used : port_used_flat_) {
+    if (used) return false;
   }
   return true;
+}
+
+bool Network::all_quiet() const {
+  const bool quiet =
+      quiesce_->halted.load(std::memory_order_relaxed) ==
+          static_cast<std::int64_t>(n()) &&
+      quiesce_->inflight.load(std::memory_order_relaxed) == 0;
+  // The counters are the old scan incrementally maintained; keep the scan
+  // as the debug-build ground truth. (inflight counts un-consumed outbox
+  // slots, but at every all_quiet call site delivery has consumed all
+  // slots of the previous round and only fresh sends remain, so the two
+  // formulations agree exactly.)
+  assert(quiet == all_quiet_scan());
+  return quiet;
 }
 
 void Network::deliver_range(std::uint32_t begin, std::uint32_t end,
@@ -147,27 +222,50 @@ void Network::deliver_range(std::uint32_t begin, std::uint32_t end,
   // under both engines as well. Crash checks go through the per-round
   // CrashIndex (refreshed at round start) instead of scanning the crash
   // list per edge.
+  //
+  // The common path is allocation-free and O(1) per edge: the sender's
+  // outbox slot is one flat array index away (in_slot_, the precomputed
+  // reverse-port table fused with the slot offsets — no binary search, no
+  // detour through the sender's NodeContext) and is *moved* into the
+  // receiver's inbox — each directed edge has exactly one receiver, so the
+  // slot is consumed exactly once per round; the receiver clears the used
+  // flag as it consumes, and the sender only writes it again on the far
+  // side of a round barrier. Only bandwidth truncation builds a new
+  // message; fault corruption flips a bit in the inbox slot in place.
+  // Consumed messages are counted locally and drained into the quiescence
+  // counter once per call, not once per message.
+  // Loop-invariant members hoisted into locals: the compiler cannot keep
+  // them in registers itself because the opaque calls in the loop body
+  // (observer virtual call, inbox growth) could alias any member.
   const FaultPlan& fault = cfg_.fault;
+  const bool fault_enabled = fault_enabled_;
+  const std::uint32_t round = round_;
+  const std::uint32_t bandwidth_bits = bandwidth_bits_;
+  std::uint8_t* const port_used = port_used_flat_.data();
+  Message* const outbox = outbox_flat_.data();
+  DeliveryObserver* const observer = cfg_.observer.get();
+  std::int64_t consumed = 0;
   for (NodeId w = begin; w < end; ++w) {
     auto& ctx = contexts_[w];
-    ctx.round_ = round_;
+    ctx.round_ = round;
     ctx.inbox_.clear();
-    const bool w_crashed = fault_enabled_ && crash_index_.down(w);
+    const bool w_crashed = fault_enabled && crash_index_.down(w);
     if (w_crashed) ++local.crashed_node_rounds;
-    for (std::uint32_t p = 0; p < ctx.degree(); ++p) {
+    const std::uint32_t deg = ctx.degree();
+    for (std::uint32_t p = 0; p < deg; ++p) {
+      const std::uint32_t s = ctx.in_slot_[p];
+      if (!port_used[s]) continue;
+      port_used[s] = 0;
+      ++consumed;
       const NodeId u = ctx.neighbors_[p];
-      const auto& sender = contexts_[u];
-      const std::uint32_t q = sender.port_to(w);
-      if (!sender.port_used_[q]) continue;
-      if (fault_enabled_ &&
-          (w_crashed || crash_index_.down(u) || fault.drops(round_, u, w))) {
+      if (fault_enabled &&
+          (w_crashed || crash_index_.down(u) || fault.drops(round, u, w))) {
         ++local.messages_dropped;
         continue;
       }
-      const Message& msg = sender.outbox_[q];
-      const std::uint32_t sz = msg.size_bits();
-      Message delivered = msg;
-      if (sz > bandwidth_bits_) {
+      Message& slot = outbox[s];
+      const std::uint32_t sz = slot.size_bits();
+      if (sz > bandwidth_bits) [[unlikely]] {
         if (cfg_.policy == BandwidthPolicy::kEnforce) {
           std::ostringstream os;
           os << "bandwidth violation: " << sz << " bits on edge " << u << "->"
@@ -177,42 +275,58 @@ void Network::deliver_range(std::uint32_t begin, std::uint32_t end,
         }
         ++local.violations;
         if (cfg_.policy == BandwidthPolicy::kTruncate) {
-          delivered = msg.truncated(bandwidth_bits_);
+          ctx.inbox_.emplace_back(p, slot.truncated(bandwidth_bits_));
+        } else {
+          ctx.inbox_.emplace_back(p, std::move(slot));
         }
+      } else {
+        ctx.inbox_.emplace_back(p, std::move(slot));
       }
-      if (fault_enabled_ && fault.corrupts(round_, u, w)) {
-        fault.corrupt_in_place(delivered, round_, u, w);
+      Message& delivered = ctx.inbox_.back().msg;
+      if (fault_enabled && fault.corrupts(round, u, w)) {
+        fault.corrupt_in_place(delivered, round, u, w);
         ++local.messages_corrupted;
       }
       const std::uint32_t delivered_bits = delivered.size_bits();
       ++local.messages;
       local.bits += delivered_bits;
       local.max_edge_bits = std::max(local.max_edge_bits, delivered_bits);
-      ctx.inbox_.push_back(Incoming{p, std::move(delivered)});
-      if (cfg_.observer != nullptr) {
+      if (observer != nullptr) {
         if (sink != nullptr) {
           sink->push_back(PendingDelivery{
               u, w, static_cast<std::uint32_t>(ctx.inbox_.size() - 1)});
         } else {
-          cfg_.observer->on_deliver(u, w, ctx.inbox_.back().msg, round_);
+          observer->on_deliver(u, w, delivered, round);
         }
       }
-      ctx.halted_ = false;  // a message re-activates a halted node
+      if (ctx.halted_) {  // a message re-activates a halted node
+        ctx.halted_ = false;
+        quiesce_->halted.fetch_sub(1, std::memory_order_relaxed);
+      }
     }
+  }
+  if (consumed != 0) {
+    quiesce_->inflight.fetch_sub(consumed, std::memory_order_relaxed);
   }
 }
 
 void Network::compute_range(std::uint32_t begin, std::uint32_t end) {
+  // No flag-clearing pass: every queued slot was consumed (and its flag
+  // cleared) by its receiver in this round's deliver phase — including a
+  // crashed node's slots, whose messages were dropped with it. Programs
+  // queue this round's sends into clean slots; their pending-send counts
+  // drain into the quiescence counter in one batched atomic per slice.
+  std::uint32_t sends = 0;
   for (NodeId v = begin; v < end; ++v) {
     auto& ctx = contexts_[v];
-    // The outbox slots were consumed by every receiver in the deliver
-    // phase of this round; clear them before the program writes new ones.
-    // A crashed node's slots clear too — whatever it queued before the
-    // crash is lost with it — but its program does not run.
-    std::fill(ctx.port_used_.begin(), ctx.port_used_.end(), false);
     if (fault_enabled_ && crash_index_.down(v)) continue;
     if (ctx.halted_ && ctx.inbox_.empty()) continue;
     programs_[v]->on_round(ctx);
+    sends += ctx.pending_sends_;
+    ctx.pending_sends_ = 0;
+  }
+  if (sends != 0) {
+    quiesce_->inflight.fetch_add(sends, std::memory_order_relaxed);
   }
 }
 
@@ -222,9 +336,14 @@ void Network::step_round(RunStats& phase) {
   RunStats local;
   deliver_range(0, n(), local, /*sink=*/nullptr);
   compute_range(0, n());
-  for (NodeId v = 0; v < n(); ++v) {
-    local.max_node_memory_bits =
-        std::max(local.max_node_memory_bits, programs_[v]->memory_bits());
+  if (memory_audit_) {
+    for (NodeId v = 0; v < n(); ++v) {
+      local.max_node_memory_bits =
+          std::max(local.max_node_memory_bits, programs_[v]->memory_bits());
+    }
+    // Every program reported "not audited" in the first round: stop paying
+    // the per-round virtual-call sweep (see NodeProgram::memory_bits).
+    if (round_ == 1 && local.max_node_memory_bits == 0) memory_audit_ = false;
   }
   local.rounds = 1;
   phase += local;
@@ -260,6 +379,17 @@ std::uint32_t Network::run_parallel_block(std::uint32_t max_rounds,
     const auto [b, e] = slice(t);
     for (std::uint32_t i = 0; i < max_rounds; ++i) {
       if (t == 0) {
+        // Memory-audit decision for the round that just finished: workers
+        // wrote their local[] maxima before the round-end barrier, so
+        // thread 0 may read them here race-free (see step_round for the
+        // sequential twin of this rule).
+        if (memory_audit_ && round_ == 1) {
+          std::uint64_t mx = 0;
+          for (const auto& l : local) {
+            mx = std::max(mx, l.max_node_memory_bits);
+          }
+          if (mx == 0) memory_audit_ = false;
+        }
         if (until_quiet && all_quiet()) done.store(true);
         if (!done.load()) {
           ++round_;
@@ -291,9 +421,11 @@ std::uint32_t Network::run_parallel_block(std::uint32_t max_rounds,
         sync.arrive_and_wait();  // observer flushed
       }
       compute_range(b, e);
-      for (NodeId v = b; v < e; ++v) {
-        local[t].max_node_memory_bits = std::max(
-            local[t].max_node_memory_bits, programs_[v]->memory_bits());
+      if (memory_audit_) {
+        for (NodeId v = b; v < e; ++v) {
+          local[t].max_node_memory_bits = std::max(
+              local[t].max_node_memory_bits, programs_[v]->memory_bits());
+        }
       }
       sync.arrive_and_wait();  // all outboxes written
     }
@@ -317,16 +449,28 @@ std::uint32_t Network::run_parallel_block(std::uint32_t max_rounds,
     merged.crashed_node_rounds += l.crashed_node_rounds;
   }
   merged.rounds = executed.load();
+  // A block that ended right after round 1 never reached the top-of-round
+  // decision point; settle the memory-audit question here so later phases
+  // skip the sweep too.
+  if (memory_audit_ && round_ == 1 && merged.max_node_memory_bits == 0) {
+    memory_audit_ = false;
+  }
   phase += merged;
   return executed.load();
 }
 
 void Network::start_if_needed() {
   if (started_) return;
+  std::uint32_t sends = 0;
   for (NodeId v = 0; v < n(); ++v) {
     require(programs_[v] != nullptr,
             "Network::run: init_programs was not called");
     programs_[v]->on_start(contexts_[v]);
+    sends += contexts_[v].pending_sends_;
+    contexts_[v].pending_sends_ = 0;
+  }
+  if (sends != 0) {
+    quiesce_->inflight.fetch_add(sends, std::memory_order_relaxed);
   }
   started_ = true;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -25,6 +26,21 @@ class Network;
 struct Incoming {
   std::uint32_t port;
   Message msg;
+};
+
+/// Incrementally maintained quiescence state: the exact quantities the old
+/// O(n + Σdeg) all_quiet() scan recomputed per round, so the check is O(1).
+/// Halt transitions update `halted` immediately; message counts are batched
+/// (each compute/deliver slice flushes one add/sub for its whole range, see
+/// NodeContext::pending_sends_), so the hot loops pay no per-message atomic
+/// RMW. Updates are relaxed atomics — in the parallel engine the round
+/// barriers order them before thread 0 reads, and the counters never
+/// influence message contents or delivery order, so traces stay
+/// bit-identical across engines and thread counts. Debug builds cross-check
+/// against the scan.
+struct QuiesceCounters {
+  std::atomic<std::int64_t> inflight{0};  ///< queued outbox slots not yet consumed
+  std::atomic<std::int64_t> halted{0};    ///< nodes whose halted flag is set
 };
 
 /// Per-round view a NodeProgram gets of its node. This is the *entire*
@@ -71,8 +87,14 @@ class NodeContext {
 
   /// Signals that this node has no further work; the quiescence run mode
   /// stops when every node has halted and no message is in flight. A halted
-  /// node is re-activated automatically if a message arrives.
-  void vote_halt() { halted_ = true; }
+  /// node is re-activated automatically if a message arrives. Halts are
+  /// rare (at most one transition per node per round), so the counter
+  /// update is immediate rather than batched like the message counts.
+  void vote_halt() {
+    if (halted_) return;
+    halted_ = true;
+    quiesce_->halted.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Deterministic per-node randomness (seeded from the network seed and
   /// the node id).
@@ -85,8 +107,29 @@ class NodeContext {
   std::uint32_t round_ = 0;
   std::vector<NodeId> neighbors_;
   std::vector<Incoming> inbox_;
-  std::vector<Message> outbox_;    // one slot per port
-  std::vector<bool> port_used_;    // whether the slot holds a message
+  /// This node's slice [0, degree) of the Network's flat directed-edge
+  /// outbox storage (outbox_flat_ / port_used_flat_): one Message slot and
+  /// one used flag per port. Flat storage keeps every sender slot a
+  /// receiver pulls from one array index away (see in_slot_) instead of
+  /// three dependent loads through the sender's NodeContext. Flags are
+  /// uint8_t, not vector<bool>: the delivery loop sits on these
+  /// reads/writes and bit-proxy accesses are measurably slower than byte
+  /// loads. Raw pointers stay valid across Network moves (vector storage
+  /// is stable); the arrays are sized once at construction.
+  Message* outbox_ = nullptr;
+  std::uint8_t* port_used_ = nullptr;
+  /// in_slot_[p] is the flat index of the outbox slot on neighbors_[p]
+  /// that targets this node: out_base[neighbor] + reverse port, with the
+  /// reverse port precomputed from the sorted-adjacency invariant (see
+  /// build_reverse_ports). Lets delivery find the sender's slot in O(1)
+  /// with a single indirection instead of binary-searching port_to per
+  /// edge per round.
+  std::vector<std::uint32_t> in_slot_;
+  /// Messages queued by this node since the last counter flush. Owner-
+  /// thread-only plain counter; compute_range drains it into
+  /// QuiesceCounters::inflight in one batched atomic per slice.
+  std::uint32_t pending_sends_ = 0;
+  QuiesceCounters* quiesce_ = nullptr;  ///< owned by the Network
   bool halted_ = false;
   Rng rng_{0};
 };
@@ -108,7 +151,11 @@ class NodeProgram {
 
   /// Number of bits of local working state the program currently holds;
   /// used to audit the paper's per-node memory claims (e.g. O(log n) for
-  /// Figures 1-2). Zero means "not reported".
+  /// Figures 1-2). Zero means "not reported". If *every* program in a
+  /// network reports 0 in the first executed round, the simulator stops
+  /// polling this for the rest of the run (the per-round virtual-call sweep
+  /// is pure overhead for non-reporting programs); a program that audits
+  /// memory must therefore report a nonzero value from round 1 onward.
   virtual std::uint64_t memory_bits() const { return 0; }
 };
 
@@ -128,6 +175,18 @@ enum class BandwidthPolicy {
 /// list with this so an unsorted topology fails loudly at construction
 /// instead of silently misrouting messages.
 bool neighbors_strictly_sorted(std::span<const graph::NodeId> neighbors);
+
+/// Precomputes, for every node w and port p with neighbor u = adjacency[w][p],
+/// the reverse port q such that adjacency[u][q] == w. The Network builds this
+/// table once at construction so the delivery loop reaches the sender's
+/// outbox slot in O(1) instead of binary-searching port_to on every edge
+/// every round. Throws InvalidArgumentError if any list is not strictly
+/// sorted (the invariant that makes port numbering well-defined), names a
+/// node outside [0, adjacency.size()), or is not symmetric (w lists u but
+/// u does not list w) — a corrupted adjacency must fail construction loudly
+/// instead of silently misrouting messages.
+std::vector<std::vector<std::uint32_t>> build_reverse_ports(
+    std::span<const std::vector<graph::NodeId>> adjacency);
 
 /// Execution engine choice; both produce bit-identical traces.
 enum class Engine {
@@ -257,7 +316,12 @@ class Network {
   void deliver_range(std::uint32_t begin, std::uint32_t end,
                      RunStats& local_stats,
                      std::vector<PendingDelivery>* sink);
+  /// O(1) quiescence check off the incrementally maintained QuiesceCounters;
+  /// debug builds assert it against all_quiet_scan().
   bool all_quiet() const;
+  /// The original O(n + Σdeg) rescan, kept as the debug-build ground truth
+  /// for the counters.
+  bool all_quiet_scan() const;
   void reseed_node_rngs();
   /// Runs up to `max_rounds` with persistent worker threads (one spawn per
   /// call, 3 barriers per round); stops early at quiescence when
@@ -281,6 +345,26 @@ class Network {
   std::uint32_t round_ = 0;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
   std::vector<NodeContext> contexts_;
+  /// Flat directed-edge outbox storage: slot out_base_[u] + q holds the
+  /// message node u queued on its port q. Receivers consume slots through
+  /// NodeContext::in_slot_ and clear the used flag as they do — every
+  /// queued slot is examined by its unique receiver each round (delivered
+  /// or dropped), so the flags are self-clearing and no per-round reset
+  /// pass exists. In the parallel engine workers write flags of slots
+  /// outside their node slice, but each slot has exactly one receiver and
+  /// sender-side writes are on the far side of a round barrier.
+  std::vector<Message> outbox_flat_;
+  std::vector<std::uint8_t> port_used_flat_;
+  std::vector<std::uint32_t> out_base_;
+  /// Heap-allocated so NodeContext's raw pointer stays valid if the
+  /// Network object itself moves.
+  std::unique_ptr<QuiesceCounters> quiesce_ =
+      std::make_unique<QuiesceCounters>();
+  /// While true, step_round / run_parallel_block sweep every program's
+  /// virtual memory_bits() after compute. Cleared permanently (until the
+  /// next init_programs) once a whole round reports 0 everywhere — see
+  /// NodeProgram::memory_bits.
+  bool memory_audit_ = true;
   RunStats stats_;
   bool started_ = false;
 };

@@ -1,0 +1,54 @@
+#pragma once
+
+// Opt-in heap-allocation counting for zero-allocation assertions on hot
+// paths (the CONGEST delivery loop pins "no heap allocation per delivered
+// message" with it — see docs/performance.md and tests/test_hotpath.cpp).
+//
+// Usage: include this header anywhere to read the counter; expand
+// QC_INSTALL_ALLOC_PROBE() at global scope in exactly ONE translation unit
+// of a test or bench binary to replace the global allocator with a counting
+// one. Never install the probe in the library itself — it is a measurement
+// harness, not a production allocator.
+//
+// The replacement functions forward to std::malloc/std::free, so they
+// compose with ASan/TSan (whose malloc interceptors still see every
+// allocation) and satisfy the usual alignment guarantees for non-over-
+// aligned types. Over-aligned allocations take the separate aligned
+// operator new, which is deliberately left untouched.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace qc {
+
+/// Global operator new / new[] calls since process start when the probe is
+/// installed in this binary; stays 0 forever otherwise. Snapshot it around
+/// a region and compare to assert the region allocates nothing.
+inline std::atomic<std::uint64_t>& alloc_probe_count() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+namespace detail {
+inline void* probe_allocate(std::size_t size) {
+  alloc_probe_count().fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace detail
+
+}  // namespace qc
+
+// clang-format off
+#define QC_INSTALL_ALLOC_PROBE()                                             \
+  void* operator new(std::size_t size) { return qc::detail::probe_allocate(size); } \
+  void* operator new[](std::size_t size) { return qc::detail::probe_allocate(size); } \
+  void operator delete(void* p) noexcept { std::free(p); }                   \
+  void operator delete[](void* p) noexcept { std::free(p); }                 \
+  void operator delete(void* p, std::size_t) noexcept { std::free(p); }      \
+  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }    \
+  static_assert(true, "QC_INSTALL_ALLOC_PROBE requires a trailing semicolon")
+// clang-format on

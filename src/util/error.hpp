@@ -35,9 +35,22 @@ inline void require(bool cond, const std::string& msg) {
   if (!cond) throw InvalidArgumentError(msg);
 }
 
+/// Literal-message overload: hot paths (Message::push, NodeContext::send)
+/// assert preconditions on every call, and the std::string parameter above
+/// would heap-allocate the message *on success* at every call site. This
+/// overload defers the string construction to the throw.
+inline void require(bool cond, const char* msg) {
+  if (!cond) [[unlikely]] throw InvalidArgumentError(msg);
+}
+
 /// Throws InternalError with `msg` unless `cond` holds.
 inline void check_internal(bool cond, const std::string& msg) {
   if (!cond) throw InternalError(msg);
+}
+
+/// Literal-message overload of check_internal; see require(bool, const char*).
+inline void check_internal(bool cond, const char* msg) {
+  if (!cond) [[unlikely]] throw InternalError(msg);
 }
 
 }  // namespace qc

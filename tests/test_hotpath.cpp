@@ -1,0 +1,296 @@
+// The zero-allocation CONGEST delivery hot path: reverse-port table
+// correctness (randomized against port_to, corrupted-adjacency construction
+// failure), the no-heap-allocation-per-delivery invariant (this binary's
+// global allocator is replaced by the counting probe), the incremental
+// quiescence counters, and the memory_bits sweep skip.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+#include "util/alloc_probe.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+QC_INSTALL_ALLOC_PROBE();
+
+namespace qc::congest {
+namespace {
+
+using graph::NodeId;
+
+std::vector<std::vector<NodeId>> adjacency_of(const graph::Graph& g) {
+  std::vector<std::vector<NodeId>> adj(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto nb = g.neighbors(v);
+    adj[v].assign(nb.begin(), nb.end());
+  }
+  return adj;
+}
+
+TEST(ReversePorts, AgreesWithPortToOnRandomGraphs) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto n = static_cast<std::uint32_t>(16 + 17 * trial);
+    auto g = trial % 2 == 0 ? graph::make_connected_er(n, 0.08, rng)
+                            : graph::make_random_regular(n, 4, rng);
+    const auto adj = adjacency_of(g);
+    const auto rev = build_reverse_ports(adj);
+    ASSERT_EQ(rev.size(), g.n());
+    for (NodeId w = 0; w < g.n(); ++w) {
+      ASSERT_EQ(rev[w].size(), adj[w].size());
+      for (std::size_t p = 0; p < adj[w].size(); ++p) {
+        const NodeId u = adj[w][p];
+        // rev[w][p] is the port on u that leads back to w — i.e. exactly
+        // what the old per-delivery binary search port_to(u -> w) found.
+        ASSERT_LT(rev[w][p], adj[u].size());
+        EXPECT_EQ(adj[u][rev[w][p]], w);
+        const auto it = std::lower_bound(adj[u].begin(), adj[u].end(), w);
+        EXPECT_EQ(rev[w][p],
+                  static_cast<std::uint32_t>(it - adj[u].begin()));
+      }
+    }
+  }
+}
+
+TEST(ReversePorts, DeliveryRoutesCorrectlyOnRandomGraphs) {
+  // End-to-end check that the table actually routes: every node gossips its
+  // id once; every node must hear exactly its neighbor set, in port order.
+  Rng rng(7);
+  auto g = graph::make_connected_er(64, 0.1, rng);
+  class Gossip : public NodeProgram {
+   public:
+    void on_start(NodeContext& ctx) override {
+      ctx.broadcast(Message().push(ctx.id(), ctx.id_bits()));
+    }
+    void on_round(NodeContext& ctx) override {
+      for (const auto& in : ctx.inbox()) {
+        heard.push_back(static_cast<NodeId>(in.msg.field(0)));
+      }
+      ctx.vote_halt();
+    }
+    std::vector<NodeId> heard;
+  };
+  Network net(g);
+  net.init_programs([](NodeId) { return std::make_unique<Gossip>(); });
+  net.run_rounds(1);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto nb = g.neighbors(v);
+    EXPECT_EQ(net.program_as<Gossip>(v).heard,
+              std::vector<NodeId>(nb.begin(), nb.end()))
+        << "node " << v;
+  }
+}
+
+TEST(ReversePorts, CorruptedAdjacencyFailsConstruction) {
+  // Unsorted list: ports would be misnumbered.
+  std::vector<std::vector<NodeId>> unsorted = {{2, 1}, {0}, {0}};
+  EXPECT_THROW(build_reverse_ports(unsorted), InvalidArgumentError);
+  // Duplicate neighbor (not *strictly* sorted).
+  std::vector<std::vector<NodeId>> dupe = {{1, 1}, {0}};
+  EXPECT_THROW(build_reverse_ports(dupe), InvalidArgumentError);
+  // Asymmetric: 0 lists 1 but 1 does not list 0.
+  std::vector<std::vector<NodeId>> asym = {{1}, {}};
+  EXPECT_THROW(build_reverse_ports(asym), InvalidArgumentError);
+  // Out-of-range neighbor id.
+  std::vector<std::vector<NodeId>> oob = {{5}, {0}};
+  EXPECT_THROW(build_reverse_ports(oob), InvalidArgumentError);
+  // A valid adjacency still builds.
+  std::vector<std::vector<NodeId>> ok = {{1, 2}, {0, 2}, {0, 1}};
+  const auto rev = build_reverse_ports(ok);
+  EXPECT_EQ(rev[0], (std::vector<std::uint32_t>{0, 0}));
+  EXPECT_EQ(rev[2], (std::vector<std::uint32_t>{1, 1}));
+}
+
+/// Floods two fields on every port every round, never halts, allocates no
+/// heap memory of its own — the workload for the zero-allocation pin.
+class Flood : public NodeProgram {
+ public:
+  void on_start(NodeContext& ctx) override {
+    ctx.broadcast(Message().push(ctx.id() & 0xff, 8).push(1, 8));
+  }
+  void on_round(NodeContext& ctx) override {
+    for (const auto& in : ctx.inbox()) sink += in.msg.field(0);
+    ctx.broadcast(
+        Message().push(ctx.id() & 0xff, 8).push(ctx.round() & 0xff, 8));
+  }
+  std::uint64_t sink = 0;
+};
+
+TEST(HotPath, ZeroAllocationsPerDeliveryAtSteadyState) {
+  Rng rng(11);
+  auto g = graph::make_connected_er(48, 0.12, rng);
+  Network net(g);
+  net.init_programs([](NodeId) { return std::make_unique<Flood>(); });
+  // Warm-up: inbox/outbox capacities and the one-time start costs settle.
+  net.run_rounds(3);
+  const std::uint64_t before = qc::alloc_probe_count().load();
+  const RunStats st = net.run_rounds(50);
+  const std::uint64_t after = qc::alloc_probe_count().load();
+  ASSERT_GT(st.messages, 4000u);  // the region really delivered traffic
+  EXPECT_EQ(after - before, 0u)
+      << "the no-fault sequential delivery path must not touch the heap";
+}
+
+TEST(HotPath, MovedOutboxSlotsAreReusable) {
+  // Delivery moves the sender's outbox slot into the receiver's inbox; the
+  // next round must be able to queue on the same port again, including a
+  // message large enough to spill.
+  auto g = graph::make_path(2);
+  NetworkConfig cfg;
+  cfg.bandwidth_bits = 64;
+  class Pitcher : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override {
+      for (const auto& in : ctx.inbox()) {
+        last_seen.assign(1, in.msg.field(0));
+        fields_seen = in.msg.num_fields();
+      }
+      Message m;
+      const auto fields =
+          1 + (ctx.round() % (Message::kInlineFields + 2));
+      for (std::size_t i = 0; i < fields; ++i) {
+        m.push(ctx.round() & 1, 1);
+      }
+      if (ctx.id() == 0) ctx.send(0, m);
+    }
+    std::vector<std::uint64_t> last_seen;
+    std::size_t fields_seen = 0;
+  };
+  Network net(g, cfg);
+  net.init_programs([](NodeId) { return std::make_unique<Pitcher>(); });
+  for (std::uint32_t r = 1; r <= 2 * Message::kInlineFields + 4; ++r) {
+    net.run_rounds(1);
+    auto& receiver = net.program_as<Pitcher>(1);
+    if (r >= 2) {
+      const std::uint32_t sent_round = r - 1;
+      ASSERT_EQ(receiver.last_seen,
+                std::vector<std::uint64_t>{sent_round & 1});
+      EXPECT_EQ(receiver.fields_seen,
+                1 + (sent_round % (Message::kInlineFields + 2)));
+    }
+  }
+}
+
+TEST(MemoryAudit, ReportingProgramsAreStillSwept) {
+  auto g = graph::make_path(3);
+  class Grower : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override {
+      bits = 50 * ctx.round();
+      if (ctx.round() >= 4) ctx.vote_halt();
+    }
+    std::uint64_t memory_bits() const override { return bits; }
+    std::uint64_t bits = 1;  // nonzero from the start: the program audits
+  };
+  for (const Engine engine : {Engine::kSequential, Engine::kParallel}) {
+    NetworkConfig cfg;
+    cfg.engine = engine;
+    cfg.num_threads = 3;
+    Network net(g, cfg);
+    net.init_programs([](NodeId) { return std::make_unique<Grower>(); });
+    const auto phase1 = net.run_rounds(2);
+    EXPECT_EQ(phase1.max_node_memory_bits, 100u);
+    const auto phase2 = net.run_rounds(2);
+    EXPECT_EQ(phase2.max_node_memory_bits, 200u);
+    EXPECT_EQ(net.stats().max_node_memory_bits, 200u);
+  }
+}
+
+TEST(MemoryAudit, AllZeroRoundOneDisablesTheSweep) {
+  // Contract pin for the optimization: a program that reports 0 in the
+  // first executed round is "not audited" (see NodeProgram::memory_bits),
+  // so a later nonzero report is not observed. Programs that audit memory
+  // must report nonzero from round 1 — every program in src/algos does.
+  auto g = graph::make_path(3);
+  class LateReporter : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override { round = ctx.round(); }
+    std::uint64_t memory_bits() const override {
+      return round >= 2 ? 4096 : 0;
+    }
+    std::uint32_t round = 0;
+  };
+  Network net(g);
+  net.init_programs([](NodeId) { return std::make_unique<LateReporter>(); });
+  const auto stats = net.run_rounds(5);
+  EXPECT_EQ(stats.max_node_memory_bits, 0u);
+  // Re-initializing re-arms the audit.
+  class Auditor : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override { ctx.vote_halt(); }
+    std::uint64_t memory_bits() const override { return 17; }
+  };
+  net.init_programs([](NodeId) { return std::make_unique<Auditor>(); });
+  EXPECT_EQ(net.run_rounds(2).max_node_memory_bits, 17u);
+}
+
+TEST(Quiescence, CountersTrackWaveAcrossEngines) {
+  // One wave floods out from node 0 and dies; quiescence must be detected
+  // at the same round by the O(1) counters under every engine/thread count
+  // (debug builds additionally assert counters == scan every round).
+  Rng rng(5);
+  auto g = graph::make_connected_er(56, 0.09, rng);
+  class Wave : public NodeProgram {
+   public:
+    void on_start(NodeContext& ctx) override {
+      if (ctx.id() == 0) ctx.broadcast(Message().push(0, 8));
+    }
+    void on_round(NodeContext& ctx) override {
+      if (!seen_ && !ctx.inbox().empty()) {
+        seen_ = true;
+        ctx.broadcast(Message().push(ctx.id() & 0xff, 8));
+      }
+      ctx.vote_halt();
+    }
+    bool seen_ = false;
+  };
+  RunStats base;
+  for (const std::uint32_t threads : {0u, 1u, 2u, 5u}) {
+    NetworkConfig cfg;
+    cfg.engine = threads == 0 ? Engine::kSequential : Engine::kParallel;
+    cfg.num_threads = threads;
+    Network net(g, cfg);
+    net.init_programs([](NodeId) { return std::make_unique<Wave>(); });
+    const auto st = net.run_until_quiescent(200);
+    EXPECT_TRUE(st.quiesced);
+    if (threads == 0) {
+      base = st;
+    } else {
+      EXPECT_EQ(st.rounds, base.rounds) << threads << " threads";
+      EXPECT_EQ(st.messages, base.messages) << threads << " threads";
+    }
+  }
+}
+
+TEST(Quiescence, ReinitAfterPartialRunResetsCounters) {
+  // A run abandoned mid-flight (messages still queued, some nodes halted)
+  // must not leak counter state into the next init_programs generation.
+  auto g = graph::make_cycle(8);
+  class Chatter : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override {
+      ctx.broadcast(Message().push(1, 2));
+    }
+  };
+  Network net(g);
+  net.init_programs([](NodeId) { return std::make_unique<Chatter>(); });
+  auto st = net.run_until_quiescent(4);
+  EXPECT_FALSE(st.quiesced);
+  class Sleeper : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override { ctx.vote_halt(); }
+  };
+  net.init_programs([](NodeId) { return std::make_unique<Sleeper>(); });
+  st = net.run_until_quiescent(5);
+  EXPECT_TRUE(st.quiesced);
+  EXPECT_EQ(st.rounds, 1u);  // everyone halts in round 1, nothing in flight
+}
+
+}  // namespace
+}  // namespace qc::congest
