@@ -1,0 +1,295 @@
+// Million-node substrate harness: exercises the whole storage stack —
+// text parsing, .qcg varint decode, raw mmap zero-copy views — and the
+// algorithm layers on top of it (flat BFS kernel, double-sweep bound, the
+// O(D)-round distributed eccentricity, and the full EccEngine) at
+// 10^4..10^6 nodes, using the checked-in datasets under data/.
+//
+// Modes:
+//   --quick    CI smoke: the two committed datasets, loads + BFS + double
+//              sweep only (plus CONGEST ecc on the 10k graph)
+//   (default)  + the distributed O(D) eccentricity on the 100k graph
+//   --full     + full EccEngine diameter/radius on the 100k graph and a
+//              generated-and-cached 10^6-node graph with a sampled bound
+//
+// Emits a JSON summary (stdout and --out=FILE); full-mode rows seed the
+// "scale" sections committed in BENCH_ecc.json / BENCH_net.json.
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algos/bfs_tree.hpp"
+#include "bench/harness.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/ecc_engine.hpp"
+#include "graph/io.hpp"
+#include "graph/qcg.hpp"
+#include "util/error.hpp"
+
+using namespace qc;
+using namespace qc::bench;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+struct CongestRow {
+  std::uint32_t ecc = 0;
+  std::uint32_t rounds = 0;
+  std::uint64_t messages = 0;
+};
+
+struct EngineRow {
+  std::uint32_t diameter = 0;
+  std::uint32_t radius = 0;
+  std::uint64_t bfs_runs = 0;
+  double ms = 0;
+};
+
+struct ScaleRow {
+  std::string dataset;
+  std::uint32_t n = 0;
+  std::uint64_t m = 0;
+  std::optional<double> text_load_ms;
+  std::optional<double> varint_load_ms;
+  std::optional<double> raw_load_ms;
+  bool mapped = false;
+  std::uint32_t bfs_sources = 0;
+  double bfs_avg_ms = 0;
+  std::uint32_t dsweep_lb = 0;
+  std::optional<CongestRow> congest;
+  std::optional<EngineRow> engine;
+  std::optional<std::uint32_t> sampled_lb;  ///< max ecc over sampled roots
+};
+
+struct TimedLoad {
+  graph::Graph g;
+  double ms = 0;
+};
+
+TimedLoad time_load(const std::string& path) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto g = graph::load_graph_file(path);
+  const double ms = ms_since(t0);
+  return {std::move(g), ms};
+}
+
+// k-source flat BFS: average per-source time, plus the double-sweep lower
+// bound (BFS from 0, then from the farthest vertex found).
+void measure_bfs(const graph::Graph& g, std::uint32_t sources,
+                 ScaleRow& row) {
+  graph::BfsScratch scratch;
+  const auto t0 = std::chrono::steady_clock::now();
+  // Spread the roots deterministically across the id space.
+  for (std::uint32_t i = 0; i < sources; ++i) {
+    const auto root = static_cast<graph::NodeId>(
+        (static_cast<std::uint64_t>(i) * g.n()) / sources);
+    graph::flat_bfs_distances(g, root, scratch);
+  }
+  row.bfs_sources = sources;
+  row.bfs_avg_ms = ms_since(t0) / sources;
+
+  graph::flat_bfs_distances(g, 0, scratch);
+  graph::NodeId far = 0;
+  for (graph::NodeId v = 0; v < g.n(); ++v) {
+    if (scratch.dist[v] > scratch.dist[far]) far = v;
+  }
+  row.dsweep_lb = graph::flat_bfs_distances(g, far, scratch);
+}
+
+CongestRow congest_ecc(const graph::Graph& g) {
+  const auto out = algos::compute_eccentricity(g, 0);
+  check_internal(out.status == algos::PhaseStatus::kQuiesced,
+                 "bench_scale: fault-free eccentricity did not quiesce");
+  return {out.ecc, out.stats.rounds, out.stats.messages};
+}
+
+std::string opt_num(const std::optional<double>& v) {
+  return v ? fmt(*v, 2) : std::string("null");
+}
+
+void emit_row(std::ostringstream& json, const ScaleRow& r, bool last) {
+  json << "    {\"dataset\": \"" << r.dataset << "\", \"n\": " << r.n
+       << ", \"m\": " << r.m << ",\n"
+       << "     \"text_load_ms\": " << opt_num(r.text_load_ms)
+       << ", \"varint_load_ms\": " << opt_num(r.varint_load_ms)
+       << ", \"raw_load_ms\": " << opt_num(r.raw_load_ms)
+       << ", \"mapped\": " << (r.mapped ? "true" : "false") << ",\n"
+       << "     \"bfs_sources\": " << r.bfs_sources
+       << ", \"bfs_avg_ms\": " << fmt(r.bfs_avg_ms, 3)
+       << ", \"dsweep_lb\": " << r.dsweep_lb << ",\n"
+       << "     \"congest\": ";
+  if (r.congest) {
+    json << "{\"ecc_root0\": " << r.congest->ecc
+         << ", \"rounds\": " << r.congest->rounds
+         << ", \"messages\": " << r.congest->messages << "}";
+  } else {
+    json << "null";
+  }
+  json << ",\n     \"ecc_engine\": ";
+  if (r.engine) {
+    json << "{\"diameter\": " << r.engine->diameter
+         << ", \"radius\": " << r.engine->radius
+         << ", \"bfs_runs\": " << r.engine->bfs_runs
+         << ", \"ms\": " << fmt(r.engine->ms, 1) << "}";
+  } else {
+    json << "null";
+  }
+  json << ",\n     \"sampled_lb\": "
+       << (r.sampled_lb ? fmt(*r.sampled_lb) : std::string("null")) << "}"
+       << (last ? "" : ",") << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt =
+      BenchOptions::parse(argc, argv, {"out", "full", "data-dir"});
+  Cli cli(argc, argv);
+  const bool full = cli.get_bool("full", false);
+  require(!(full && opt.quick), "bench_scale: pick one of --quick / --full");
+  const std::string data_dir = cli.get_string("data-dir", QC_DATA_DIR);
+  const std::string out = cli.get_string("out", "");
+  const auto cache_dir = fs::temp_directory_path() / "qc_bench_scale";
+  fs::create_directories(cache_dir);
+
+  banner("Million-node substrate: load paths + baselines at 10^4..10^6",
+         "text parse vs varint decode vs raw mmap view; flat BFS, double "
+         "sweep,\nO(D)-round distributed eccentricity, full EccEngine");
+
+  std::vector<ScaleRow> rows;
+
+  // --- 10k: the p2p-Gnutella04-sized graph, all three load paths. ---
+  {
+    ScaleRow r;
+    r.dataset = "synth-p2p-10k";
+    const auto txt = data_dir + "/synth-p2p-10k.txt";
+    const auto qcg = data_dir + "/synth-p2p-10k.qcg";
+    const auto raw = (cache_dir / "synth-p2p-10k.raw.qcg").string();
+    auto text_load = time_load(txt);
+    r.text_load_ms = text_load.ms;
+    r.varint_load_ms = time_load(qcg).ms;
+    graph::write_qcg_file(raw, text_load.g, graph::QcgEncoding::kRawCsr);
+    auto [mapped, raw_ms] = time_load(raw);
+    r.raw_load_ms = raw_ms;
+    r.mapped = mapped.is_view();
+    r.n = mapped.n();
+    r.m = mapped.m();
+    measure_bfs(mapped, opt.quick ? 4 : 8, r);
+    r.congest = congest_ecc(mapped);
+    rows.push_back(std::move(r));
+  }
+
+  // --- 100k: the acceptance-scale dataset, varint + raw mmap. ---
+  {
+    ScaleRow r;
+    r.dataset = "synth-p2p-100k";
+    const auto qcg = data_dir + "/synth-p2p-100k.qcg";
+    const auto raw = (cache_dir / "synth-p2p-100k.raw.qcg").string();
+    auto varint_load = time_load(qcg);
+    r.varint_load_ms = varint_load.ms;
+    graph::write_qcg_file(raw, varint_load.g, graph::QcgEncoding::kRawCsr);
+    auto [mapped, raw_ms] = time_load(raw);
+    r.raw_load_ms = raw_ms;
+    r.mapped = mapped.is_view();
+    r.n = mapped.n();
+    r.m = mapped.m();
+    measure_bfs(mapped, opt.quick ? 4 : 8, r);
+    if (!opt.quick) {
+      r.congest = congest_ecc(mapped);
+    } else {
+      std::cout << "skipped (quick): CONGEST eccentricity at n=10^5\n";
+    }
+    if (full) {
+      const auto t0 = std::chrono::steady_clock::now();
+      graph::EccEngine engine(mapped);
+      EngineRow e;
+      e.diameter = engine.diameter();
+      e.radius = engine.radius();
+      e.bfs_runs = engine.bfs_runs();
+      e.ms = ms_since(t0);
+      r.engine = e;
+    } else {
+      std::cout << "skipped (" << (opt.quick ? "quick" : "default")
+                << "): full EccEngine sweep at n=10^5 (--full runs it)\n";
+    }
+    rows.push_back(std::move(r));
+  }
+
+  // --- 1M: generated once, cached as raw .qcg under the temp dir. ---
+  if (full) {
+    ScaleRow r;
+    r.dataset = "pa-1m";
+    const auto raw = (cache_dir / "pa-1m.raw.qcg").string();
+    if (!graph::is_qcg_file(raw)) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto g = graph::make_from_spec("pa:1000000:3:42");
+      std::cout << "generated pa:1000000:3:42 in " << fmt(ms_since(t0), 0)
+                << " ms, caching " << raw << "\n";
+      graph::write_qcg_file(raw, g, graph::QcgEncoding::kRawCsr);
+    }
+    auto [mapped, raw_ms] = time_load(raw);
+    r.raw_load_ms = raw_ms;
+    r.mapped = mapped.is_view();
+    r.n = mapped.n();
+    r.m = mapped.m();
+    measure_bfs(mapped, 8, r);
+    r.congest = congest_ecc(mapped);
+    // Full EccEngine at n=10^6 is ~n BFS (hours single-threaded): report a
+    // sampled 32-source eccentricity lower bound instead, and say so.
+    std::cout << "skipped (full): exhaustive EccEngine at n=10^6 "
+                 "(sampled 32-source bound reported instead)\n";
+    graph::BfsScratch scratch;
+    std::uint32_t best = r.dsweep_lb;
+    for (std::uint32_t i = 0; i < 32; ++i) {
+      const auto root = static_cast<graph::NodeId>(
+          (static_cast<std::uint64_t>(i) * mapped.n()) / 32);
+      best = std::max(best,
+                      graph::flat_bfs_distances(mapped, root, scratch));
+    }
+    r.sampled_lb = best;
+    rows.push_back(std::move(r));
+  } else {
+    std::cout << "skipped (" << (opt.quick ? "quick" : "default")
+              << "): the 10^6-node graph (--full generates and runs it)\n";
+  }
+
+  std::cout << "\n";
+  Table t({"dataset", "n", "m", "text ms", "varint ms", "raw ms", "mapped",
+           "bfs ms", "dsweep lb", "congest rounds", "engine D"});
+  for (const auto& r : rows) {
+    t.add_row({r.dataset, fmt(r.n), fmt(r.m), opt_num(r.text_load_ms),
+               opt_num(r.varint_load_ms), opt_num(r.raw_load_ms),
+               r.mapped ? "yes" : "no", fmt(r.bfs_avg_ms, 3),
+               fmt(r.dsweep_lb),
+               r.congest ? fmt(r.congest->rounds) : std::string("-"),
+               r.engine ? fmt(r.engine->diameter) : std::string("-")});
+  }
+  t.print(std::cout);
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"scale\",\n  \"mode\": \""
+       << (opt.quick ? "quick" : (full ? "full" : "default")) << "\",\n"
+       << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    emit_row(json, rows[i], i + 1 == rows.size());
+  }
+  json << "  ]\n}\n";
+  std::cout << "\n" << json.str();
+  if (!out.empty()) {
+    std::ofstream f(out);
+    require(f.good(), "bench_scale: cannot open --out file " + out);
+    f << json.str();
+    std::cout << "wrote " << out << "\n";
+  }
+  return 0;
+}

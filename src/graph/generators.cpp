@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -11,7 +12,7 @@ Graph make_path(std::uint32_t n) {
   require(n >= 1, "make_path: need n >= 1");
   GraphBuilder b(n);
   for (std::uint32_t i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph make_cycle(std::uint32_t n) {
@@ -19,23 +20,24 @@ Graph make_cycle(std::uint32_t n) {
   GraphBuilder b(n);
   for (std::uint32_t i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
   b.add_edge(n - 1, 0);
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph make_star(std::uint32_t n) {
   require(n >= 2, "make_star: need n >= 2");
   GraphBuilder b(n);
   for (std::uint32_t i = 1; i < n; ++i) b.add_edge(0, i);
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph make_complete(std::uint32_t n) {
   require(n >= 2, "make_complete: need n >= 2");
   GraphBuilder b(n);
+  b.reserve_edges(static_cast<std::uint64_t>(n) * (n - 1) / 2);
   for (std::uint32_t i = 0; i < n; ++i) {
     for (std::uint32_t j = i + 1; j < n; ++j) b.add_edge(i, j);
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph make_grid(std::uint32_t rows, std::uint32_t cols) {
@@ -48,12 +50,13 @@ Graph make_grid(std::uint32_t rows, std::uint32_t cols) {
       if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
     }
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph make_torus(std::uint32_t rows, std::uint32_t cols) {
   require(rows >= 3 && cols >= 3, "make_torus: need rows, cols >= 3");
   GraphBuilder b(rows * cols);
+  b.reserve_edges(2 * static_cast<std::uint64_t>(rows) * cols);
   auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
   for (std::uint32_t r = 0; r < rows; ++r) {
     for (std::uint32_t c = 0; c < cols; ++c) {
@@ -61,7 +64,7 @@ Graph make_torus(std::uint32_t rows, std::uint32_t cols) {
       b.add_edge(id(r, c), id((r + 1) % rows, c));
     }
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph make_balanced_tree(std::uint32_t n, std::uint32_t arity) {
@@ -71,7 +74,7 @@ Graph make_balanced_tree(std::uint32_t n, std::uint32_t arity) {
   for (std::uint32_t v = 1; v < n; ++v) {
     b.add_edge((v - 1) / arity, v);
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph make_barbell(std::uint32_t k, std::uint32_t path_len) {
@@ -89,7 +92,7 @@ Graph make_barbell(std::uint32_t k, std::uint32_t path_len) {
   } else {
     b.add_path_between(left[0], right[0], path_len - 1);
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph make_connected_er(std::uint32_t n, double p, Rng& rng) {
@@ -110,7 +113,7 @@ Graph make_connected_er(std::uint32_t n, double p, Rng& rng) {
       if (rng.next_bool(p)) b.add_edge(u, v);
     }
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph make_random_with_diameter(std::uint32_t n, std::uint32_t d, Rng& rng) {
@@ -137,20 +140,21 @@ Graph make_random_with_diameter(std::uint32_t n, std::uint32_t d, Rng& rng) {
     }
     at_position_prev[p] = v;
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph make_hypercube(std::uint32_t dims) {
   require(dims >= 1 && dims <= 20, "make_hypercube: dims must be in [1,20]");
   const std::uint32_t n = 1u << dims;
   GraphBuilder b(n);
+  b.reserve_edges(static_cast<std::uint64_t>(n) * dims / 2);
   for (std::uint32_t v = 0; v < n; ++v) {
     for (std::uint32_t bit = 0; bit < dims; ++bit) {
       const std::uint32_t w = v ^ (1u << bit);
       if (v < w) b.add_edge(v, w);
     }
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph make_random_regular(std::uint32_t n, std::uint32_t d, Rng& rng) {
@@ -169,7 +173,7 @@ Graph make_random_regular(std::uint32_t n, std::uint32_t d, Rng& rng) {
   for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
     if (stubs[i] != stubs[i + 1]) b.add_edge(stubs[i], stubs[i + 1]);
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph make_preferential_attachment(std::uint32_t n, std::uint32_t m,
@@ -177,6 +181,7 @@ Graph make_preferential_attachment(std::uint32_t n, std::uint32_t m,
   require(m >= 1, "make_preferential_attachment: need m >= 1");
   require(n >= m + 1, "make_preferential_attachment: need n >= m+1");
   GraphBuilder b(n);
+  b.reserve_edges(static_cast<std::uint64_t>(n) * m);
   // Degree-proportional sampling via the endpoint-list trick: every edge
   // contributes both endpoints, so a uniform pick is degree-weighted.
   std::vector<NodeId> endpoints;
@@ -201,7 +206,7 @@ Graph make_preferential_attachment(std::uint32_t n, std::uint32_t m,
       endpoints.push_back(t);
     }
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph make_two_clusters(std::uint32_t k, std::uint32_t bridges, Rng& rng) {
@@ -216,7 +221,7 @@ Graph make_two_clusters(std::uint32_t k, std::uint32_t bridges, Rng& rng) {
     b.add_edge(static_cast<NodeId>(rng.next_below(k)),
                static_cast<NodeId>(k + rng.next_below(k)));
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph make_caterpillar(std::uint32_t n, std::uint32_t spine) {
@@ -230,7 +235,7 @@ Graph make_caterpillar(std::uint32_t n, std::uint32_t spine) {
         spine <= 2 ? 0 : 1 + (v - spine) % (spine - 2);
     b.add_edge(v, slot);
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 }  // namespace qc::graph

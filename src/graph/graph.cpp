@@ -8,36 +8,127 @@
 
 namespace qc::graph {
 
+namespace {
+
+/// Heap backing for the owning flavor of Graph; Graph itself only holds a
+/// type-erased shared_ptr to it plus raw pointers into the vectors.
+struct OwnedCsr {
+  std::vector<std::uint32_t> offsets;
+  std::vector<NodeId> neighbors;
+};
+
+/// Full CSR contract check, shared by every adoption path (owned vectors
+/// and zero-copy views over untrusted file payloads alike). O(n + m log Δ)
+/// with no allocation — error messages are literals so the hot loop never
+/// builds a string on success.
+void validate_csr(std::uint32_t n, const std::uint32_t* off,
+                  const NodeId* nbr, std::uint64_t arcs) {
+  require(off != nullptr, "Graph CSR: offsets array is null");
+  require(arcs == 0 || nbr != nullptr, "Graph CSR: neighbors array is null");
+  require(off[0] == 0, "Graph CSR: offsets must start at 0");
+  for (std::uint32_t v = 0; v < n; ++v) {
+    require(off[v + 1] >= off[v], "Graph CSR: offsets must be nondecreasing");
+  }
+  require(off[n] == arcs, "Graph CSR: offsets[n] != neighbor count");
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint32_t i = off[v]; i < off[v + 1]; ++i) {
+      const NodeId w = nbr[i];
+      require(w < n, "Graph CSR: neighbor id out of range");
+      require(w != v, "Graph CSR: self-loops are not allowed");
+      require(i == off[v] || nbr[i - 1] < w,
+              "Graph CSR: adjacency must be sorted and duplicate-free");
+    }
+  }
+  // Symmetry: every arc (v,w) needs its reverse (w,v). Binary search keeps
+  // this O(m log Δ); checking only v<w halves the searches (the reverse
+  // direction is implied by the arc-count equality checked above).
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint32_t i = off[v]; i < off[v + 1]; ++i) {
+      const NodeId w = nbr[i];
+      if (v < w) {
+        require(std::binary_search(nbr + off[w], nbr + off[w + 1], v),
+                "Graph CSR: adjacency is not symmetric");
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Graph Graph::from_edges(std::uint32_t n, std::span<const Edge> edges) {
-  std::vector<Edge> canon;
-  canon.reserve(edges.size());
-  for (const auto& [u, v] : edges) {
+  return from_edges(n, std::vector<Edge>(edges.begin(), edges.end()));
+}
+
+Graph Graph::from_edges(std::uint32_t n, std::vector<Edge>&& edges) {
+  for (auto& [u, v] : edges) {
     require(u < n && v < n, "Graph::from_edges: endpoint out of range");
     require(u != v, "Graph::from_edges: self-loops are not allowed");
-    canon.emplace_back(std::min(u, v), std::max(u, v));
+    if (u > v) std::swap(u, v);
   }
-  std::sort(canon.begin(), canon.end());
-  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  OwnedCsr csr;
+  csr.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++csr.offsets[u + 1];
+    ++csr.offsets[v + 1];
+  }
+  std::partial_sum(csr.offsets.begin(), csr.offsets.end(),
+                   csr.offsets.begin());
+  csr.neighbors.resize(csr.offsets[n]);
+  std::vector<std::uint32_t> cursor(csr.offsets.begin(),
+                                    csr.offsets.end() - 1);
+  for (const auto& [u, v] : edges) {
+    csr.neighbors[cursor[u]++] = v;
+    csr.neighbors[cursor[v]++] = u;
+  }
+  // Both passes append in (u,v)-sorted edge order, so each adjacency list
+  // receives its smaller partners first and each side in increasing order:
+  // the lists come out sorted without a per-vertex sort. Keep a cheap
+  // linear cross-check so the invariant can never rot silently.
+  for (std::uint32_t v = 0; v < n; ++v) {
+    check_internal(std::is_sorted(csr.neighbors.begin() + csr.offsets[v],
+                                  csr.neighbors.begin() + csr.offsets[v + 1]),
+                   "Graph::from_edges: adjacency came out unsorted");
+  }
 
   Graph g;
-  g.offsets_.assign(n + 1, 0);
-  for (const auto& [u, v] : canon) {
-    ++g.offsets_[u + 1];
-    ++g.offsets_[v + 1];
-  }
-  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
-  g.neighbors_.resize(g.offsets_[n]);
-  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (const auto& [u, v] : canon) {
-    g.neighbors_[cursor[u]++] = v;
-    g.neighbors_[cursor[v]++] = u;
-  }
-  // Sorted input edge list plus two passes keeps each adjacency list sorted
-  // for the u side but not necessarily the v side; sort to be safe.
-  for (std::uint32_t v = 0; v < n; ++v) {
-    std::sort(g.neighbors_.begin() + g.offsets_[v],
-              g.neighbors_.begin() + g.offsets_[v + 1]);
-  }
+  auto holder = std::make_shared<OwnedCsr>(std::move(csr));
+  g.offsets_ = holder->offsets.data();
+  g.neighbors_ = holder->neighbors.data();
+  g.n_ = n;
+  g.storage_ = std::move(holder);
+  return g;
+}
+
+Graph Graph::from_csr(std::vector<std::uint32_t> offsets,
+                      std::vector<NodeId> neighbors) {
+  require(!offsets.empty(), "Graph::from_csr: offsets must have n+1 entries");
+  const auto n = static_cast<std::uint32_t>(offsets.size() - 1);
+  validate_csr(n, offsets.data(), neighbors.data(), neighbors.size());
+
+  Graph g;
+  auto holder = std::make_shared<OwnedCsr>(
+      OwnedCsr{std::move(offsets), std::move(neighbors)});
+  g.offsets_ = holder->offsets.data();
+  g.neighbors_ = holder->neighbors.data();
+  g.n_ = n;
+  g.storage_ = std::move(holder);
+  return g;
+}
+
+Graph Graph::from_csr_view(std::uint32_t n, const std::uint32_t* offsets,
+                           const NodeId* neighbors,
+                           std::shared_ptr<const void> keep_alive) {
+  validate_csr(n, offsets, neighbors,
+               offsets == nullptr ? 0 : offsets[n]);
+  Graph g;
+  g.offsets_ = offsets;
+  g.neighbors_ = neighbors;
+  g.n_ = n;
+  g.view_ = true;
+  g.storage_ = std::move(keep_alive);
   return g;
 }
 
@@ -86,6 +177,10 @@ std::string Graph::describe() const {
 
 void GraphBuilder::reserve_nodes(std::uint32_t n) { n_ = std::max(n_, n); }
 
+void GraphBuilder::reserve_edges(std::uint64_t m) {
+  edges_.reserve(static_cast<std::size_t>(m));
+}
+
 NodeId GraphBuilder::add_node() { return n_++; }
 
 void GraphBuilder::add_edge(NodeId u, NodeId v) {
@@ -121,6 +216,10 @@ std::vector<NodeId> GraphBuilder::add_path_between(NodeId u, NodeId v,
   return inner;
 }
 
-Graph GraphBuilder::build() const { return Graph::from_edges(n_, edges_); }
+Graph GraphBuilder::build() const& { return Graph::from_edges(n_, edges_); }
+
+Graph GraphBuilder::build() && {
+  return Graph::from_edges(n_, std::move(edges_));
+}
 
 }  // namespace qc::graph

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -27,17 +28,45 @@ using Edge = std::pair<NodeId, NodeId>;
 /// Neighbor lists are sorted by node id, which fixes a deterministic port
 /// ordering for the simulator and a deterministic child ordering for DFS
 /// traversals.
+///
+/// The CSR arrays are accessed through a *view*: two raw pointers plus a
+/// shared keep-alive handle. The handle either owns heap vectors (the
+/// from_edges / generator path) or pins external memory such as an mmap'ed
+/// `.qcg` payload (from_csr_view), so a mapped million-node file, a
+/// generator, and from_edges all produce the same immutable interface
+/// without copying the adjacency. Copying a Graph is O(1): copies share
+/// the underlying storage.
 class Graph {
  public:
   /// Builds a graph with `n` vertices from an edge list. Self-loops are
   /// rejected; duplicate edges are coalesced.
   static Graph from_edges(std::uint32_t n, std::span<const Edge> edges);
 
+  /// Move overload: canonicalizes, sorts and dedups the moved buffer in
+  /// place, so builder-heavy generators and the file importers pay no
+  /// extra copy of the edge list at build time.
+  static Graph from_edges(std::uint32_t n, std::vector<Edge>&& edges);
+
+  /// Adopts already-built CSR arrays. Validates the full CSR contract
+  /// (offsets monotone and consistent, adjacency sorted, strictly
+  /// increasing, in range, loop-free, symmetric) and throws
+  /// InvalidArgumentError on any violation.
+  static Graph from_csr(std::vector<std::uint32_t> offsets,
+                        std::vector<NodeId> neighbors);
+
+  /// Zero-copy view over externally owned CSR arrays (e.g. the payload of
+  /// a mapped `.qcg` file). `keep_alive` is retained by the graph and
+  /// every copy of it, pinning the backing memory. Runs the same
+  /// validation as from_csr without copying or allocating per edge.
+  static Graph from_csr_view(std::uint32_t n, const std::uint32_t* offsets,
+                             const NodeId* neighbors,
+                             std::shared_ptr<const void> keep_alive);
+
   /// Number of vertices.
-  std::uint32_t n() const { return static_cast<std::uint32_t>(offsets_.size() - 1); }
+  std::uint32_t n() const { return n_; }
 
   /// Number of (undirected) edges.
-  std::uint64_t m() const { return neighbors_.size() / 2; }
+  std::uint64_t m() const { return offsets_ == nullptr ? 0 : offsets_[n_] / 2; }
 
   std::uint32_t degree(NodeId v) const {
     return offsets_[v + 1] - offsets_[v];
@@ -45,9 +74,22 @@ class Graph {
 
   /// Sorted neighbor list of v.
   std::span<const NodeId> neighbors(NodeId v) const {
-    return {neighbors_.data() + offsets_[v],
-            neighbors_.data() + offsets_[v + 1]};
+    return {neighbors_ + offsets_[v], neighbors_ + offsets_[v + 1]};
   }
+
+  /// The raw CSR offset array (n()+1 entries); offsets()[n()] == 2*m().
+  std::span<const std::uint32_t> csr_offsets() const {
+    return {offsets_, static_cast<std::size_t>(n_) + 1};
+  }
+
+  /// The raw concatenated adjacency array (2*m() entries).
+  std::span<const NodeId> csr_neighbors() const {
+    return {neighbors_, offsets_ == nullptr ? 0 : offsets_[n_]};
+  }
+
+  /// True when the CSR arrays are a borrowed view of external memory (a
+  /// mapped file) rather than heap vectors owned by this graph.
+  bool is_view() const { return view_; }
 
   /// O(log deg) membership test.
   bool has_edge(NodeId u, NodeId v) const;
@@ -62,8 +104,14 @@ class Graph {
 
  private:
   Graph() = default;
-  std::vector<std::uint32_t> offsets_;
-  std::vector<NodeId> neighbors_;
+
+  /// Keeps the CSR arrays alive: an owned vector pair or a caller-supplied
+  /// handle (mmap). Never inspected, only retained.
+  std::shared_ptr<const void> storage_;
+  const std::uint32_t* offsets_ = nullptr;
+  const NodeId* neighbors_ = nullptr;
+  std::uint32_t n_ = 0;
+  bool view_ = false;
 };
 
 /// Incremental edge-list builder; the common way generators and gadget
@@ -74,6 +122,10 @@ class GraphBuilder {
 
   /// Ensures at least `n` vertices exist.
   void reserve_nodes(std::uint32_t n);
+
+  /// Reserves capacity for `m` add_edge calls, so bulk producers (the
+  /// generators, the importer) append without reallocation.
+  void reserve_edges(std::uint64_t m);
 
   /// Adds a fresh vertex and returns its id.
   NodeId add_node();
@@ -96,7 +148,11 @@ class GraphBuilder {
   std::uint32_t num_nodes() const { return n_; }
   std::uint64_t num_edges() const { return edges_.size(); }
 
-  Graph build() const;
+  /// Lvalue build keeps the builder reusable (copies the edge buffer);
+  /// `std::move(b).build()` hands the buffer straight to Graph::from_edges
+  /// with no copy — the form every generator uses for its final build.
+  Graph build() const&;
+  Graph build() &&;
 
  private:
   std::uint32_t n_;

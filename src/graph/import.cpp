@@ -1,0 +1,97 @@
+#include "graph/import.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <utility>
+
+#include "graph/text_parse.hpp"
+#include "util/error.hpp"
+
+namespace qc::graph {
+
+namespace {
+
+[[noreturn]] void fail_at_line(const char* what, std::size_t lineno) {
+  throw InvalidArgumentError("import_edge_list: " + std::string(what) +
+                             " on line " + std::to_string(lineno));
+}
+
+}  // namespace
+
+ImportedGraph import_edge_list(std::istream& in) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> raw;
+  raw.reserve(1 << 16);
+  ImportStats stats;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    ++stats.lines_total;
+    const char* p = line.data();
+    const char* end = p + line.size();
+    p = detail::skip_ws(p, end);
+    if (p == end || *p == '#' || *p == '%') {
+      ++stats.comment_lines;
+      continue;
+    }
+    std::uint64_t u = 0, v = 0;
+    if (!detail::parse_u64(p, end, u)) {
+      fail_at_line("expected an integer vertex id", lineno);
+    }
+    if (!detail::parse_u64(p, end, v)) {
+      fail_at_line("expected a second vertex id", lineno);
+    }
+    // Anything after the two endpoints (weights, timestamps) is ignored.
+    if (u == v) {
+      ++stats.self_loops_dropped;
+      continue;
+    }
+    ++stats.edge_lines;
+    raw.emplace_back(u, v);
+  }
+  require(!raw.empty(), "import_edge_list: no edges in input");
+
+  // Compact ids by sorted original value: deterministic regardless of the
+  // order edges appear in the file.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(raw.size() * 2);
+  for (const auto& [u, v] : raw) {
+    ids.push_back(u);
+    ids.push_back(v);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  require(ids.size() <= 0xFFFFFFFFull,
+          "import_edge_list: more than 2^32-1 distinct vertex ids");
+  stats.min_raw_id = ids.front();
+  stats.max_raw_id = ids.back();
+  stats.ids_compacted =
+      ids.front() != 0 || ids.back() != ids.size() - 1;
+
+  const auto compact = [&ids](std::uint64_t raw_id) {
+    return static_cast<NodeId>(
+        std::lower_bound(ids.begin(), ids.end(), raw_id) - ids.begin());
+  };
+  std::vector<Edge> edges;
+  edges.reserve(raw.size());
+  for (const auto& [u, v] : raw) {
+    edges.push_back({compact(u), compact(v)});
+  }
+  raw.clear();
+  raw.shrink_to_fit();
+
+  const std::uint64_t before = edges.size();
+  Graph g = Graph::from_edges(static_cast<std::uint32_t>(ids.size()),
+                              std::move(edges));
+  stats.duplicates_coalesced = before - g.m();
+  return ImportedGraph{std::move(g), std::move(ids), stats};
+}
+
+ImportedGraph import_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "import_edge_list_file: cannot open " + path);
+  return import_edge_list(in);
+}
+
+}  // namespace qc::graph

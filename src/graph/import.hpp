@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qc::graph {
+
+/// What the tolerant importer saw while reading a raw dataset; surfaced by
+/// `qcongest graph-info` and the converter tools so silently-dropped input
+/// is always visible.
+struct ImportStats {
+  std::uint64_t lines_total = 0;      ///< every line, including comments
+  std::uint64_t comment_lines = 0;    ///< '#' or '%' leaders and blanks
+  std::uint64_t edge_lines = 0;       ///< lines that contributed an edge
+  std::uint64_t self_loops_dropped = 0;
+  std::uint64_t duplicates_coalesced = 0;  ///< incl. reverse duplicates
+  std::uint64_t min_raw_id = 0;
+  std::uint64_t max_raw_id = 0;
+  bool ids_compacted = false;  ///< raw ids were not already 0..n-1
+};
+
+struct ImportedGraph {
+  Graph graph;
+  /// Mapping new id -> original dataset id, ascending (compaction is by
+  /// sorted original id, so the result is independent of edge order).
+  std::vector<std::uint64_t> raw_ids;
+  ImportStats stats;
+};
+
+/// SNAP-style edge-list importer for real datasets.
+///
+/// Deliberately tolerant where read_edge_list is strict, because raw
+/// downloads are messy: '#'/'%' comment lines and blank lines anywhere;
+/// space- or tab-separated; extra columns (weights, timestamps) ignored;
+/// 0-based, 1-based, or arbitrary 64-bit ids (compacted to 0..n-1 in
+/// sorted order); directed duplicates and self-loops dropped with counts.
+/// A line whose first token is not an integer, or that carries only one
+/// id, is still an error — tolerance is for real-world shape, not garbage.
+ImportedGraph import_edge_list(std::istream& in);
+ImportedGraph import_edge_list_file(const std::string& path);
+
+}  // namespace qc::graph

@@ -5,9 +5,25 @@
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "graph/import.hpp"
+#include "graph/qcg.hpp"
+#include "graph/text_parse.hpp"
 #include "util/error.hpp"
 
 namespace qc::graph {
+
+namespace {
+
+/// Error strings carry the line number, but they must only be built on the
+/// failure path — a `require(cond, "..." + to_string(lineno))` call site
+/// would allocate the message per line, which is exactly the O(m)
+/// allocation behavior this parser exists to avoid.
+[[noreturn]] void fail_at_line(const char* what, std::size_t lineno) {
+  throw InvalidArgumentError("read_edge_list: " + std::string(what) +
+                             " on line " + std::to_string(lineno));
+}
+
+}  // namespace
 
 Graph read_edge_list(std::istream& in) {
   std::string line;
@@ -17,26 +33,34 @@ Graph read_edge_list(std::istream& in) {
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
-    std::istringstream ls(line);
+    const char* p = line.data();
+    const char* end = p + line.size();
+    p = detail::skip_ws(p, end);
+    if (p == end || *p == '#') continue;
     if (!have_n) {
-      require(static_cast<bool>(ls >> n),
-              "read_edge_list: expected vertex count on line " +
-                  std::to_string(lineno));
+      std::uint64_t count = 0;
+      if (!detail::parse_u64(p, end, count) || count > 0xFFFFFFFFull) {
+        fail_at_line("expected vertex count", lineno);
+      }
+      n = static_cast<std::uint32_t>(count);
       have_n = true;
+      // Capacity up front: sparse graphs dominate, so a 4n-edge guess
+      // (capped so a huge header cannot balloon memory) removes nearly
+      // all growth reallocations on the import hot path.
+      edges.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(4 * static_cast<std::uint64_t>(n) + 16,
+                                  1ull << 24)));
       continue;
     }
-    std::uint64_t u, v;
-    require(static_cast<bool>(ls >> u >> v),
-            "read_edge_list: expected 'u v' on line " +
-                std::to_string(lineno));
-    require(u < n && v < n, "read_edge_list: vertex id out of range on line " +
-                                std::to_string(lineno));
+    std::uint64_t u = 0, v = 0;
+    if (!detail::parse_u64(p, end, u) || !detail::parse_u64(p, end, v)) {
+      fail_at_line("expected 'u v'", lineno);
+    }
+    if (u >= n || v >= n) fail_at_line("vertex id out of range", lineno);
     edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
   }
   require(have_n, "read_edge_list: empty input");
-  return Graph::from_edges(n, edges);
+  return Graph::from_edges(n, std::move(edges));
 }
 
 Graph read_edge_list_file(const std::string& path) {
@@ -135,6 +159,39 @@ Graph make_from_spec(const std::string& spec) {
   }
   throw InvalidArgumentError("make_from_spec: unknown family '" + fam +
                              "'\n" + spec_help());
+}
+
+Graph load_graph_file(const std::string& path, std::string* format_out) {
+  if (is_qcg_file(path)) {
+    if (format_out != nullptr) *format_out = "qcg";
+    return read_qcg_file(path);
+  }
+  // Text flavors: peek at the first data line. A native file leads with a
+  // lone vertex-count token; a SNAP-style raw edge list starts straight in
+  // with "u v" pairs.
+  std::ifstream probe(path);
+  require(probe.good(), "load_graph_file: cannot open " + path);
+  std::string line;
+  bool snap = false;
+  while (std::getline(probe, line)) {
+    const char* p = line.data();
+    const char* end = p + line.size();
+    p = detail::skip_ws(p, end);
+    if (p == end || *p == '#' || *p == '%') continue;
+    std::uint64_t first = 0;
+    require(detail::parse_u64(p, end, first),
+            "load_graph_file: unrecognized graph format in " + path);
+    std::uint64_t second = 0;
+    snap = detail::parse_u64(p, end, second);
+    break;
+  }
+  probe.close();
+  if (snap) {
+    if (format_out != nullptr) *format_out = "snap";
+    return import_edge_list_file(path).graph;
+  }
+  if (format_out != nullptr) *format_out = "edge-list";
+  return read_edge_list_file(path);
 }
 
 std::string spec_help() {

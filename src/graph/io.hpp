@@ -22,6 +22,17 @@ void write_edge_list(std::ostream& out, const Graph& g,
 void write_edge_list_file(const std::string& path, const Graph& g,
                           const std::string& comment = "");
 
+/// Loads a graph file of any supported flavor, auto-detected by content
+/// (never by extension):
+///   - `.qcg` binary container, recognized by its magic bytes,
+///   - native edge list (leading vertex-count line, as written by
+///     write_edge_list),
+///   - SNAP-style raw edge list (two ids on the first data line; imported
+///     with id compaction — see graph/import.hpp).
+/// `format_out`, when non-null, receives "qcg", "edge-list", or "snap".
+Graph load_graph_file(const std::string& path,
+                      std::string* format_out = nullptr);
+
 /// Parses a generator spec of the form "family:arg1:arg2[:seed]" and
 /// builds the graph. Supported families (see generators.hpp):
 ///   path:N            cycle:N           star:N         complete:N

@@ -1,0 +1,98 @@
+#pragma once
+
+// .qcg — the compact on-disk binary graph container.
+//
+// Layout (full byte-level spec in docs/formats.md): an 8-byte magic, a
+// fixed 64-byte little-endian header, then one of two payload encodings of
+// the same sorted CSR the in-memory Graph uses:
+//
+//   kRawCsr       raw little-endian offset + adjacency arrays, 8-byte
+//                 aligned — read_qcg_file maps the file and hands Graph a
+//                 zero-copy view (no per-edge work, no per-edge memory),
+//   kDeltaVarint  per-vertex degree + delta-varint adjacency — ~3-5x
+//                 smaller, decoded into owned CSR vectors on load (two
+//                 allocations total, still no per-edge allocation).
+//
+// Every reader validates magic, version, header/payload length agreement,
+// an FNV-1a payload checksum (optional to skip for mapped benches), and
+// the full CSR contract (sorted, in-range, loop-free, symmetric) before
+// returning a Graph, so a truncated or corrupted file fails loudly instead
+// of producing a plausible wrong topology.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qc::graph {
+
+inline constexpr char kQcgMagic[8] = {'Q', 'C', 'G', 'R', 'A', 'P', 'H', '1'};
+inline constexpr std::uint16_t kQcgVersion = 1;
+inline constexpr std::size_t kQcgHeaderBytes = 64;
+
+enum class QcgEncoding : std::uint8_t {
+  kRawCsr = 0,       ///< raw LE CSR arrays; mmap zero-copy on load
+  kDeltaVarint = 1,  ///< degree + delta-varint adjacency; compact
+};
+
+/// Header-level metadata of a .qcg file (what `qcongest graph-info`
+/// prints without loading the payload).
+struct QcgInfo {
+  std::uint16_t version = 0;
+  QcgEncoding encoding = QcgEncoding::kRawCsr;
+  std::uint64_t n = 0;
+  std::uint64_t arcs = 0;  ///< directed arc count = 2m
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t checksum = 0;
+
+  std::uint64_t m() const { return arcs / 2; }
+  double bytes_per_edge() const {
+    return m() == 0 ? 0.0
+                    : static_cast<double>(file_bytes) /
+                          static_cast<double>(m());
+  }
+};
+
+/// Writes `g` to `path`. Deterministic: the same graph always produces the
+/// same bytes for a given encoding.
+void write_qcg_file(const std::string& path, const Graph& g,
+                    QcgEncoding encoding = QcgEncoding::kDeltaVarint);
+
+struct QcgReadOptions {
+  /// Verify the FNV-1a payload checksum. Costs one sequential pass over
+  /// the payload; skipping it keeps a mapped kRawCsr load O(n) (the CSR
+  /// structural validation still runs — it is not optional).
+  bool verify_checksum = true;
+};
+
+/// Loads a .qcg file. kRawCsr payloads on little-endian hosts come back as
+/// a zero-copy mapped view (Graph::is_view() == true) pinned by the
+/// mapping; kDeltaVarint payloads decode into owned CSR vectors.
+Graph read_qcg_file(const std::string& path, QcgReadOptions opt = {});
+
+/// Reads header metadata only (no payload access beyond the file size).
+QcgInfo qcg_info_file(const std::string& path);
+
+/// True when `path` exists and starts with the .qcg magic. Never throws —
+/// this is the auto-detection probe the CLI loader uses on "@file" args.
+bool is_qcg_file(const std::string& path);
+
+namespace qcgdetail {
+
+/// LEB128 unsigned varint append/read, exposed for tests and tools.
+void varint_append(std::vector<std::uint8_t>& out, std::uint64_t x);
+
+/// Reads one varint at `pos`, advancing it. Throws InvalidArgumentError on
+/// truncation or an overlong (> 10 byte) encoding.
+std::uint64_t varint_read(const std::uint8_t* data, std::size_t size,
+                          std::size_t& pos);
+
+/// FNV-1a 64-bit, the payload checksum.
+std::uint64_t fnv1a(const void* data, std::size_t size,
+                    std::uint64_t seed = 14695981039346656037ull);
+
+}  // namespace qcgdetail
+
+}  // namespace qc::graph

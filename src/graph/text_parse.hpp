@@ -1,0 +1,35 @@
+#pragma once
+
+// Internal single-pass integer tokenizer shared by the native edge-list
+// reader and the SNAP-style importer. std::from_chars-based: no streams,
+// no per-token allocation — the text import hot path does exactly one pass
+// over each line.
+
+#include <charconv>
+#include <cstdint>
+
+namespace qc::graph::detail {
+
+inline const char* skip_ws(const char* p, const char* end) {
+  while (p != end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  return p;
+}
+
+/// Parses one unsigned decimal token at `p`, advancing `p` past it.
+/// Returns false (leaving `p` at the offending position) when the cursor
+/// hits end-of-line or a non-digit.
+inline bool parse_u64(const char*& p, const char* end, std::uint64_t& out) {
+  p = skip_ws(p, end);
+  if (p == end) return false;
+  const auto [q, ec] = std::from_chars(p, end, out);
+  if (ec != std::errc() || q == p) return false;
+  p = q;
+  return true;
+}
+
+/// True when only whitespace remains on the line.
+inline bool only_ws_left(const char* p, const char* end) {
+  return skip_ws(p, end) == end;
+}
+
+}  // namespace qc::graph::detail

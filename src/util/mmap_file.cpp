@@ -1,0 +1,93 @@
+#include "util/mmap_file.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define QC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define QC_HAVE_MMAP 0
+#include <cstdio>
+#endif
+
+namespace qc {
+
+void MappedFile::swap(MappedFile& other) noexcept {
+  std::swap(data_, other.data_);
+  std::swap(size_, other.size_);
+  std::swap(heap_fallback_, other.heap_fallback_);
+}
+
+void MappedFile::reset() {
+  if (data_ == nullptr) return;
+  if (heap_fallback_) {
+    delete[] data_;
+  } else {
+#if QC_HAVE_MMAP
+    ::munmap(const_cast<std::byte*>(data_), size_);
+#endif
+  }
+  data_ = nullptr;
+  size_ = 0;
+  heap_fallback_ = false;
+}
+
+#if QC_HAVE_MMAP
+
+MappedFile MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  require(fd >= 0, "MappedFile: cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    throw InvalidArgumentError("MappedFile: cannot stat regular file " +
+                               path);
+  }
+  MappedFile mf;
+  mf.size_ = static_cast<std::size_t>(st.st_size);
+  if (mf.size_ == 0) {
+    ::close(fd);
+    return mf;
+  }
+  void* p = ::mmap(nullptr, mf.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  require(p != MAP_FAILED, "MappedFile: mmap failed for " + path);
+  mf.data_ = static_cast<const std::byte*>(p);
+  return mf;
+}
+
+#else  // portable single-read fallback
+
+MappedFile MappedFile::open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  require(f != nullptr, "MappedFile: cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  MappedFile mf;
+  if (len <= 0) {
+    std::fclose(f);
+    require(len == 0, "MappedFile: cannot size " + path);
+    return mf;
+  }
+  auto* buf = new std::byte[static_cast<std::size_t>(len)];
+  const auto got = std::fread(buf, 1, static_cast<std::size_t>(len), f);
+  std::fclose(f);
+  if (got != static_cast<std::size_t>(len)) {
+    delete[] buf;
+    throw InvalidArgumentError("MappedFile: short read on " + path);
+  }
+  mf.data_ = buf;
+  mf.size_ = static_cast<std::size_t>(len);
+  mf.heap_fallback_ = true;
+  return mf;
+}
+
+#endif
+
+}  // namespace qc

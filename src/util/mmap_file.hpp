@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace qc {
+
+/// Read-only memory-mapped file.
+///
+/// RAII, move-only owner of one mapping; data() points straight at the
+/// page cache, so loading a mapped graph copies zero payload bytes. On
+/// POSIX hosts this is mmap(2); elsewhere it degrades to one read() into a
+/// single heap buffer (same interface, one allocation, still no per-record
+/// work). Empty files yield a valid object with size() == 0.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { reset(); }
+
+  MappedFile(MappedFile&& other) noexcept { swap(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      reset();
+      swap(other);
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only; throws InvalidArgumentError when the file
+  /// cannot be opened, sized, or mapped.
+  static MappedFile open(const std::string& path);
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  void reset();
+  void swap(MappedFile& other) noexcept;
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool heap_fallback_ = false;  ///< buffer came from new[], not mmap
+};
+
+}  // namespace qc

@@ -1,0 +1,34 @@
+// qcg2edgelist — expands a .qcg binary graph back into the native
+// plain-text edge-list format (diff-friendly, round-trips bit-identically
+// through edgelist2qcg).
+//
+//   qcg2edgelist IN OUT [--quiet]
+
+#include <iostream>
+
+#include "graph/io.hpp"
+#include "graph/qcg.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace qc;
+  Cli cli(argc, argv);
+  cli.expect_flags({"quiet"});
+  const auto& pos = cli.positional();
+  if (pos.size() != 2) {
+    std::cerr << "usage: qcg2edgelist IN OUT [--quiet]\n";
+    return 2;
+  }
+  require(graph::is_qcg_file(pos[0]),
+          "qcg2edgelist: " + pos[0] + " is not a .qcg file");
+  const auto g = graph::read_qcg_file(pos[0]);
+  graph::write_edge_list_file(pos[1], g, "converted from " + pos[0]);
+  if (!cli.get_bool("quiet", false)) {
+    std::cout << "wrote " << g.describe() << " to " << pos[1] << "\n";
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

@@ -7,10 +7,16 @@
 //   qcongest radius torus:12:12 --algo=census
 //   qcongest decide diam:200:10 --threshold=9
 //   qcongest gen hypercube:8 --out=cube.txt
+//   qcongest gen pa:100000:3:7 --out=big.qcg --encoding=raw
+//   qcongest graph-info @big.qcg
 //
 // Graphs are given as a generator spec (see `qcongest help`) or as
-// "@path" to load an edge-list file.
+// "@path" to load a graph file — the format is auto-detected by content:
+// .qcg binary container (by magic), native edge list, or SNAP-style raw
+// dataset (imported with id compaction).
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 
 #include "algos/apsp_census.hpp"
@@ -23,6 +29,7 @@
 #include "core/quantum_radius.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/io.hpp"
+#include "graph/qcg.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -39,14 +46,17 @@ int usage() {
 usage: qcongest <command> <graph> [flags]
 
 commands:
-  info      n, m, diameter, radius, center (centralized reference)
-  diameter  exact diameter   --algo=classical|quantum|simple   (default quantum)
-  approx    3/2-approximation --algo=classical|quantum [--s=N] (default quantum)
-  radius    radius + center  --algo=census|quantum             (default quantum)
-  girth     shortest cycle length (distributed census)
-  decide    diameter > K ?   --threshold=K
-  census    all eccentricities (classical O(n)-round APSP census)
-  gen       generate a graph --out=FILE
+  info        n, m, diameter, radius, center (centralized reference)
+  graph-info  format, size, degree stats, load cost — no O(n*BFS) work,
+              safe on million-node graphs
+  diameter    exact diameter   --algo=classical|quantum|simple   (default quantum)
+  approx      3/2-approximation --algo=classical|quantum [--s=N] (default quantum)
+  radius      radius + center  --algo=census|quantum             (default quantum)
+  girth       shortest cycle length (distributed census)
+  decide      diameter > K ?   --threshold=K
+  census      all eccentricities (classical O(n)-round APSP census)
+  gen         generate a graph --out=FILE (.qcg extension writes the
+              binary container; --encoding=varint|raw picks the payload)
 
 common flags:
   --seed=N              quantum sampling / generator seed (default 7)
@@ -58,16 +68,18 @@ common flags:
   --metrics-out=FILE    write a JSONL metrics capture of the run to FILE
   --quiet               print only the result value
 
-<graph> is a generator spec or @FILE (edge list).
+<graph> is a generator spec or @FILE (.qcg binary, native edge list, or
+SNAP-style raw dataset — detected by content, not extension).
 )" << graph::spec_help()
             << "\n";
   return 2;
 }
 
-graph::Graph load(const std::string& arg) {
+graph::Graph load(const std::string& arg, std::string* format = nullptr) {
   if (!arg.empty() && arg[0] == '@') {
-    return graph::read_edge_list_file(arg.substr(1));
+    return graph::load_graph_file(arg.substr(1), format);
   }
+  if (format != nullptr) *format = "generator";
   return graph::make_from_spec(arg);
 }
 
@@ -107,7 +119,7 @@ int main(int argc, char** argv) try {
   // (--seed=abc) aborts with a message instead of being silently ignored.
   cli.expect_flags({"seed", "oracle", "fault-drop", "fault-corrupt",
                     "fault-seed", "quiet", "algo", "s", "threshold", "out",
-                    "metrics-out"});
+                    "metrics-out", "encoding"});
   const auto& pos = cli.positional();
   if (pos.empty()) return usage();
   const std::string cmd = pos[0];
@@ -119,7 +131,13 @@ int main(int argc, char** argv) try {
   metrics::ScopedExport metrics_session(cli.get_string("metrics-out", ""));
   metrics::ScopedTimer cli_span("cli." + cmd);
   metrics::PhaseTimer load_span(metrics::global(), "cli.load_graph");
-  auto g = load(pos[1]);
+  std::string format;
+  const auto load_start = std::chrono::steady_clock::now();
+  auto g = load(pos[1], &format);
+  const double load_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - load_start)
+          .count();
   load_span.finish();
   metrics::gauge("cli.graph_n", static_cast<double>(g.n()));
   metrics::gauge("cli.graph_m", static_cast<double>(g.m()));
@@ -127,8 +145,57 @@ int main(int argc, char** argv) try {
   if (cmd == "gen") {
     const std::string out = cli.get_string("out", "");
     require(!out.empty(), "gen: --out=FILE is required");
-    graph::write_edge_list_file(out, g, "generated by qcongest gen " + pos[1]);
+    const std::string enc_name = cli.get_string("encoding", "varint");
+    require(enc_name == "varint" || enc_name == "raw",
+            "gen: --encoding must be 'varint' or 'raw'");
+    // A .qcg extension selects the binary container; anything else keeps
+    // the diff-friendly text edge list.
+    if (out.size() >= 4 && out.compare(out.size() - 4, 4, ".qcg") == 0) {
+      graph::write_qcg_file(out, g,
+                            enc_name == "raw"
+                                ? graph::QcgEncoding::kRawCsr
+                                : graph::QcgEncoding::kDeltaVarint);
+    } else {
+      graph::write_edge_list_file(out, g,
+                                  "generated by qcongest gen " + pos[1]);
+    }
     std::cout << "wrote " << g.describe() << " to " << out << "\n";
+    return 0;
+  }
+
+  if (cmd == "graph-info") {
+    // Deliberately avoids diameter/radius (O(n * BFS)) so it stays usable
+    // on million-node graphs: everything below is O(n + m) at worst.
+    Table t({"property", "value"});
+    t.add_row({"source", pos[1][0] == '@' ? pos[1].substr(1) : pos[1]});
+    t.add_row({"format", format});
+    if (format == "qcg") {
+      const auto info = graph::qcg_info_file(pos[1].substr(1));
+      t.add_row({"qcg version", fmt(static_cast<std::uint64_t>(info.version))});
+      t.add_row({"qcg encoding",
+                 info.encoding == graph::QcgEncoding::kRawCsr ? "raw"
+                                                              : "varint"});
+      t.add_row({"file bytes", fmt(info.file_bytes)});
+      t.add_row({"bytes/edge", fmt(info.bytes_per_edge(), 2)});
+    }
+    t.add_row({"n", fmt(g.n())});
+    t.add_row({"m", fmt(g.m())});
+    std::uint32_t dmin = g.n() == 0 ? 0 : 0xFFFFFFFFu;
+    std::uint32_t dmax = 0;
+    for (graph::NodeId v = 0; v < g.n(); ++v) {
+      dmin = std::min(dmin, g.degree(v));
+      dmax = std::max(dmax, g.degree(v));
+    }
+    t.add_row({"degree min", fmt(dmin)});
+    t.add_row({"degree max", fmt(dmax)});
+    t.add_row({"degree avg",
+               fmt(g.n() == 0 ? 0.0
+                              : 2.0 * static_cast<double>(g.m()) /
+                                    static_cast<double>(g.n()),
+                   2)});
+    t.add_row({"storage", g.is_view() ? "mapped view (zero-copy)" : "owned"});
+    t.add_row({"load ms", fmt(load_ms, 2)});
+    t.print(std::cout);
     return 0;
   }
 
