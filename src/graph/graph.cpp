@@ -119,10 +119,13 @@ Graph Graph::from_csr(std::vector<std::uint32_t> offsets,
 }
 
 Graph Graph::from_csr_view(std::uint32_t n, const std::uint32_t* offsets,
-                           const NodeId* neighbors,
+                           const NodeId* neighbors, std::uint64_t arcs,
                            std::shared_ptr<const void> keep_alive) {
-  validate_csr(n, offsets, neighbors,
-               offsets == nullptr ? 0 : offsets[n]);
+  // `arcs` must come from the caller, never from offsets[n]: for a view
+  // over an untrusted file payload, deriving it from the offsets array
+  // would turn validate_csr's bounds check into a tautology and let a
+  // crafted offsets[n] walk neighbors past the mapped region.
+  validate_csr(n, offsets, neighbors, arcs);
   Graph g;
   g.offsets_ = offsets;
   g.neighbors_ = neighbors;

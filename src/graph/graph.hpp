@@ -55,11 +55,14 @@ class Graph {
                         std::vector<NodeId> neighbors);
 
   /// Zero-copy view over externally owned CSR arrays (e.g. the payload of
-  /// a mapped `.qcg` file). `keep_alive` is retained by the graph and
-  /// every copy of it, pinning the backing memory. Runs the same
+  /// a mapped `.qcg` file). `arcs` is the caller-trusted length of the
+  /// `neighbors` array; offsets[n] is validated *against* it rather than
+  /// trusted, so an untrusted offsets array can never extend the neighbor
+  /// walk past the caller's buffer. `keep_alive` is retained by the graph
+  /// and every copy of it, pinning the backing memory. Runs the same
   /// validation as from_csr without copying or allocating per edge.
   static Graph from_csr_view(std::uint32_t n, const std::uint32_t* offsets,
-                             const NodeId* neighbors,
+                             const NodeId* neighbors, std::uint64_t arcs,
                              std::shared_ptr<const void> keep_alive);
 
   /// Number of vertices.

@@ -31,6 +31,10 @@ std::uint64_t varint_read(const std::uint8_t* data, std::size_t size,
       // Reject overlong encodings so every value has exactly one byte
       // representation (needed for deterministic, bit-identical files).
       require(byte != 0 || shift == 0, ".qcg: overlong varint");
+      // At shift 63 only bit 0 of the final byte fits in 64 bits; higher
+      // payload bits would be silently truncated, so they are an error
+      // rather than a second spelling of the same value.
+      require(shift < 63 || byte <= 1, ".qcg: varint exceeds 64 bits");
       return x;
     }
   }
@@ -308,10 +312,19 @@ Graph read_qcg_file(const std::string& path, QcgReadOptions opt) {
     // mmap returns page-aligned memory and both sections sit at 8-byte
     // offsets, so the u32 reinterpretation is aligned.
     const auto* offsets = reinterpret_cast<const std::uint32_t*>(payload);
+    // Cross-check the mapped final offset against the header arc count
+    // before any neighbor access: the neighbors section is sized from the
+    // header, so an inflated offsets[n] would otherwise send the CSR
+    // validation walking past the end of the mapping (the checksum is no
+    // defense — whoever crafts the file also controls the checksum).
+    require(offsets[h.info.n] == h.info.arcs,
+            ".qcg: offsets[n] disagrees with the header arc count in " +
+                path);
     const auto* neighbors = reinterpret_cast<const std::uint32_t*>(
         payload + pad8(h.offsets_bytes));
     return Graph::from_csr_view(static_cast<std::uint32_t>(h.info.n),
-                                offsets, neighbors, std::move(mf));
+                                offsets, neighbors, h.info.arcs,
+                                std::move(mf));
   } else {
     return decode_raw_owned(h, payload);
   }

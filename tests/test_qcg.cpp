@@ -274,6 +274,35 @@ TEST_F(QcgReject, OddArcCount) {
   expect_rejected(b, "odd arcs");
 }
 
+TEST_F(QcgReject, RawFinalOffsetDisagreesWithArcCount) {
+  // Crafted raw-CSR files whose offsets[n] disagrees with the header arc
+  // count, with the checksum recomputed the way an attacker would. The
+  // neighbors section is sized from the header, so an unchecked inflated
+  // offsets[n] would send the CSR validation reading far past the end of
+  // the mapping; the cross-check must fire before any neighbor access.
+  const auto g = make_from_spec("path:8");  // n=8, arcs=14
+  TempFile f("raw_bad_final_off");
+  write_qcg_file(f.path, g, QcgEncoding::kRawCsr);
+  const std::size_t final_off = kQcgHeaderBytes + 4 * 8;  // offsets[8]
+
+  auto inflated = read_bytes(f.path);
+  inflated[final_off] = 0xF0;
+  inflated[final_off + 1] = 0xFF;
+  inflated[final_off + 2] = 0xFF;
+  inflated[final_off + 3] = 0xFF;  // offsets[8] = 0xFFFFFFF0 arcs
+  store_le64_at(inflated, 48,
+                qcgdetail::fnv1a(inflated.data() + kQcgHeaderBytes,
+                                 inflated.size() - kQcgHeaderBytes));
+  expect_rejected(inflated, "inflated offsets[n] with matching checksum");
+
+  auto deflated = read_bytes(f.path);
+  deflated[final_off] = 13;  // one short of the 14 header arcs
+  store_le64_at(deflated, 48,
+                qcgdetail::fnv1a(deflated.data() + kQcgHeaderBytes,
+                                 deflated.size() - kQcgHeaderBytes));
+  expect_rejected(deflated, "deflated offsets[n] with matching checksum");
+}
+
 TEST_F(QcgReject, ChecksumCatchesPayloadFlip) {
   auto b = good_file();
   b[kQcgHeaderBytes + 3] ^= 0x40;
@@ -373,6 +402,20 @@ TEST(QcgVarint, RejectsMalformedEncodings) {
   for (auto& byte : too_wide) byte = 0x80;
   EXPECT_THROW(qcgdetail::varint_read(too_wide, 11, pos),
                InvalidArgumentError);
+  // Only bit 0 of the 10th byte fits in 64 bits: a final byte with higher
+  // payload bits set is a second spelling of the same value (0x41 and 0x01
+  // would both decode to 1<<63) and must be rejected, while the canonical
+  // encoding of 1<<63 still decodes.
+  pos = 0;
+  std::uint8_t noncanonical[10];
+  for (auto& byte : noncanonical) byte = 0x80;
+  noncanonical[9] = 0x41;
+  EXPECT_THROW(qcgdetail::varint_read(noncanonical, 10, pos),
+               InvalidArgumentError);
+  pos = 0;
+  noncanonical[9] = 0x01;
+  EXPECT_EQ(qcgdetail::varint_read(noncanonical, 10, pos), 1ull << 63);
+  EXPECT_EQ(pos, 10u);
 }
 
 TEST(QcgVarint, ChecksumIsOrderSensitive) {
