@@ -1,9 +1,19 @@
 // The shared eccentricity engine (graph/ecc_engine.hpp) vs the naive
-// reference path: evaluating f(u) = max_{v in segment(u)} ecc(v) for every
-// branch u of the Theorem 1 window oracle. The naive path pays one BFS per
-// window member per branch (Theta(n*d) BFS); the engine pays exactly one
-// BFS per vertex plus an O(len log len) sparse-table build, then answers
-// each branch in O(1).
+// reference path, plus the BFS kernel shoot-out (graph/bfs_kernels.hpp):
+//
+//  1. engine-vs-naive: evaluating f(u) = max_{v in segment(u)} ecc(v) for
+//     every branch u of the Theorem 1 window oracle. The naive path pays
+//     one BFS per window member per branch (Theta(n*d) BFS); the engine
+//     pays exactly one BFS per vertex plus an O(len log len) sparse-table
+//     build, then answers each branch in O(1).
+//  2. kernel shoot-out: the same eccentricity sweep through the flat
+//     single-source kernel (the PR 6 baseline), the bit-parallel
+//     64-sources-per-word kernel push-only, and the direction-optimizing
+//     variant — equal source sets, single thread, results checked
+//     bit-identical. With --dataset=FILE.qcg the shoot-out runs on a
+//     checked-in large graph instead of the synthetic workload
+//     (--sources=K samples K roots; --sources=0 sweeps all n, which is
+//     exactly the full EccEngine sweep the acceptance numbers quote).
 //
 // Emits a machine-readable JSON summary (stdout and, with --out=FILE, to
 // disk) that seeds the BENCH_ecc.json baseline checked in at the repo root
@@ -12,10 +22,13 @@
 #include <chrono>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "bench/harness.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/bfs_kernels.hpp"
 #include "graph/ecc_engine.hpp"
+#include "graph/io.hpp"
 #include "util/error.hpp"
 
 using namespace qc;
@@ -28,19 +41,123 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(dt).count();
 }
 
+struct KernelRow {
+  std::string graph_name;
+  std::uint32_t n = 0;
+  std::uint64_t m = 0;
+  std::uint32_t sources = 0;
+  double flat_ms = 0;
+  double push_ms = 0;
+  double diropt_ms = 0;
+  std::uint32_t diropt_pull_levels = 0;
+  bool equal = false;
+};
+
+// Deterministically spread K roots across the id space (K = n hits every
+// vertex exactly once, in order — the full-sweep case).
+std::vector<graph::NodeId> pick_sources(std::uint32_t n, std::uint32_t k) {
+  std::vector<graph::NodeId> out;
+  out.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    out.push_back(static_cast<graph::NodeId>(
+        (static_cast<std::uint64_t>(i) * n) / k));
+  }
+  return out;
+}
+
+KernelRow kernel_shootout(const graph::Graph& g, const std::string& name,
+                          std::uint32_t sources) {
+  KernelRow row;
+  row.graph_name = name;
+  row.n = g.n();
+  row.m = g.m();
+  const std::uint32_t k =
+      (sources == 0 || sources > g.n()) ? g.n() : sources;
+  row.sources = k;
+  const auto roots = pick_sources(g.n(), k);
+
+  std::vector<std::uint32_t> flat(k), push(k), diropt(k);
+
+  graph::BfsScratch scratch;
+  const auto t_flat = std::chrono::steady_clock::now();
+  for (std::uint32_t i = 0; i < k; ++i) {
+    flat[i] = graph::flat_bfs_distances(g, roots[i], scratch);
+  }
+  row.flat_ms = ms_since(t_flat);
+
+  graph::MultiBfsScratch mscratch;
+  const auto run_batches = [&](std::vector<std::uint32_t>& out,
+                               graph::MultiBfsDirection dir) {
+    std::uint32_t pulls = 0;
+    for (std::uint32_t first = 0; first < k; first += 64) {
+      const std::uint32_t batch = std::min(64u, k - first);
+      const auto stats = graph::multi_source_eccentricities(
+          g, std::span<const graph::NodeId>(roots.data() + first, batch),
+          out.data() + first, mscratch, dir);
+      pulls += stats.pull_levels;
+    }
+    return pulls;
+  };
+
+  const auto t_push = std::chrono::steady_clock::now();
+  run_batches(push, graph::MultiBfsDirection::kPushOnly);
+  row.push_ms = ms_since(t_push);
+
+  const auto t_diropt = std::chrono::steady_clock::now();
+  row.diropt_pull_levels =
+      run_batches(diropt, graph::MultiBfsDirection::kOptimized);
+  row.diropt_ms = ms_since(t_diropt);
+
+  row.equal = flat == push && flat == diropt;
+  check_internal(row.equal,
+                 "bench_ecc_engine: kernels disagree on eccentricities");
+  return row;
+}
+
+void print_kernel_row(Table& t, const KernelRow& r) {
+  const double base = std::max(r.flat_ms, 1e-6);
+  t.add_row({r.graph_name, fmt(r.n), fmt(r.m), fmt(r.sources),
+             fmt(r.flat_ms, 1), fmt(r.push_ms, 1), fmt(r.diropt_ms, 1),
+             fmt(base / std::max(r.push_ms, 1e-6), 1),
+             fmt(base / std::max(r.diropt_ms, 1e-6), 1)});
+}
+
+void emit_kernel_row(std::ostringstream& json, const KernelRow& r,
+                     bool last) {
+  const double base = std::max(r.flat_ms, 1e-6);
+  json << "    {\"graph\": \"" << r.graph_name << "\", \"n\": " << r.n
+       << ", \"m\": " << r.m << ", \"sources\": " << r.sources << ",\n"
+       << "     \"flat_ms\": " << fmt(r.flat_ms, 3)
+       << ", \"push_ms\": " << fmt(r.push_ms, 3)
+       << ", \"diropt_ms\": " << fmt(r.diropt_ms, 3) << ",\n"
+       << "     \"speedup_push\": "
+       << fmt(base / std::max(r.push_ms, 1e-6), 2)
+       << ", \"speedup_diropt\": "
+       << fmt(base / std::max(r.diropt_ms, 1e-6), 2)
+       << ", \"pull_levels\": " << r.diropt_pull_levels
+       << ", \"results_equal\": " << (r.equal ? "true" : "false") << "}"
+       << (last ? "" : ",") << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = BenchOptions::parse(argc, argv, {"out", "n", "d"});
+  const auto opt = BenchOptions::parse(
+      argc, argv, {"out", "n", "d", "dataset", "sources"});
   Cli cli(argc, argv);
   const auto n =
       static_cast<std::uint32_t>(cli.get_int("n", opt.quick ? 192 : 512));
   const auto d =
       static_cast<std::uint32_t>(cli.get_int("d", opt.quick ? 12 : 32));
   const std::string out = cli.get_string("out", "");
+  const std::string dataset = cli.get_string("dataset", "");
+  const auto sources = static_cast<std::uint32_t>(
+      cli.get_int("sources", opt.quick ? 1024 : 0));
 
   banner("Shared eccentricity engine vs naive branch evaluation",
-         "same f(u) on every branch; BFS count drops from Theta(n*d) to n");
+         "same f(u) on every branch; BFS count drops from Theta(n*d) to n;\n"
+         "then the sweep kernels: flat vs bit-parallel (64 sources/word) "
+         "vs direction-optimizing");
 
   auto g = workload(n, d, opt.seed);
   const auto tree = graph::bfs_tree(g, 0);
@@ -75,6 +192,21 @@ int main(int argc, char** argv) {
 
   check_internal(naive == fast, "engine disagrees with naive reference");
 
+  // Kernel choice never changes the table: pin flat vs bit-parallel
+  // bit-identity (and SegmentMax bit-identity on top) right here in the
+  // bench, on the same workload the timings quote.
+  {
+    graph::EccEngine flat_engine(g, {1, graph::EccKernel::kFlat});
+    graph::EccEngine bp_engine(g, {1, graph::EccKernel::kBitParallel});
+    check_internal(flat_engine.all() == bp_engine.all(),
+                   "bench_ecc_engine: kernel tables differ");
+    const auto seg_bp = bp_engine.segment_max(num);
+    for (graph::NodeId u = 0; u < g.n(); ++u) {
+      check_internal(seg_bp.max_ecc_in_segment(u, steps) == fast[u],
+                     "bench_ecc_engine: SegmentMax differs across kernels");
+    }
+  }
+
   const double speedup = naive_ms / std::max(engine_ms, 1e-6);
   Table t({"n", "d", "steps", "branches", "naive BFS", "engine BFS",
            "naive ms", "engine ms", "speedup"});
@@ -82,6 +214,23 @@ int main(int argc, char** argv) {
              fmt(engine.bfs_runs()), fmt(naive_ms, 1), fmt(engine_ms, 1),
              fmt(speedup, 1)});
   t.print(std::cout);
+
+  // Kernel shoot-out: synthetic workload always; the dataset too when
+  // --dataset is given.
+  std::vector<KernelRow> kernel_rows;
+  kernel_rows.push_back(
+      kernel_shootout(g, "rwd:" + std::to_string(n), sources));
+  if (!dataset.empty()) {
+    const auto loaded = graph::load_graph_file(dataset);
+    auto base = dataset.substr(dataset.find_last_of('/') + 1);
+    kernel_rows.push_back(kernel_shootout(loaded, base, sources));
+  }
+
+  std::cout << "\n";
+  Table kt({"graph", "n", "m", "sources", "flat ms", "push ms", "diropt ms",
+            "push x", "diropt x"});
+  for (const auto& r : kernel_rows) print_kernel_row(kt, r);
+  kt.print(std::cout);
 
   std::ostringstream json;
   json << "{\n"
@@ -96,8 +245,12 @@ int main(int argc, char** argv) {
        << "  \"naive_ms\": " << fmt(naive_ms, 3) << ",\n"
        << "  \"engine_ms\": " << fmt(engine_ms, 3) << ",\n"
        << "  \"speedup\": " << fmt(speedup, 2) << ",\n"
-       << "  \"results_equal\": true\n"
-       << "}\n";
+       << "  \"results_equal\": true,\n"
+       << "  \"kernels\": [\n";
+  for (std::size_t i = 0; i < kernel_rows.size(); ++i) {
+    emit_kernel_row(json, kernel_rows[i], i + 1 == kernel_rows.size());
+  }
+  json << "  ]\n}\n";
   std::cout << "\n" << json.str();
   if (!out.empty()) {
     std::ofstream f(out);

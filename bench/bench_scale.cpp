@@ -1,15 +1,21 @@
 // Million-node substrate harness: exercises the whole storage stack —
 // text parsing, .qcg varint decode, raw mmap zero-copy views — and the
 // algorithm layers on top of it (flat BFS kernel, double-sweep bound, the
-// O(D)-round distributed eccentricity, and the full EccEngine) at
-// 10^4..10^6 nodes, using the checked-in datasets under data/.
+// O(D)-round distributed eccentricity, and the full EccEngine on the
+// bit-parallel multi-source kernel) at 10^4..10^6 nodes, using the
+// checked-in datasets under data/.
 //
 // Modes:
 //   --quick    CI smoke: the two committed datasets, loads + BFS + double
 //              sweep only (plus CONGEST ecc on the 10k graph)
 //   (default)  + the distributed O(D) eccentricity on the 100k graph
 //   --full     + full EccEngine diameter/radius on the 100k graph and a
-//              generated-and-cached 10^6-node graph with a sampled bound
+//              generated-and-cached 10^6-node graph, including the
+//              exhaustive n-BFS engine sweep (bit-parallel kernel)
+//
+// Every config a mode skips leaves an explicit entry in the row's
+// "skipped" JSON array, so BENCH_*.json trajectories distinguish "not
+// run in this mode" from "missing".
 //
 // Emits a JSON summary (stdout and --out=FILE); full-mode rows seed the
 // "scale" sections committed in BENCH_ecc.json / BENCH_net.json.
@@ -20,6 +26,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algos/bfs_tree.hpp"
@@ -52,6 +59,8 @@ struct EngineRow {
   std::uint32_t diameter = 0;
   std::uint32_t radius = 0;
   std::uint64_t bfs_runs = 0;
+  std::string kernel;
+  std::uint32_t threads = 0;
   double ms = 0;
 };
 
@@ -69,6 +78,7 @@ struct ScaleRow {
   std::optional<CongestRow> congest;
   std::optional<EngineRow> engine;
   std::optional<std::uint32_t> sampled_lb;  ///< max ecc over sampled roots
+  std::vector<std::string> skipped;  ///< configs this mode did not run
 };
 
 struct TimedLoad {
@@ -83,8 +93,15 @@ TimedLoad time_load(const std::string& path) {
   return {std::move(g), ms};
 }
 
+// Records a skipped config both in the JSON row and on stdout.
+void skip(ScaleRow& row, const std::string& what, const std::string& why) {
+  row.skipped.push_back(what + " (" + why + ")");
+  std::cout << "skipped (" << why << "): " << what << " [" << row.dataset
+            << "]\n";
+}
+
 // k-source flat BFS: average per-source time, plus the double-sweep lower
-// bound (BFS from 0, then from the farthest vertex found).
+// bound (BFS from 0, then from the farthest *reachable* vertex found).
 void measure_bfs(const graph::Graph& g, std::uint32_t sources,
                  ScaleRow& row) {
   graph::BfsScratch scratch;
@@ -101,9 +118,13 @@ void measure_bfs(const graph::Graph& g, std::uint32_t sources,
   graph::flat_bfs_distances(g, 0, scratch);
   graph::NodeId far = 0;
   for (graph::NodeId v = 0; v < g.n(); ++v) {
-    if (scratch.dist[v] > scratch.dist[far]) far = v;
+    if (scratch.dist[v] != graph::kUnreachable &&
+        scratch.dist[v] > scratch.dist[far]) {
+      far = v;
+    }
   }
-  row.dsweep_lb = graph::flat_bfs_distances(g, far, scratch);
+  graph::flat_bfs_distances(g, far, scratch);
+  row.dsweep_lb = scratch.finite_ecc;
 }
 
 CongestRow congest_ecc(const graph::Graph& g) {
@@ -111,6 +132,19 @@ CongestRow congest_ecc(const graph::Graph& g) {
   check_internal(out.status == algos::PhaseStatus::kQuiesced,
                  "bench_scale: fault-free eccentricity did not quiesce");
   return {out.ecc, out.stats.rounds, out.stats.messages};
+}
+
+EngineRow engine_sweep(const graph::Graph& g) {
+  const auto t0 = std::chrono::steady_clock::now();
+  graph::EccEngine engine(g);  // kAuto: bit-parallel at these sizes
+  EngineRow e;
+  e.diameter = engine.diameter();
+  e.radius = engine.radius();
+  e.bfs_runs = engine.bfs_runs();
+  e.kernel = g.n() >= 256 ? "bit_parallel" : "flat";
+  e.threads = std::max(1u, std::thread::hardware_concurrency());
+  e.ms = ms_since(t0);
+  return e;
 }
 
 std::string opt_num(const std::optional<double>& v) {
@@ -139,14 +173,19 @@ void emit_row(std::ostringstream& json, const ScaleRow& r, bool last) {
   if (r.engine) {
     json << "{\"diameter\": " << r.engine->diameter
          << ", \"radius\": " << r.engine->radius
-         << ", \"bfs_runs\": " << r.engine->bfs_runs
+         << ", \"bfs_runs\": " << r.engine->bfs_runs << ", \"kernel\": \""
+         << r.engine->kernel << "\", \"threads\": " << r.engine->threads
          << ", \"ms\": " << fmt(r.engine->ms, 1) << "}";
   } else {
     json << "null";
   }
   json << ",\n     \"sampled_lb\": "
-       << (r.sampled_lb ? fmt(*r.sampled_lb) : std::string("null")) << "}"
-       << (last ? "" : ",") << "\n";
+       << (r.sampled_lb ? fmt(*r.sampled_lb) : std::string("null"))
+       << ",\n     \"skipped\": [";
+  for (std::size_t i = 0; i < r.skipped.size(); ++i) {
+    json << (i == 0 ? "" : ", ") << "\"" << r.skipped[i] << "\"";
+  }
+  json << "]}" << (last ? "" : ",") << "\n";
 }
 
 }  // namespace
@@ -157,6 +196,8 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const bool full = cli.get_bool("full", false);
   require(!(full && opt.quick), "bench_scale: pick one of --quick / --full");
+  const std::string mode =
+      opt.quick ? "quick" : (full ? "full" : "default");
   const std::string data_dir = cli.get_string("data-dir", QC_DATA_DIR);
   const std::string out = cli.get_string("out", "");
   const auto cache_dir = fs::temp_directory_path() / "qc_bench_scale";
@@ -164,7 +205,8 @@ int main(int argc, char** argv) {
 
   banner("Million-node substrate: load paths + baselines at 10^4..10^6",
          "text parse vs varint decode vs raw mmap view; flat BFS, double "
-         "sweep,\nO(D)-round distributed eccentricity, full EccEngine");
+         "sweep,\nO(D)-round distributed eccentricity, full EccEngine on "
+         "the bit-parallel kernel");
 
   std::vector<ScaleRow> rows;
 
@@ -186,6 +228,11 @@ int main(int argc, char** argv) {
     r.m = mapped.m();
     measure_bfs(mapped, opt.quick ? 4 : 8, r);
     r.congest = congest_ecc(mapped);
+    if (full) {
+      r.engine = engine_sweep(mapped);
+    } else {
+      skip(r, "ecc_engine full sweep", mode + ": pass --full");
+    }
     rows.push_back(std::move(r));
   }
 
@@ -207,20 +254,12 @@ int main(int argc, char** argv) {
     if (!opt.quick) {
       r.congest = congest_ecc(mapped);
     } else {
-      std::cout << "skipped (quick): CONGEST eccentricity at n=10^5\n";
+      skip(r, "congest eccentricity", "quick");
     }
     if (full) {
-      const auto t0 = std::chrono::steady_clock::now();
-      graph::EccEngine engine(mapped);
-      EngineRow e;
-      e.diameter = engine.diameter();
-      e.radius = engine.radius();
-      e.bfs_runs = engine.bfs_runs();
-      e.ms = ms_since(t0);
-      r.engine = e;
+      r.engine = engine_sweep(mapped);
     } else {
-      std::cout << "skipped (" << (opt.quick ? "quick" : "default")
-                << "): full EccEngine sweep at n=10^5 (--full runs it)\n";
+      skip(r, "ecc_engine full sweep", mode + ": pass --full");
     }
     rows.push_back(std::move(r));
   }
@@ -244,41 +283,48 @@ int main(int argc, char** argv) {
     r.m = mapped.m();
     measure_bfs(mapped, 8, r);
     r.congest = congest_ecc(mapped);
-    // Full EccEngine at n=10^6 is ~n BFS (hours single-threaded): report a
-    // sampled 32-source eccentricity lower bound instead, and say so.
-    std::cout << "skipped (full): exhaustive EccEngine at n=10^6 "
-                 "(sampled 32-source bound reported instead)\n";
+    // Sampled 32-source eccentricity lower bound: kept as a cheap
+    // cross-check of the exhaustive sweep below.
     graph::BfsScratch scratch;
     std::uint32_t best = r.dsweep_lb;
     for (std::uint32_t i = 0; i < 32; ++i) {
       const auto root = static_cast<graph::NodeId>(
           (static_cast<std::uint64_t>(i) * mapped.n()) / 32);
-      best = std::max(best,
-                      graph::flat_bfs_distances(mapped, root, scratch));
+      graph::flat_bfs_distances(mapped, root, scratch);
+      best = std::max(best, scratch.finite_ecc);
     }
     r.sampled_lb = best;
+    // The exhaustive n-BFS sweep — infeasible on the flat kernel (hours),
+    // feasible on the bit-parallel one. This is the row PR 7 exists for.
+    r.engine = engine_sweep(mapped);
+    check_internal(r.engine->diameter >= *r.sampled_lb,
+                   "bench_scale: exhaustive diameter below sampled bound");
     rows.push_back(std::move(r));
   } else {
-    std::cout << "skipped (" << (opt.quick ? "quick" : "default")
-              << "): the 10^6-node graph (--full generates and runs it)\n";
+    ScaleRow r;
+    r.dataset = "pa-1m";
+    skip(r, "all configs (generate + load + BFS + congest + ecc_engine)",
+         mode + ": pass --full");
+    rows.push_back(std::move(r));
   }
 
   std::cout << "\n";
   Table t({"dataset", "n", "m", "text ms", "varint ms", "raw ms", "mapped",
-           "bfs ms", "dsweep lb", "congest rounds", "engine D"});
+           "bfs ms", "dsweep lb", "congest rounds", "engine D",
+           "engine ms"});
   for (const auto& r : rows) {
     t.add_row({r.dataset, fmt(r.n), fmt(r.m), opt_num(r.text_load_ms),
                opt_num(r.varint_load_ms), opt_num(r.raw_load_ms),
                r.mapped ? "yes" : "no", fmt(r.bfs_avg_ms, 3),
                fmt(r.dsweep_lb),
                r.congest ? fmt(r.congest->rounds) : std::string("-"),
-               r.engine ? fmt(r.engine->diameter) : std::string("-")});
+               r.engine ? fmt(r.engine->diameter) : std::string("-"),
+               r.engine ? fmt(r.engine->ms, 1) : std::string("-")});
   }
   t.print(std::cout);
 
   std::ostringstream json;
-  json << "{\n  \"bench\": \"scale\",\n  \"mode\": \""
-       << (opt.quick ? "quick" : (full ? "full" : "default")) << "\",\n"
+  json << "{\n  \"bench\": \"scale\",\n  \"mode\": \"" << mode << "\",\n"
        << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     emit_row(json, rows[i], i + 1 == rows.size());

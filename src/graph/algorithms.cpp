@@ -12,7 +12,10 @@ BfsResult bfs(const Graph& g, NodeId root) {
   BfsResult r;
   r.root = root;
   BfsScratch scratch;
-  r.ecc = flat_bfs_distances(g, root, scratch);
+  flat_bfs_distances(g, root, scratch);
+  // BfsResult::ecc is the max *finite* distance (dist carries the
+  // per-vertex kUnreachable flags), unlike the kernel's return value.
+  r.ecc = scratch.finite_ecc;
   r.dist = std::move(scratch.dist);
   r.parent.assign(g.n(), kInvalidNode);
   // Parent rule: the smallest-id neighbor in the previous BFS level. In the

@@ -23,7 +23,9 @@ struct BfsResult {
 /// Figure 1 (so centralized and CONGEST executions build the same tree).
 BfsResult bfs(const Graph& g, NodeId root);
 
-/// Eccentricity of `v` (max distance to any reachable vertex).
+/// Eccentricity of `v`: max distance to any vertex, or kUnreachable when
+/// some vertex is unreachable from `v` (disconnected graph). The
+/// component-local maximum is available as BfsResult::ecc.
 std::uint32_t eccentricity(const Graph& g, NodeId v);
 
 /// Exact diameter by n BFS runs. Requires a connected graph.

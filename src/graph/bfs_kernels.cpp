@@ -1,0 +1,166 @@
+#include "graph/bfs_kernels.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace qc::graph {
+
+namespace {
+
+// Beamer-style direction switch: pull when the frontier's out-degree sum
+// crosses this fraction of all arcs, or when a quarter of the vertices are
+// on the frontier. Pull scans every not-yet-saturated vertex but exits a
+// neighbor scan as soon as the needed bits are found, so it wins exactly
+// in the dense mid-BFS levels of low-diameter graphs.
+constexpr std::uint64_t kPullAlpha = 14;
+constexpr std::uint64_t kPullNodeFrac = 4;
+
+}  // namespace
+
+std::uint32_t flat_bfs_distances(const Graph& g, NodeId root,
+                                 BfsScratch& scratch) {
+  require(root < g.n(), "flat_bfs_distances: root out of range");
+  scratch.dist.assign(g.n(), kUnreachable);
+  scratch.frontier.clear();
+  scratch.next.clear();
+  scratch.frontier.reserve(g.n());
+  scratch.next.reserve(g.n());
+  scratch.dist[root] = 0;
+  scratch.frontier.push_back(root);
+  std::uint32_t level = 0;
+  std::uint32_t ecc = 0;
+  std::uint32_t reached = 1;
+  while (!scratch.frontier.empty()) {
+    ++level;
+    for (const NodeId u : scratch.frontier) {
+      for (const NodeId v : g.neighbors(u)) {
+        if (scratch.dist[v] == kUnreachable) {
+          scratch.dist[v] = level;
+          scratch.next.push_back(v);
+        }
+      }
+    }
+    if (!scratch.next.empty()) {
+      ecc = level;
+      reached += static_cast<std::uint32_t>(scratch.next.size());
+    }
+    scratch.frontier.swap(scratch.next);
+    scratch.next.clear();
+  }
+  scratch.finite_ecc = ecc;
+  scratch.reached = reached;
+  return reached == g.n() ? ecc : kUnreachable;
+}
+
+MultiBfsStats multi_source_eccentricities(const Graph& g,
+                                          std::span<const NodeId> sources,
+                                          std::uint32_t* ecc_out,
+                                          MultiBfsScratch& scratch,
+                                          MultiBfsDirection direction) {
+  const std::uint32_t n = g.n();
+  const std::size_t k = sources.size();
+  require(n > 0, "multi_source_eccentricities: empty graph");
+  require(k >= 1 && k <= 64,
+          "multi_source_eccentricities: need 1..64 sources per batch");
+  const std::uint64_t full =
+      k == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << k) - 1;
+  const std::uint64_t arcs = g.csr_neighbors().size();
+
+  scratch.visited.assign(n, 0);
+  scratch.frontier.assign(n, 0);
+  scratch.next.assign(n, 0);
+  scratch.active.clear();
+  scratch.next_active.clear();
+
+  // Seed. Invariant from here on: frontier[v] != 0 iff v is in `active`,
+  // which is what lets the level-retire step clear exactly the stale
+  // entries before recycling the buffer.
+  std::uint64_t active_deg = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const NodeId v = sources[i];
+    require(v < n, "multi_source_eccentricities: source out of range");
+    if (scratch.frontier[v] == 0) {
+      scratch.active.push_back(v);
+      active_deg += g.degree(v);
+    }
+    scratch.frontier[v] |= std::uint64_t{1} << i;
+    scratch.visited[v] |= std::uint64_t{1} << i;
+    ecc_out[i] = 0;
+  }
+
+  MultiBfsStats stats;
+  std::uint32_t level = 0;
+  while (!scratch.active.empty()) {
+    ++level;
+    ++stats.levels;
+    const bool pull =
+        direction == MultiBfsDirection::kOptimized &&
+        (active_deg * kPullAlpha >= arcs ||
+         scratch.active.size() * kPullNodeFrac >= n);
+    if (pull) {
+      ++stats.pull_levels;
+      // Bottom-up: every vertex still missing bits gathers the word-OR of
+      // its neighbors' frontier masks, stopping as soon as everything it
+      // needs has been found.
+      for (NodeId v = 0; v < n; ++v) {
+        const std::uint64_t need = full & ~scratch.visited[v];
+        if (need == 0) continue;
+        std::uint64_t gathered = 0;
+        for (const NodeId u : g.neighbors(v)) {
+          gathered |= scratch.frontier[u];
+          if ((gathered & need) == need) break;
+        }
+        const std::uint64_t add = gathered & need;
+        if (add != 0) {
+          scratch.next[v] = add;
+          scratch.next_active.push_back(v);
+        }
+      }
+    } else {
+      ++stats.push_levels;
+      // Top-down: scatter each frontier vertex's mask to its neighbors.
+      for (const NodeId v : scratch.active) {
+        const std::uint64_t f = scratch.frontier[v];
+        for (const NodeId u : g.neighbors(v)) {
+          const std::uint64_t add = f & ~scratch.visited[u];
+          if (add != 0) {
+            if (scratch.next[u] == 0) scratch.next_active.push_back(u);
+            scratch.next[u] |= add;
+          }
+        }
+      }
+    }
+
+    // Retire the level: commit the new reaches, record which sources
+    // advanced (their eccentricity is at least this level), and recycle
+    // the frontier buffer for the next level.
+    std::uint64_t level_mask = 0;
+    active_deg = 0;
+    for (const NodeId v : scratch.next_active) {
+      const std::uint64_t newly = scratch.next[v];  // filtered vs visited
+      scratch.visited[v] |= newly;
+      level_mask |= newly;
+      active_deg += g.degree(v);
+    }
+    for (std::uint64_t b = level_mask; b != 0; b &= b - 1) {
+      ecc_out[std::countr_zero(b)] = level;
+    }
+    for (const NodeId v : scratch.active) scratch.frontier[v] = 0;
+    scratch.frontier.swap(scratch.next);
+    scratch.active.swap(scratch.next_active);
+    scratch.next_active.clear();
+  }
+
+  // A source's component covers the graph iff its bit survives the AND of
+  // every vertex's visited mask; everything else gets kUnreachable, same
+  // as flat_bfs_distances.
+  std::uint64_t covered = full;
+  for (NodeId v = 0; v < n; ++v) covered &= scratch.visited[v];
+  for (std::uint64_t b = full & ~covered; b != 0; b &= b - 1) {
+    ecc_out[std::countr_zero(b)] = kUnreachable;
+  }
+  return stats;
+}
+
+}  // namespace qc::graph

@@ -10,90 +10,118 @@ namespace qc::graph {
 
 namespace {
 
-// Below this size the n BFS runs are cheaper than spawning workers.
+// Below this size the sweep is cheaper than spawning workers.
 constexpr std::uint32_t kParallelCutoff = 256;
+
+// kAuto kernel choice: bit-parallel once a sweep spans several 64-source
+// batches; below that the flat kernel's simpler per-level loop wins.
+constexpr std::uint32_t kBitParallelCutoff = 256;
+
+constexpr std::uint32_t kBatch = 64;
 
 }  // namespace
 
-std::uint32_t flat_bfs_distances(const Graph& g, NodeId root,
-                                 BfsScratch& scratch) {
-  require(root < g.n(), "flat_bfs_distances: root out of range");
-  scratch.dist.assign(g.n(), kUnreachable);
-  scratch.frontier.clear();
-  scratch.next.clear();
-  scratch.frontier.reserve(g.n());
-  scratch.next.reserve(g.n());
-  scratch.dist[root] = 0;
-  scratch.frontier.push_back(root);
-  std::uint32_t level = 0;
-  std::uint32_t ecc = 0;
-  while (!scratch.frontier.empty()) {
-    ++level;
-    for (const NodeId u : scratch.frontier) {
-      for (const NodeId v : g.neighbors(u)) {
-        if (scratch.dist[v] == kUnreachable) {
-          scratch.dist[v] = level;
-          scratch.next.push_back(v);
-        }
-      }
-    }
-    if (!scratch.next.empty()) ecc = level;
-    scratch.frontier.swap(scratch.next);
-    scratch.next.clear();
+EccEngine::EccEngine(Graph g, const EccOptions& opts)
+    : g_(std::move(g)), opts_(opts) {
+  require(g_.n() > 0, "EccEngine: empty graph");
+  if (opts_.num_threads == 0) {
+    opts_.num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  return ecc;
 }
 
-EccEngine::EccEngine(const Graph& g, std::uint32_t num_threads)
-    : g_(&g),
-      num_threads_(num_threads != 0
-                       ? num_threads
-                       : std::max(1u, std::thread::hardware_concurrency())) {
-  require(g.n() > 0, "EccEngine: empty graph");
+void EccEngine::sweep_flat(std::vector<std::uint32_t>& table) const {
+  const std::uint32_t n = g_.n();
+  const auto workers = std::min<std::uint32_t>(opts_.num_threads, n);
+  if (n < kParallelCutoff || workers <= 1) {
+    BfsScratch scratch;
+    for (NodeId v = 0; v < n; ++v) {
+      table[v] = flat_bfs_distances(g_, v, scratch);
+    }
+    bfs_runs_.fetch_add(n, std::memory_order_relaxed);
+  } else {
+    ThreadPool pool(workers);
+    std::atomic<NodeId> next{0};
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      pool.submit([this, &next, &table, n] {
+        BfsScratch scratch;
+        for (;;) {
+          const NodeId v = next.fetch_add(1);
+          if (v >= n) return;
+          table[v] = flat_bfs_distances(g_, v, scratch);
+          bfs_runs_.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+}
+
+void EccEngine::sweep_bit_parallel(std::vector<std::uint32_t>& table) const {
+  const std::uint32_t n = g_.n();
+  const std::uint32_t batches = (n + kBatch - 1) / kBatch;
+  // Batches write disjoint table ranges, so workers never race; the
+  // atomic batch counter is the only shared mutable state.
+  const auto run_batch = [this, &table, n](std::uint32_t b,
+                                           MultiBfsScratch& scratch) {
+    NodeId ids[kBatch];
+    const NodeId first = b * kBatch;
+    const std::uint32_t k = std::min(kBatch, n - first);
+    for (std::uint32_t i = 0; i < k; ++i) ids[i] = first + i;
+    multi_source_eccentricities(g_, std::span<const NodeId>(ids, k),
+                                table.data() + first, scratch);
+    bfs_runs_.fetch_add(k, std::memory_order_relaxed);
+  };
+  const auto workers = std::min<std::uint32_t>(opts_.num_threads, batches);
+  if (n < kParallelCutoff || workers <= 1) {
+    MultiBfsScratch scratch;
+    for (std::uint32_t b = 0; b < batches; ++b) run_batch(b, scratch);
+  } else {
+    ThreadPool pool(workers);
+    std::atomic<std::uint32_t> next{0};
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      pool.submit([&next, &run_batch, batches] {
+        MultiBfsScratch scratch;
+        for (;;) {
+          const std::uint32_t b = next.fetch_add(1);
+          if (b >= batches) return;
+          run_batch(b, scratch);
+        }
+      });
+    }
+    pool.wait_idle();
+  }
 }
 
 void EccEngine::ensure_all() const {
   std::call_once(computed_, [this] {
     metrics::ScopedTimer span("graph.ecc_sweep");
-    const std::uint32_t n = g_->n();
-    ecc_.resize(n);
-    const auto workers = std::min<std::uint32_t>(num_threads_, n);
-    if (n < kParallelCutoff || workers <= 1) {
-      BfsScratch scratch;
-      for (NodeId v = 0; v < n; ++v) {
-        ecc_[v] = flat_bfs_distances(*g_, v, scratch);
-      }
-      bfs_runs_.fetch_add(n, std::memory_order_relaxed);
-    } else {
-      ThreadPool pool(workers);
-      std::atomic<NodeId> next{0};
-      for (std::uint32_t w = 0; w < workers; ++w) {
-        pool.submit([this, &next, n] {
-          BfsScratch scratch;
-          for (;;) {
-            const NodeId v = next.fetch_add(1);
-            if (v >= n) return;
-            ecc_[v] = flat_bfs_distances(*g_, v, scratch);
-            bfs_runs_.fetch_add(1, std::memory_order_relaxed);
-          }
-        });
-      }
-      pool.wait_idle();
+    const std::uint32_t n = g_.n();
+    auto table = std::make_shared<std::vector<std::uint32_t>>(n);
+    EccKernel kernel = opts_.kernel;
+    if (kernel == EccKernel::kAuto) {
+      kernel = n >= kBitParallelCutoff ? EccKernel::kBitParallel
+                                       : EccKernel::kFlat;
     }
+    if (kernel == EccKernel::kBitParallel) {
+      sweep_bit_parallel(*table);
+    } else {
+      sweep_flat(*table);
+    }
+    ecc_ = std::move(table);
     metrics::count("graph.reference_bfs_runs",
                    bfs_runs_.load(std::memory_order_relaxed));
   });
 }
 
 std::uint32_t EccEngine::eccentricity(NodeId v) const {
-  require(v < g_->n(), "EccEngine::eccentricity: node out of range");
+  require(v < g_.n(), "EccEngine::eccentricity: node out of range");
   ensure_all();
-  return ecc_[v];
+  return (*ecc_)[v];
 }
 
 const std::vector<std::uint32_t>& EccEngine::all() const {
   ensure_all();
-  return ecc_;
+  return *ecc_;
 }
 
 std::uint32_t EccEngine::diameter() const {
@@ -116,7 +144,7 @@ EccEngine::SegmentMax EccEngine::segment_max(const DfsNumbering& num) const {
   SegmentMax sm;
   sm.tau_ = num.tau;
   sm.in_walk_ = num.in_walk;
-  sm.ecc_ = &ecc_;
+  sm.ecc_ = ecc_;  // shared: sm may outlive this engine
   sm.len_ = num.walk_length();
   const std::uint32_t len = sm.len_;
   if (len == 0) return sm;  // single-vertex walk: queries read ecc_[u]
@@ -130,7 +158,7 @@ EccEngine::SegmentMax EccEngine::segment_max(const DfsNumbering& num) const {
   sm.table_.resize(levels);
   sm.table_[0].resize(len);
   for (std::uint32_t t = 0; t < len; ++t) {
-    sm.table_[0][t] = ecc_[num.walk[t]];
+    sm.table_[0][t] = (*ecc_)[num.walk[t]];
   }
   for (std::uint32_t k = 1; k < levels; ++k) {
     const std::uint32_t half = 1u << (k - 1);

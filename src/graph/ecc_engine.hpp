@@ -8,14 +8,22 @@
 // runs where n suffice. This engine factors the work into three reusable
 // pieces:
 //
-//  1. a flat-array CSR frontier BFS kernel with caller-owned scratch
-//     buffers (no per-call allocation, no std::deque),
-//  2. a thread-safe compute-once eccentricity cache fanned across
-//     qc::ThreadPool (exactly one BFS per vertex, ever),
+//  1. the BFS kernel layer of graph/bfs_kernels.hpp — the flat
+//     single-source kernel plus the bit-parallel 64-sources-per-word
+//     direction-optimizing multi-source kernel the full sweep runs on,
+//  2. a thread-safe compute-once eccentricity cache (batches of 64
+//     sources fanned across qc::ThreadPool — exactly one BFS per vertex,
+//     ever, regardless of kernel or thread count),
 //  3. a sparse-table (binary-lifting) range-maximum structure over the
 //     Euler-walk positions of a DfsNumbering, answering
 //     max_ecc_in_segment(u, steps) in O(1) per query after an
 //     O(n*BFS + len*log(len)) build.
+//
+// Disconnected graphs: every eccentricity (and therefore diameter, radius,
+// and every segment maximum) is kUnreachable — in a graph with two or more
+// components no vertex reaches everything — matching the per-vertex
+// kUnreachable convention of BfsResult::dist and apsp. The engine never
+// reports a silent component-local value.
 //
 // The engine only accelerates the *centralized reference* computations; the
 // distributed Figure 2 simulation (round accounting, message traffic, the
@@ -23,58 +31,71 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "graph/algorithms.hpp"
+#include "graph/bfs_kernels.hpp"
 #include "graph/graph.hpp"
 
 namespace qc::graph {
 
-/// Caller-owned scratch buffers for the flat BFS kernel. Reuse one instance
-/// across calls (per thread) to amortize the allocations away.
-struct BfsScratch {
-  std::vector<std::uint32_t> dist;
-  std::vector<NodeId> frontier;
-  std::vector<NodeId> next;
+/// Tuning knobs for EccEngine. Every setting changes cost only, never
+/// results: eccentricity tables are bit-identical across kernels and
+/// thread counts.
+struct EccOptions {
+  /// Workers for the one-time sweep; 0 means hardware_concurrency. Small
+  /// graphs always compute serially — spawning workers would cost more
+  /// than the BFS runs.
+  std::uint32_t num_threads = 0;
+  /// Sweep kernel; kAuto picks bit-parallel for large graphs.
+  EccKernel kernel = EccKernel::kAuto;
 };
-
-/// Flat frontier BFS over the CSR adjacency of `g`: fills `scratch.dist`
-/// (kUnreachable where not reached) and returns ecc(root). Distance values
-/// are identical to bfs(g, root).dist; no parent array is built.
-std::uint32_t flat_bfs_distances(const Graph& g, NodeId root,
-                                 BfsScratch& scratch);
 
 /// Compute-once eccentricity cache over a fixed graph, plus O(1) range-max
 /// queries over Euler-walk segments.
 ///
 /// Thread-safe: the first accessor to need the eccentricities computes all
-/// of them exactly once (fanned across a ThreadPool for large graphs);
-/// concurrent readers block until the table is ready and then read without
-/// locking. Every derived value (diameter, radius, segment maxima) is a
-/// pure function of the table, so results are independent of thread count.
+/// of them exactly once (64-source bit-parallel batches fanned across a
+/// ThreadPool for large graphs); concurrent readers block until the table
+/// is ready and then read without locking. Every derived value (diameter,
+/// radius, segment maxima) is a pure function of the table, so results are
+/// independent of thread count and kernel choice.
+///
+/// Lifetime: the engine holds the Graph *by value*. Graph copies are O(1)
+/// and share the underlying CSR storage keep-alive, so the engine stays
+/// valid after the caller's Graph object — including a view-backed
+/// from_csr_view graph over a mapped `.qcg` file — goes out of scope.
 class EccEngine {
  public:
-  /// `num_threads` = 0 means hardware_concurrency. Small graphs
-  /// (n < kParallelCutoff) always compute serially — spawning workers
-  /// would cost more than the BFS runs.
-  explicit EccEngine(const Graph& g, std::uint32_t num_threads = 0);
+  /// `num_threads` = 0 means hardware_concurrency (see EccOptions).
+  explicit EccEngine(Graph g, std::uint32_t num_threads = 0)
+      : EccEngine(std::move(g), EccOptions{num_threads, EccKernel::kAuto}) {}
 
-  const Graph& graph() const { return *g_; }
+  EccEngine(Graph g, const EccOptions& opts);
+
+  const Graph& graph() const { return g_; }
 
   /// ecc(v); forces the (single) full computation on first use.
+  /// kUnreachable when the graph is disconnected.
   std::uint32_t eccentricity(NodeId v) const;
 
-  /// All eccentricities, indexed by vertex.
+  /// All eccentricities, indexed by vertex (all kUnreachable when the
+  /// graph is disconnected).
   const std::vector<std::uint32_t>& all() const;
 
+  /// kUnreachable when the graph is disconnected.
   std::uint32_t diameter() const;
+  /// kUnreachable when the graph is disconnected.
   std::uint32_t radius() const;
-  /// A center vertex (minimum eccentricity, smallest id on ties).
+  /// A center vertex (minimum eccentricity, smallest id on ties; vertex 0
+  /// on a disconnected graph, where every eccentricity is kUnreachable).
   NodeId center() const;
 
-  /// Number of BFS runs the engine has executed. At most n for the life of
-  /// the engine — the counter the reference-path cost assertions check.
+  /// Number of BFS runs the engine has executed (each source of a
+  /// bit-parallel batch counts as one). At most n for the life of the
+  /// engine — the counter the reference-path cost assertions check.
   std::uint64_t bfs_runs() const {
     return bfs_runs_.load(std::memory_order_relaxed);
   }
@@ -83,8 +104,9 @@ class EccEngine {
   ///
   /// Built from a DfsNumbering (of the full BFS tree or of an induced
   /// subtree — anything dfs_numbering produces); self-contained after
-  /// construction (copies what it needs), so it may outlive the numbering
-  /// but not the engine's eccentricity table.
+  /// construction: it copies what it needs and shares ownership of the
+  /// engine's eccentricity table, so it may outlive both the numbering
+  /// and the engine itself.
   class SegmentMax {
    public:
     /// Empty structure; assign from EccEngine::segment_max before querying.
@@ -101,8 +123,9 @@ class EccEngine {
     std::vector<std::uint32_t> tau_;  ///< first-visit time per node
     std::vector<bool> in_walk_;       ///< nodes the walk reaches
     std::uint32_t len_ = 0;           ///< closed-walk length (2(k-1))
-    std::uint32_t ecc_u_single_ = 0;  ///< n == 1 fallback has no table
-    const std::vector<std::uint32_t>* ecc_ = nullptr;  ///< engine's table
+    /// Shared ownership of the engine's table (n == 1 walks and
+    /// out-of-table queries read it directly).
+    std::shared_ptr<const std::vector<std::uint32_t>> ecc_;
     std::vector<std::uint32_t> log2_;                ///< floor(log2(i))
     std::vector<std::vector<std::uint32_t>> table_;  ///< sparse table
   };
@@ -113,11 +136,15 @@ class EccEngine {
 
  private:
   void ensure_all() const;
+  void sweep_flat(std::vector<std::uint32_t>& table) const;
+  void sweep_bit_parallel(std::vector<std::uint32_t>& table) const;
 
-  const Graph* g_;
-  std::uint32_t num_threads_;
+  Graph g_;  ///< by value: shares the CSR storage keep-alive
+  EccOptions opts_;
   mutable std::once_flag computed_;
-  mutable std::vector<std::uint32_t> ecc_;
+  /// The table lives behind a shared_ptr so SegmentMax instances can
+  /// outlive the engine; written exactly once inside ensure_all.
+  mutable std::shared_ptr<std::vector<std::uint32_t>> ecc_;
   mutable std::atomic<std::uint64_t> bfs_runs_{0};
 };
 

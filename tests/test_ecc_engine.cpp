@@ -57,10 +57,15 @@ TEST(FlatBfs, DisconnectedMarksUnreachable) {
   const std::vector<Edge> edges = {{0, 1}, {2, 3}};  // {2,3} unreachable
   const Graph g = Graph::from_edges(4, edges);
   BfsScratch scratch;
-  flat_bfs_distances(g, 0, scratch);
+  // The kernel's return value is the *global* eccentricity: kUnreachable
+  // as soon as any vertex is missed. The component-local maximum and the
+  // reach count land in the scratch.
+  EXPECT_EQ(flat_bfs_distances(g, 0, scratch), kUnreachable);
   EXPECT_EQ(scratch.dist[1], 1u);
   EXPECT_EQ(scratch.dist[2], kUnreachable);
   EXPECT_EQ(scratch.dist[3], kUnreachable);
+  EXPECT_EQ(scratch.finite_ecc, 1u);
+  EXPECT_EQ(scratch.reached, 2u);
 }
 
 TEST(EccEngine, AllEccentricitiesMatchNaive) {
