@@ -1,0 +1,127 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define QC_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define QC_HAVE_SOCKETS 0
+#endif
+
+namespace qc::serve {
+
+Client::~Client() {
+#if QC_HAVE_SOCKETS
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+#if QC_HAVE_SOCKETS
+    if (fd_ >= 0) ::close(fd_);
+#endif
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+#if QC_HAVE_SOCKETS
+
+Client Client::connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  require(fd >= 0, "serve: cannot create unix socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(path.size() < sizeof(addr.sun_path),
+          "serve: unix socket path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw Error("serve: cannot connect to unix:" + path + ": " + reason);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(fd >= 0, "serve: cannot create tcp socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw Error("serve: invalid IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw Error("serve: cannot connect to " + host + ":" +
+                std::to_string(port) + ": " + reason);
+  }
+  return Client(fd);
+}
+
+#else
+
+Client Client::connect_unix(const std::string&) {
+  throw Error("serve: sockets are not available on this platform");
+}
+
+Client Client::connect_tcp(const std::string&, std::uint16_t) {
+  throw Error("serve: sockets are not available on this platform");
+}
+
+#endif
+
+Client Client::connect(const std::string& endpoint) {
+  if (endpoint.rfind("unix:", 0) == 0) {
+    return connect_unix(endpoint.substr(5));
+  }
+  const auto colon = endpoint.rfind(':');
+  require(colon != std::string::npos,
+          "serve: endpoint must be unix:PATH or HOST:PORT, got '" +
+              endpoint + "'");
+  const std::string host =
+      colon == 0 ? "127.0.0.1" : endpoint.substr(0, colon);
+  const std::string port_str = endpoint.substr(colon + 1);
+  require(!port_str.empty() &&
+              port_str.find_first_not_of("0123456789") == std::string::npos,
+          "serve: invalid port in endpoint '" + endpoint + "'");
+  const unsigned long port = std::strtoul(port_str.c_str(), nullptr, 10);
+  require(port >= 1 && port <= 65535,
+          "serve: port out of range in endpoint '" + endpoint + "'");
+  return connect_tcp(host, static_cast<std::uint16_t>(port));
+}
+
+Response Client::call(const Request& req) {
+  require(fd_ >= 0, "serve: client is not connected");
+  write_frame(fd_, encode_request(req));
+  std::vector<std::uint8_t> payload;
+  if (!read_frame(fd_, payload)) {
+    throw ProtocolError("serve: server closed the connection");
+  }
+  return decode_response(payload);
+}
+
+Response Client::call_ok(const Request& req) {
+  Response resp = call(req);
+  if (resp.status != Status::kOk) {
+    throw Error(std::string("serve: ") + op_name(req.op) + " failed (" +
+                status_name(resp.status) + "): " + resp.message);
+  }
+  return resp;
+}
+
+}  // namespace qc::serve

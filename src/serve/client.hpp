@@ -1,0 +1,47 @@
+#pragma once
+
+// Client side of the qcongestd protocol: one blocking connection, one
+// request/response round trip per call(). Used by `qcongest --server=...`,
+// bench_serve's load generator, and the serve-layer tests.
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace qc::serve {
+
+class Client {
+ public:
+  /// Parses and connects an endpoint string: "unix:PATH" for a
+  /// Unix-domain socket, "HOST:PORT" (host defaults to 127.0.0.1 when
+  /// omitted, as in ":7421") for TCP. Throws qc::Error on failure.
+  static Client connect(const std::string& endpoint);
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, std::uint16_t port);
+
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// One round trip. Throws ProtocolError on a malformed reply or a
+  /// connection drop; server-side failures come back as a Response with a
+  /// non-kOk status, not as exceptions.
+  Response call(const Request& req);
+
+  /// Convenience wrapper: call() and require kOk, throwing qc::Error with
+  /// the server's message otherwise.
+  Response call_ok(const Request& req);
+
+  /// Raw connection fd — for tests and tools that speak frames directly
+  /// (e.g. deliberately malformed ones); -1 after a move.
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace qc::serve

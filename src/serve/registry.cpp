@@ -1,0 +1,106 @@
+#include "serve/registry.hpp"
+
+#include <chrono>
+
+#include "graph/algorithms.hpp"
+#include "graph/io.hpp"
+#include "util/metrics.hpp"
+
+namespace qc::serve {
+
+namespace {
+
+bool ready(const std::shared_future<std::shared_ptr<ResidentGraph>>& fut) {
+  return fut.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+}  // namespace
+
+std::uint32_t ResidentGraph::girth() const {
+  std::call_once(girth_once_, [this] { girth_ = graph::girth(graph()); });
+  return girth_;
+}
+
+std::shared_ptr<ResidentGraph> GraphRegistry::load(const std::string& path) {
+  std::promise<std::shared_ptr<ResidentGraph>> prom;
+  Slot slot;
+  bool loader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(path);
+    if (it == slots_.end()) {
+      slot = std::make_shared<Future>(prom.get_future().share());
+      slots_.emplace(path, slot);
+      ++loads_performed_;
+      loader = true;
+    } else {
+      slot = it->second;
+    }
+  }
+  if (loader) {
+    try {
+      metrics::ScopedTimer span("serve.registry.load");
+      const auto start = std::chrono::steady_clock::now();
+      std::string format;
+      auto g = graph::load_graph_file(path, &format);
+      const double load_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      prom.set_value(std::make_shared<ResidentGraph>(std::move(g),
+                                                     std::move(format),
+                                                     load_ms));
+      metrics::count("serve.registry.loads");
+    } catch (...) {
+      // Forget the failed attempt *before* publishing the exception (so a
+      // mapped slot that is ready always holds a value, never an error),
+      // and erase only our own slot by identity — an unload+reload may
+      // have replaced the map entry while this load was running.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = slots_.find(path);
+        if (it != slots_.end() && it->second == slot) slots_.erase(it);
+      }
+      prom.set_exception(std::current_exception());
+      metrics::count("serve.registry.load_failures");
+    }
+  }
+  return slot->get();  // rethrows the loader's exception to every waiter
+}
+
+std::shared_ptr<ResidentGraph> GraphRegistry::get(
+    const std::string& path) const {
+  Slot slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(path);
+    if (it == slots_.end()) return nullptr;
+    slot = it->second;
+  }
+  // A slot still loading is not yet "resident": report absent rather than
+  // blocking a lookup behind someone else's file IO. (A ready mapped slot
+  // always holds a value — failed loads are erased before their exception
+  // is published — so this get() never throws.)
+  if (!ready(*slot)) return nullptr;
+  return slot->get();
+}
+
+bool GraphRegistry::unload(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.erase(path) > 0;
+}
+
+std::vector<std::string> GraphRegistry::keys() const {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, slot] : slots_) {
+    if (ready(*slot)) out.push_back(key);
+  }
+  return out;
+}
+
+std::uint64_t GraphRegistry::loads_performed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return loads_performed_;
+}
+
+}  // namespace qc::serve

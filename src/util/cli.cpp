@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/error.hpp"
@@ -30,11 +31,26 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   if (it == flags_.end()) return def;
   const char* begin = it->second.c_str();
   char* end = nullptr;
+  errno = 0;
   const std::int64_t value = std::strtoll(begin, &end, 10);
   // A valid parse consumes the entire (non-empty) value; anything else
   // (e.g. "--trials=abc", "--seed=", "--n=12x") is a user error, not a 0.
   require(end != begin && *end == '\0',
           "flag --" + name + ": '" + it->second + "' is not an integer");
+  // strtoll saturates to INT64_MIN/MAX and sets ERANGE on overflow; a value
+  // like --n=99999999999999999999 must be rejected, not silently clamped.
+  require(errno != ERANGE,
+          "flag --" + name + ": '" + it->second + "' is out of range");
+  return value;
+}
+
+std::int64_t Cli::get_int_in(const std::string& name, std::int64_t def,
+                             std::int64_t lo, std::int64_t hi) const {
+  const std::int64_t value = get_int(name, def);
+  require(value >= lo && value <= hi,
+          "flag --" + name + ": " + std::to_string(value) +
+              " is outside the allowed range [" + std::to_string(lo) + ", " +
+              std::to_string(hi) + "]");
   return value;
 }
 
@@ -43,9 +59,15 @@ double Cli::get_double(const std::string& name, double def) const {
   if (it == flags_.end()) return def;
   const char* begin = it->second.c_str();
   char* end = nullptr;
+  errno = 0;
   const double value = std::strtod(begin, &end);
   require(end != begin && *end == '\0',
           "flag --" + name + ": '" + it->second + "' is not a number");
+  // Overflow saturates to +-HUGE_VAL with ERANGE; reject it like get_int
+  // does. Underflow-to-denormal also reports ERANGE but returns a faithful
+  // tiny value, so only the saturating case is an error.
+  require(errno != ERANGE || (value < 1.0 && value > -1.0),
+          "flag --" + name + ": '" + it->second + "' is out of range");
   return value;
 }
 

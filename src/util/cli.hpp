@@ -25,8 +25,15 @@ class Cli {
 
   /// Value of `--name`, or `def` when absent. Throws InvalidArgumentError
   /// when the value is present but does not parse fully as an integer /
-  /// double / boolean (accepted booleans: true/false/1/0/yes/no).
+  /// double / boolean (accepted booleans: true/false/1/0/yes/no), or when
+  /// it overflows the type (strtoll/strtod saturation is rejected, so
+  /// `--n=99999999999999999999` fails loudly instead of becoming INT64_MAX).
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
+
+  /// get_int plus an inclusive range check — the form flags with a
+  /// documented domain (ports, queue limits, timeouts) should use.
+  std::int64_t get_int_in(const std::string& name, std::int64_t def,
+                          std::int64_t lo, std::int64_t hi) const;
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def) const;
 

@@ -1,5 +1,9 @@
 #include "util/mmap_file.hpp"
 
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
 #include "util/error.hpp"
@@ -12,7 +16,6 @@
 #include <unistd.h>
 #else
 #define QC_HAVE_MMAP 0
-#include <cstdio>
 #endif
 
 namespace qc {
@@ -35,6 +38,42 @@ void MappedFile::reset() {
   data_ = nullptr;
   size_ = 0;
   heap_fallback_ = false;
+}
+
+MappedFile MappedFile::open_portable(const std::string& path) {
+  // Size via a 64-bit stat, not fseek(SEEK_END)/ftell: ftell returns a
+  // `long`, which silently mis-sizes >2 GiB files on LP32/Windows, and the
+  // old code also ignored fseek failures (pipes, directories).
+  std::error_code ec;
+  const std::filesystem::path fspath(path);
+  if (!std::filesystem::is_regular_file(fspath, ec) || ec) {
+    throw InvalidArgumentError("MappedFile: cannot stat regular file " +
+                               path);
+  }
+  const std::uintmax_t len = std::filesystem::file_size(fspath, ec);
+  require(!ec, "MappedFile: cannot size " + path);
+  if constexpr (sizeof(std::size_t) < sizeof(std::uint64_t)) {
+    require(len <= static_cast<std::uintmax_t>(SIZE_MAX),
+            "MappedFile: file larger than the address space: " + path);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  require(f != nullptr, "MappedFile: cannot open " + path);
+  MappedFile mf;
+  if (len == 0) {
+    std::fclose(f);
+    return mf;
+  }
+  auto* buf = new std::byte[static_cast<std::size_t>(len)];
+  const auto got = std::fread(buf, 1, static_cast<std::size_t>(len), f);
+  std::fclose(f);
+  if (got != static_cast<std::size_t>(len)) {
+    delete[] buf;
+    throw InvalidArgumentError("MappedFile: short read on " + path);
+  }
+  mf.data_ = buf;
+  mf.size_ = static_cast<std::size_t>(len);
+  mf.heap_fallback_ = true;
+  return mf;
 }
 
 #if QC_HAVE_MMAP
@@ -61,31 +100,10 @@ MappedFile MappedFile::open(const std::string& path) {
   return mf;
 }
 
-#else  // portable single-read fallback
+#else
 
 MappedFile MappedFile::open(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  require(f != nullptr, "MappedFile: cannot open " + path);
-  std::fseek(f, 0, SEEK_END);
-  const long len = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  MappedFile mf;
-  if (len <= 0) {
-    std::fclose(f);
-    require(len == 0, "MappedFile: cannot size " + path);
-    return mf;
-  }
-  auto* buf = new std::byte[static_cast<std::size_t>(len)];
-  const auto got = std::fread(buf, 1, static_cast<std::size_t>(len), f);
-  std::fclose(f);
-  if (got != static_cast<std::size_t>(len)) {
-    delete[] buf;
-    throw InvalidArgumentError("MappedFile: short read on " + path);
-  }
-  mf.data_ = buf;
-  mf.size_ = static_cast<std::size_t>(len);
-  mf.heap_fallback_ = true;
-  return mf;
+  return open_portable(path);
 }
 
 #endif

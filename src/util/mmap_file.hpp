@@ -32,6 +32,13 @@ class MappedFile {
   /// cannot be opened, sized, or mapped.
   static MappedFile open(const std::string& path);
 
+  /// The portable no-mmap path: one read() into a heap buffer behind the
+  /// same interface. This is what open() degrades to on hosts without
+  /// mmap, but it is compiled (and unit-tested) everywhere. Sizing goes
+  /// through a 64-bit stat — never fseek/ftell into a `long`, which
+  /// silently truncates >2 GiB files on LP32/Windows.
+  static MappedFile open_portable(const std::string& path);
+
   const std::byte* data() const { return data_; }
   std::size_t size() const { return size_; }
 

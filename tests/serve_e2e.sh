@@ -1,0 +1,114 @@
+#!/bin/sh
+# End-to-end ctest fixture for the serve layer: starts qcongestd on a
+# unique Unix socket, drives it with the qcongest client against the
+# checked-in 10k dataset, validates the JSONL request log, and checks a
+# clean daemon shutdown (exit 0) via the client `shutdown` op.
+#
+# Usage: serve_e2e.sh <qcongestd> <qcongest> <data-dir> <work-dir>
+#
+# The expected answers (diameter 7, radius 5, ecc(0) 5) are pinned
+# properties of data/synth-p2p-10k.qcg, cross-checked by test_dataset.
+
+set -u
+
+QCONGESTD="$1"
+QCONGEST="$2"
+DATA_DIR="$3"
+WORK_DIR="$4"
+
+DATASET="$DATA_DIR/synth-p2p-10k.qcg"
+SOCK="$WORK_DIR/serve_e2e_$$.sock"
+LOG="$WORK_DIR/serve_e2e_$$.jsonl"
+DAEMON_OUT="$WORK_DIR/serve_e2e_$$.out"
+SERVER="unix:$SOCK"
+
+rm -f "$SOCK" "$LOG" "$DAEMON_OUT"
+
+fail() {
+    echo "serve_e2e: FAIL: $1" >&2
+    [ -f "$DAEMON_OUT" ] && sed 's/^/serve_e2e: daemon: /' "$DAEMON_OUT" >&2
+    kill "$DAEMON_PID" 2>/dev/null
+    exit 1
+}
+
+# Answers must match the client's --quiet output exactly.
+expect() {
+    want="$1"; shift
+    got=$("$QCONGEST" "$@" --server="$SERVER" --quiet) \
+        || fail "command failed: $*"
+    [ "$got" = "$want" ] || fail "$*: expected '$want', got '$got'"
+}
+
+"$QCONGESTD" --socket="$SOCK" --request-log="$LOG" >"$DAEMON_OUT" 2>&1 &
+DAEMON_PID=$!
+
+# Readiness: poll ping until the daemon prints its listening line and the
+# socket answers (bounded at ~15 s).
+tries=0
+until "$QCONGEST" ping --server="$SERVER" --quiet >/dev/null 2>&1; do
+    tries=$((tries + 1))
+    [ "$tries" -lt 150 ] || fail "daemon did not become ready"
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited before ready"
+    sleep 0.1
+done
+grep -q "listening on $SERVER" "$DAEMON_OUT" \
+    || fail "missing readiness line in daemon output"
+
+# A query before load must be a clean error, not a daemon death.
+if "$QCONGEST" diameter "$DATASET" --server="$SERVER" --quiet 2>/dev/null
+then
+    fail "diameter before load unexpectedly succeeded"
+fi
+kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died on a bad query"
+
+# Loading a non-graph must come back as an error answer too.
+if "$QCONGEST" load "$0" --server="$SERVER" --quiet 2>/dev/null; then
+    fail "load of a shell script unexpectedly succeeded"
+fi
+kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died on a bad load"
+
+"$QCONGEST" load "$DATASET" --server="$SERVER" >/dev/null \
+    || fail "load failed"
+expect 7 diameter "$DATASET"      # first call pays the ecc sweep
+expect 7 diameter "$DATASET"      # second call is a pure cache hit
+expect 5 radius "$DATASET"
+expect 5 ecc "$DATASET" --v=0
+"$QCONGEST" graph-info "$DATASET" --server="$SERVER" | grep -q '"bfs_runs"' \
+    || fail "graph-info missing bfs_runs"
+"$QCONGEST" stats --server="$SERVER" | grep -q '"resident"' \
+    || fail "stats missing resident list"
+
+# The second *answered* diameter must have been served without BFS work
+# (the deliberate pre-load error above also logs an op:diameter line).
+second_diam=$(grep '"op":"diameter"' "$LOG" | grep '"status":"ok"' \
+    | sed -n '2p')
+[ -n "$second_diam" ] || fail "request log lacks a second diameter line"
+echo "$second_diam" | grep -q '"bfs_runs":0' \
+    || fail "second diameter ran BFS work: $second_diam"
+
+# Every logged request carries the full schema.
+requests=0
+while IFS= read -r line; do
+    requests=$((requests + 1))
+    for field in '"request_id":' '"op":"' '"graph":' '"status":"' \
+                 '"value":' '"latency_us":' '"bfs_runs":' '"rounds":'; do
+        case "$line" in
+            *"$field"*) ;;
+            *) fail "log line $requests missing $field: $line" ;;
+        esac
+    done
+done < "$LOG"
+[ "$requests" -ge 8 ] || fail "expected >= 8 logged requests, saw $requests"
+
+# Clean shutdown through the protocol; the daemon must exit 0 and report
+# its served-request summary.
+"$QCONGEST" shutdown --server="$SERVER" --quiet >/dev/null \
+    || fail "shutdown op failed"
+wait "$DAEMON_PID"
+status=$?
+[ "$status" -eq 0 ] || fail "daemon exited with status $status"
+grep -q "qcongestd: served" "$DAEMON_OUT" || fail "missing served summary"
+
+rm -f "$SOCK" "$LOG" "$DAEMON_OUT"
+echo "serve_e2e: PASS ($requests requests logged)"
+exit 0

@@ -327,6 +327,65 @@ TEST_F(QcgReject, NonZeroReservedFields) {
   expect_rejected(b, "reserved field");
 }
 
+TEST_F(QcgReject, SubHeaderFilesFailCleanly) {
+  // Zero-byte, one-byte, magic-only and 63-byte files: every sub-header
+  // size must fail with the specific "shorter than the 64-byte header"
+  // InvalidArgumentError — never a wild read or a confusing downstream
+  // parse error. Pinned because the serve daemon forwards these messages
+  // verbatim to clients on a failed `load`.
+  const std::vector<std::size_t> sizes = {0, 1, sizeof(kQcgMagic),
+                                          kQcgHeaderBytes - 1};
+  for (const std::size_t size : sizes) {
+    std::vector<std::uint8_t> bytes(size, 0);
+    for (std::size_t i = 0; i < std::min(size, sizeof(kQcgMagic)); ++i) {
+      bytes[i] = static_cast<std::uint8_t>(kQcgMagic[i]);
+    }
+    TempFile f("tiny_" + std::to_string(size));
+    write_bytes(f.path, bytes);
+    try {
+      read_qcg_file(f.path);
+      FAIL() << "read_qcg_file accepted a " << size << "-byte file";
+    } catch (const InvalidArgumentError& e) {
+      EXPECT_NE(std::string(e.what()).find("shorter"), std::string::npos)
+          << "size " << size << ": " << e.what();
+    }
+    EXPECT_THROW(qcg_info_file(f.path), InvalidArgumentError)
+        << "size " << size;
+  }
+}
+
+TEST(QcgLoadFile, TinyAndEmptyFilesFailCleanlyViaAutoDetect) {
+  // load_graph_file auto-detects by magic: a magic-prefixed stub follows
+  // the .qcg path (header-size error), a zero-byte file follows the
+  // edge-list path (empty-input error). Both are clean
+  // InvalidArgumentErrors a server can return to a client.
+  TempFile empty("load_empty");
+  write_bytes(empty.path, {});
+  try {
+    load_graph_file(empty.path);
+    FAIL() << "load_graph_file accepted an empty file";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("empty"), std::string::npos)
+        << e.what();
+  }
+
+  TempFile stub("load_stub");
+  std::vector<std::uint8_t> magic_only;
+  for (const char c : kQcgMagic) {
+    magic_only.push_back(static_cast<std::uint8_t>(c));
+  }
+  write_bytes(stub.path, magic_only);
+  try {
+    load_graph_file(stub.path);
+    FAIL() << "load_graph_file accepted a magic-only stub";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("shorter"), std::string::npos)
+        << e.what();
+  }
+
+  EXPECT_THROW(load_graph_file("no/such/graph.qcg"), InvalidArgumentError);
+}
+
 // Structural CSR contracts on hand-crafted streams the writer cannot emit.
 TEST_F(QcgReject, CraftedSelfLoop) {
   TempFile f("craft_loop");

@@ -1,12 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
+#include <string>
 
 #include "util/bits.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/mmap_file.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -322,6 +328,101 @@ TEST(Cli, UnknownFlagsAreReported) {
   EXPECT_EQ(unknown[0], "trialz");  // positionals are not flags
   EXPECT_NO_THROW(cli.expect_flags({"seed", "trialz"}));
   EXPECT_THROW(cli.expect_flags({"seed", "trials"}), InvalidArgumentError);
+}
+
+TEST(Cli, RejectsOutOfRangeIntegers) {
+  // Regression: strtoll saturates to INT64_MAX/MIN on overflow and the old
+  // parser accepted the saturated value, so --n=99999999999999999999 ran
+  // with a silently clamped n. The errno/ERANGE check turns that into the
+  // same InvalidArgumentError as a malformed digit string.
+  const char* argv[] = {"prog", "--n=99999999999999999999",
+                        "--m=-99999999999999999999",
+                        "--max=9223372036854775807",
+                        "--min=-9223372036854775808"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_THROW(cli.get_int("n", 0), InvalidArgumentError);
+  EXPECT_THROW(cli.get_int("m", 0), InvalidArgumentError);
+  // The exact endpoints still parse: ERANGE only fires past them.
+  EXPECT_EQ(cli.get_int("max", 0), INT64_MAX);
+  EXPECT_EQ(cli.get_int("min", 0), INT64_MIN);
+}
+
+TEST(Cli, RejectsOverflowingDoubles) {
+  const char* argv[] = {"prog", "--big=1e999", "--tiny=1e-999",
+                        "--neg=-1e999"};
+  Cli cli(4, const_cast<char**>(argv));
+  // Overflow saturates to +-HUGE_VAL and is rejected; underflow to a
+  // denormal (or zero) is a legitimate tiny value and is kept.
+  EXPECT_THROW(cli.get_double("big", 0.0), InvalidArgumentError);
+  EXPECT_THROW(cli.get_double("neg", 0.0), InvalidArgumentError);
+  double tiny = 1.0;
+  EXPECT_NO_THROW(tiny = cli.get_double("tiny", 0.0));
+  EXPECT_GE(tiny, 0.0);
+  EXPECT_LT(tiny, 1e-300);
+}
+
+TEST(Cli, GetIntInEnforcesBounds) {
+  const char* argv[] = {"prog", "--port=65536", "--ok=8080", "--neg=-1",
+                        "--huge=99999999999999999999"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int_in("ok", 0, 0, 65535), 8080);
+  EXPECT_EQ(cli.get_int_in("missing", 42, 0, 65535), 42);
+  EXPECT_THROW(cli.get_int_in("port", 0, 0, 65535), InvalidArgumentError);
+  EXPECT_THROW(cli.get_int_in("neg", 0, 0, 65535), InvalidArgumentError);
+  // Overflow is caught by the underlying parse, not the range clamp.
+  EXPECT_THROW(cli.get_int_in("huge", 0, 0, 65535), InvalidArgumentError);
+  // Inclusive endpoints are in range.
+  EXPECT_EQ(cli.get_int_in("ok", 0, 8080, 8080), 8080);
+}
+
+namespace fsys = std::filesystem;
+
+// Scratch file under the system temp dir, removed on scope exit.
+struct UtilTempFile {
+  explicit UtilTempFile(const std::string& tag)
+      : path((fsys::temp_directory_path() / ("qc_test_util_" + tag))
+                 .string()) {}
+  ~UtilTempFile() {
+    std::error_code ec;
+    fsys::remove(path, ec);
+  }
+  std::string path;
+};
+
+TEST(MappedFile, PortableFallbackMatchesMmapPath) {
+  UtilTempFile f("mmap_parity");
+  std::string content;
+  for (int i = 0; i < 1000; ++i) content += "payload line " + std::to_string(i) + "\n";
+  {
+    std::ofstream out(f.path, std::ios::binary);
+    out << content;
+  }
+  const auto mapped = MappedFile::open(f.path);
+  const auto portable = MappedFile::open_portable(f.path);
+  ASSERT_EQ(mapped.size(), content.size());
+  ASSERT_EQ(portable.size(), content.size());
+  EXPECT_EQ(std::memcmp(mapped.data(), portable.data(), content.size()), 0);
+}
+
+TEST(MappedFile, PortableFallbackEmptyFile) {
+  UtilTempFile f("mmap_empty");
+  { std::ofstream out(f.path, std::ios::binary); }
+  const auto portable = MappedFile::open_portable(f.path);
+  EXPECT_EQ(portable.size(), 0u);
+  const auto mapped = MappedFile::open(f.path);
+  EXPECT_EQ(mapped.size(), 0u);
+}
+
+TEST(MappedFile, PortableFallbackErrorPaths) {
+  // Regression: the fallback used to size files with fseek/ftell into a
+  // long (truncating >2 GiB on LP32) and ignored IO failures. Sizing now
+  // goes through std::filesystem and every failure is a clean throw.
+  EXPECT_THROW(MappedFile::open_portable("no/such/file.bin"),
+               InvalidArgumentError);
+  EXPECT_THROW(MappedFile::open_portable(
+                   fsys::temp_directory_path().string()),  // a directory
+               InvalidArgumentError);
+  EXPECT_THROW(MappedFile::open("no/such/file.bin"), InvalidArgumentError);
 }
 
 TEST(Bits, Widths) {

@@ -30,6 +30,7 @@
 #include "graph/algorithms.hpp"
 #include "graph/io.hpp"
 #include "graph/qcg.hpp"
+#include "serve/client.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -57,6 +58,13 @@ commands:
   census      all eccentricities (classical O(n)-round APSP census)
   gen         generate a graph --out=FILE (.qcg extension writes the
               binary container; --encoding=varint|raw picks the payload)
+
+client mode (against a running qcongestd — see docs/serving.md):
+  --server=ENDPOINT     unix:PATH or HOST:PORT; forwards the command to the
+                        daemon instead of computing locally. Commands:
+                        ping, load, unload, graph-info, diameter, approx,
+                        radius, ecc (--v=N), girth, stats, shutdown.
+                        <graph> is the server-side path of the graph file.
 
 common flags:
   --seed=N              quantum sampling / generator seed (default 7)
@@ -111,6 +119,109 @@ core::QuantumConfig quantum_config(const Cli& cli) {
   return cfg;
 }
 
+// Client mode: `--server=ENDPOINT` forwards the command to a running
+// qcongestd instead of computing locally. The <graph> positional is the
+// *server-side* path (a leading '@' is accepted and stripped so the same
+// invocation shape works in both modes).
+int run_client(const Cli& cli, const std::string& cmd,
+               const std::vector<std::string>& pos) {
+  const bool quiet = cli.get_bool("quiet", false);
+  auto client = serve::Client::connect(cli.get_string("server", ""));
+  serve::Request req;
+  if (pos.size() >= 2) {
+    req.path = pos[1][0] == '@' ? pos[1].substr(1) : pos[1];
+  }
+  const bool needs_graph = cmd != "ping" && cmd != "stats" &&
+                           cmd != "shutdown";
+  require(!needs_graph || !req.path.empty(),
+          "client " + cmd + ": a graph path argument is required");
+
+  if (cmd == "ping") req.op = serve::Op::kPing;
+  else if (cmd == "load") req.op = serve::Op::kLoad;
+  else if (cmd == "unload") req.op = serve::Op::kUnload;
+  else if (cmd == "graph-info") req.op = serve::Op::kGraphInfo;
+  else if (cmd == "diameter") req.op = serve::Op::kDiameter;
+  else if (cmd == "approx") req.op = serve::Op::kApprox;
+  else if (cmd == "radius") req.op = serve::Op::kRadius;
+  else if (cmd == "ecc") req.op = serve::Op::kEcc;
+  else if (cmd == "girth") req.op = serve::Op::kGirth;
+  else if (cmd == "stats") req.op = serve::Op::kStats;
+  else if (cmd == "shutdown") req.op = serve::Op::kShutdown;
+  else {
+    std::cerr << "client mode does not support command '" << cmd << "'\n";
+    return 2;
+  }
+  if (cmd == "ecc") {
+    require(cli.has("v"), "client ecc: --v=VERTEX is required");
+    req.arg = static_cast<std::uint64_t>(cli.get_int("v", 0));
+  }
+  if (cmd == "approx") {
+    req.arg = static_cast<std::uint64_t>(cli.get_int("s", 0));
+  }
+
+  const auto resp = client.call(req);
+  if (resp.status != serve::Status::kOk) {
+    std::cerr << "server " << serve::status_name(resp.status) << ": "
+              << resp.message << "\n";
+    return 1;
+  }
+  if (quiet) {
+    // Same quiet-mode convention as the local commands (girth prints
+    // "none" on forests instead of the kUnreachable sentinel).
+    if (req.op == serve::Op::kGirth && resp.value == graph::kUnreachable) {
+      std::cout << "none\n";
+    } else {
+      std::cout << resp.value << "\n";
+    }
+    return 0;
+  }
+  switch (req.op) {
+    case serve::Op::kPing:
+      std::cout << "pong from " << cli.get_string("server", "") << "\n";
+      break;
+    case serve::Op::kLoad:
+      std::cout << "loaded " << req.path << ": n = " << resp.value
+                << ", m = " << resp.aux << " (" << resp.message << ")\n";
+      break;
+    case serve::Op::kUnload:
+      std::cout << "unloaded " << req.path << "\n";
+      break;
+    case serve::Op::kGraphInfo:
+      std::cout << "n = " << resp.value << ", m = " << resp.aux << "  "
+                << resp.message << "\n";
+      break;
+    case serve::Op::kDiameter:
+      std::cout << "diameter = " << resp.value << "  (served)\n";
+      break;
+    case serve::Op::kApprox:
+      std::cout << "estimate in [" << resp.value << ", " << resp.aux
+                << "]  (double sweep, lb <= D <= 2*lb)\n";
+      break;
+    case serve::Op::kRadius:
+      std::cout << "radius = " << resp.value << ", center = " << resp.aux
+                << "  (served)\n";
+      break;
+    case serve::Op::kEcc:
+      std::cout << "ecc(" << req.arg << ") = " << resp.value
+                << "  (served)\n";
+      break;
+    case serve::Op::kGirth:
+      if (resp.value == graph::kUnreachable) {
+        std::cout << "girth = none (forest)\n";
+      } else {
+        std::cout << "girth = " << resp.value << "  (served)\n";
+      }
+      break;
+    case serve::Op::kStats:
+      std::cout << resp.message << "\n";
+      break;
+    case serve::Op::kShutdown:
+      std::cout << "server shutting down\n";
+      break;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -119,12 +230,13 @@ int main(int argc, char** argv) try {
   // (--seed=abc) aborts with a message instead of being silently ignored.
   cli.expect_flags({"seed", "oracle", "fault-drop", "fault-corrupt",
                     "fault-seed", "quiet", "algo", "s", "threshold", "out",
-                    "metrics-out", "encoding"});
+                    "metrics-out", "encoding", "server", "v"});
   const auto& pos = cli.positional();
   if (pos.empty()) return usage();
   const std::string cmd = pos[0];
   const bool quiet = cli.get_bool("quiet", false);
   if (cmd == "help") return usage();
+  if (cli.has("server")) return run_client(cli, cmd, pos);
   if (pos.size() < 2) return usage();
   // The export session outlives the root span (destruction runs in reverse
   // order), so the span is closed by the time the JSONL is written.
