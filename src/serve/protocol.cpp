@@ -6,7 +6,13 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define QC_HAVE_SOCKETS 1
+#include <sys/socket.h>
 #include <unistd.h>
+// Platforms without MSG_NOSIGNAL (macOS) rely on Server::start()
+// ignoring SIGPIPE instead; either way a dead peer surfaces as EPIPE.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
 #else
 #define QC_HAVE_SOCKETS 0
 #endif
@@ -207,7 +213,14 @@ void write_frame(int fd, std::span<const std::uint8_t> payload) {
   buf.insert(buf.end(), payload.begin(), payload.end());
   std::size_t sent = 0;
   while (sent < buf.size()) {
-    const ssize_t w = ::write(fd, buf.data() + sent, buf.size() - sent);
+    // MSG_NOSIGNAL: a peer that closed before the reply must yield EPIPE,
+    // not a process-killing SIGPIPE. send() only accepts sockets, so
+    // plain stream fds (pipes in the unit tests) fall back to write().
+    ssize_t w = ::send(fd, buf.data() + sent, buf.size() - sent,
+                       MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) {
+      w = ::write(fd, buf.data() + sent, buf.size() - sent);
+    }
     if (w < 0) {
       if (errno == EINTR) continue;
       throw ProtocolError("serve: write failed: " +

@@ -19,7 +19,7 @@
 //
 // `path` is the server-side graph key (a file path for `load`, the same
 // key afterwards); `arg` carries the op-specific integer (the vertex for
-// `ecc`, the sample count for `approx`, 0 otherwise). `value`/`aux` carry
+// `ecc`, the BFS root of the double sweep for `approx`, 0 otherwise). `value`/`aux` carry
 // the numeric answer (see op table in docs/serving.md); `msg` carries the
 // error text or an info payload. Full spec: docs/serving.md.
 
@@ -49,7 +49,7 @@ enum class Op : std::uint8_t {
   kUnload = 2,     ///< drop a resident graph
   kGraphInfo = 3,  ///< n/m/format of a resident graph; no BFS work
   kDiameter = 4,   ///< exact diameter (EccEngine, compute-once)
-  kApprox = 5,     ///< double-sweep diameter bounds: lb <= D <= 2*lb
+  kApprox = 5,     ///< double-sweep bounds from root `arg`: lb <= D <= 2*lb
   kRadius = 6,     ///< exact radius + center
   kEcc = 7,        ///< eccentricity of vertex `arg`
   kGirth = 8,      ///< exact girth (compute-once per resident graph)

@@ -77,11 +77,17 @@ std::shared_ptr<ResidentGraph> GraphRegistry::get(
     slot = it->second;
   }
   // A slot still loading is not yet "resident": report absent rather than
-  // blocking a lookup behind someone else's file IO. (A ready mapped slot
-  // always holds a value — failed loads are erased before their exception
-  // is published — so this get() never throws.)
+  // blocking a lookup behind someone else's file IO. Failed loads erase
+  // their slot before publishing the exception, but a get() that captured
+  // the slot just before the erase can still observe it ready with an
+  // exception inside — treat that exactly like the erased slot it is
+  // about to become, so get() never throws.
   if (!ready(*slot)) return nullptr;
-  return slot->get();
+  try {
+    return slot->get();
+  } catch (...) {
+    return nullptr;
+  }
 }
 
 bool GraphRegistry::unload(const std::string& path) {
@@ -93,7 +99,14 @@ std::vector<std::string> GraphRegistry::keys() const {
   std::vector<std::string> out;
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, slot] : slots_) {
-    if (ready(*slot)) out.push_back(key);
+    // Same race as get(): a ready slot can transiently hold a failed
+    // load's exception; such a key is not resident.
+    if (!ready(*slot)) continue;
+    try {
+      slot->get();
+      out.push_back(key);
+    } catch (...) {
+    }
   }
   return out;
 }

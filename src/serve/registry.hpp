@@ -60,8 +60,9 @@ class GraphRegistry {
   /// every caller waiting on that attempt.
   std::shared_ptr<ResidentGraph> load(const std::string& path);
 
-  /// The resident graph for `path`, or nullptr when it is not loaded.
-  /// Never triggers a load.
+  /// The resident graph for `path`, or nullptr when it is not loaded
+  /// (including a load still in flight or one that failed). Never
+  /// triggers a load, never throws.
   std::shared_ptr<ResidentGraph> get(const std::string& path) const;
 
   /// Drops `path` from the registry. Returns false when it was not

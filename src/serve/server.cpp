@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -99,6 +100,12 @@ std::string Server::endpoint() const {
 
 void Server::start() {
   require(!started_, "serve: start() called twice");
+  // A client that disconnects before its reply is written must surface as
+  // EPIPE from write_frame, never as a fatal SIGPIPE. write_frame already
+  // passes MSG_NOSIGNAL where it exists; ignoring the signal here covers
+  // platforms without it (macOS) and any other socket write in the
+  // process serving requests.
+  std::signal(SIGPIPE, SIG_IGN);
   if (!opts_.unix_path.empty()) {
     listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     require(listen_fd_ >= 0, "serve: cannot create unix socket");
@@ -168,9 +175,16 @@ void Server::accept_loop() {
     }
     stats_.connections.fetch_add(1, std::memory_order_relaxed);
     metrics::count("serve.connections");
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { handle_connection(fd); });
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fds_.push_back(fd);
+      ++active_conns_;
+    }
+    // Detached: the thread deregisters itself when the connection ends
+    // (joining would accumulate one joinable thread per past connection).
+    // stop() still waits for every connection via active_conns_, so no
+    // detached thread can outlive the Server.
+    std::thread([this, fd] { handle_connection(fd); }).detach();
   }
 }
 
@@ -211,6 +225,18 @@ void Server::handle_connection(int fd) {
     }
   }
   ::shutdown(fd, SHUT_RDWR);
+  // Deregister-then-close under the lock: stop() must never shut down an
+  // fd number the kernel has already recycled for a newer connection.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
+    ::close(fd);
+    --active_conns_;
+    // Notify under the lock: stop()'s waiter may destroy this Server the
+    // moment it sees active_conns_ == 0, so the cv must not be touched
+    // after conn_mu_ is released.
+    conn_cv_.notify_all();
+  }
 }
 
 #else  // !QC_HAVE_SOCKETS
@@ -228,6 +254,19 @@ Response Server::dispatch(const Request& req) {
   const std::uint64_t id =
       next_request_id_.fetch_add(1, std::memory_order_relaxed);
   const double start_us = now_us();
+
+  // Control ops do no graph work and are answered inline, outside the
+  // admission queue and the deadline — a saturated daemon must still
+  // answer ping and, above all, obey shutdown instead of rejecting it.
+  if (req.op == Op::kPing || req.op == Op::kShutdown) {
+    Response resp = execute(req);
+    const double latency_us = now_us() - start_us;
+    stats_.ok.fetch_add(1, std::memory_order_relaxed);
+    metrics::count("serve.requests", 1, op_name(req.op));
+    metrics::observe("serve.latency_us", latency_us);
+    log_request(id, req, resp, latency_us, 0);
+    return resp;
+  }
 
   // Bounded admission: never queue more than max_pending requests. The
   // increment is optimistic; over-admitted requests back out immediately.
@@ -468,24 +507,17 @@ void Server::stop() {
   if (!started_) return;
   stopping_.store(true);
 #if QC_HAVE_SOCKETS
-  // Closing the listener unblocks accept(); shutting down every
-  // connection unblocks its reader. Joining after that is race-free.
+  // Closing the listener unblocks accept(); shutting down every live
+  // connection unblocks its reader. Each connection thread then closes
+  // and deregisters its own fd; waiting for active_conns_ == 0 is the
+  // join, and guarantees no detached thread outlives this Server.
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   if (accept_thread_.joinable()) accept_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    std::unique_lock<std::mutex> lock(conn_mu_);
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  // conn_threads_ only grows under conn_mu_ from the (now joined) accept
-  // thread, so iterating without the lock is safe here.
-  for (auto& t : conn_threads_) {
-    if (t.joinable()) t.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (const int fd : conn_fds_) ::close(fd);
-    conn_fds_.clear();
+    conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
   }
   if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
 #endif

@@ -131,9 +131,14 @@ class Server {
   std::uint16_t bound_port_ = 0;
   std::thread accept_thread_;
 
+  // Live connections only: each handle_connection thread is detached and
+  // deregisters its own fd on exit (so a long-running daemon never
+  // accumulates dead fds or joinable threads); stop() force-shutdowns the
+  // survivors and waits for active_conns_ to drain to zero.
   std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
+  std::condition_variable conn_cv_;
   std::vector<int> conn_fds_;
+  std::size_t active_conns_ = 0;
 
   std::atomic<std::uint32_t> pending_{0};
   std::atomic<std::uint64_t> next_request_id_{1};

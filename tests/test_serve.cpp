@@ -718,10 +718,11 @@ TEST(ServerSocket, TimeoutThenRejectionThenRecovery) {
 
   auto client = Client::connect("unix:" + sock.path);
   // The sweep blows the deadline; the admission slot stays occupied until
-  // the abandoned worker finishes, so the next request is rejected.
+  // the abandoned worker finishes, so the next graph op is rejected
+  // (ping would not be — control ops bypass admission, tested below).
   EXPECT_EQ(client.call({Op::kDiameter, data.path, 0}).status,
             Status::kTimeout);
-  EXPECT_EQ(client.call({Op::kPing, "", 0}).status, Status::kRejected);
+  EXPECT_EQ(client.call({Op::kStats, "", 0}).status, Status::kRejected);
 
   // Once the worker drains, the server recovers and the now-cached
   // diameter answers within any deadline.
@@ -740,6 +741,113 @@ TEST(ServerSocket, TimeoutThenRejectionThenRecovery) {
   EXPECT_GE(server.stats().rejected.load(), 1u);
   server.stop();
 }
+
+TEST(ServerSocket, PingAndShutdownBypassAdmissionAndDeadline) {
+  TempFile sock("ctl.sock"), data("ctl.qcg");
+  // Same shape as the timeout test: the first sweep takes far longer than
+  // the deadline, so the single admission slot stays saturated while the
+  // abandoned worker drains.
+  write_graph(data.path, graph::make_grid(100, 100));
+
+  ServerOptions opts;
+  opts.unix_path = sock.path;
+  opts.max_pending = 1;
+  opts.timeout_ms = 5;
+  Server server(opts);
+  server.registry().load(data.path);
+  server.start();
+
+  auto client = Client::connect("unix:" + sock.path);
+  EXPECT_EQ(client.call({Op::kDiameter, data.path, 0}).status,
+            Status::kTimeout);
+  // Graph ops are turned away while the slot is occupied…
+  EXPECT_EQ(client.call({Op::kStats, "", 0}).status, Status::kRejected);
+  // …but control ops do no graph work and answer inline: a saturated
+  // daemon still acks liveness probes and, above all, obeys shutdown
+  // instead of rejecting or timing it out.
+  EXPECT_EQ(client.call_ok({Op::kPing, "", 3}).value, 3u);
+  EXPECT_EQ(client.call_ok({Op::kShutdown, "", 0}).status, Status::kOk);
+  server.wait();
+  server.stop();
+}
+
+TEST(ServerSocket, ClientVanishingBeforeItsReplyDoesNotKillTheServer) {
+  TempFile sock("gone.sock"), data("gone.qcg");
+  // Big enough that the first reply is still being computed when the
+  // client disconnects, so the server's write hits a closed peer.
+  write_graph(data.path, graph::make_grid(60, 60));
+
+  ServerOptions opts;
+  opts.unix_path = sock.path;
+  Server server(opts);
+  server.registry().load(data.path);
+  server.start();
+
+  for (int i = 0; i < 3; ++i) {
+    auto client = Client::connect("unix:" + sock.path);
+    write_frame(client.fd(), encode_request({Op::kDiameter, data.path, 0}));
+    // Scope exit closes the socket without ever reading the reply. The
+    // server's write must surface as EPIPE on that connection — never as
+    // a daemon-killing SIGPIPE.
+  }
+
+  auto client = Client::connect("unix:" + sock.path);
+  EXPECT_EQ(client.call_ok({Op::kPing, "", 11}).value, 11u);
+  EXPECT_EQ(client.call_ok({Op::kDiameter, data.path, 0}).value, 118u);
+  server.stop();
+}
+
+#if defined(__linux__)
+
+// A long-running daemon must not accumulate one fd per past connection
+// (RLIMIT_NOFILE is ~1024 by default — a daemon that leaks per query dies
+// after a thousand queries). /proc/self/fd gives an exact count.
+TEST(ServerSocket, FinishedConnectionsReleaseTheirFds) {
+  TempFile sock("reap.sock");
+  ServerOptions opts;
+  opts.unix_path = sock.path;
+  Server server(opts);
+  server.start();
+
+  const auto count_fds = [] {
+    std::size_t n = 0;
+    for ([[maybe_unused]] const auto& entry :
+         fs::directory_iterator("/proc/self/fd")) {
+      ++n;
+    }
+    return n;
+  };
+
+  // Warm up one connection so the baseline includes every steady-state
+  // fd (listener, log, metrics…), then let it drain.
+  {
+    auto warm = Client::connect("unix:" + sock.path);
+    EXPECT_EQ(warm.call_ok({Op::kPing, "", 1}).value, 1u);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const std::size_t baseline = count_fds();
+
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    auto client = Client::connect("unix:" + sock.path);
+    EXPECT_EQ(client.call_ok({Op::kPing, "", i}).value, i);
+  }
+
+  // Each server-side reader notices the EOF and closes its fd on its own
+  // schedule; poll until the count returns to the baseline (a leak of one
+  // fd per connection would sit 64 above it and never come down).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  std::size_t now = count_fds();
+  while (now > baseline + 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    now = count_fds();
+  }
+  EXPECT_LE(now, baseline + 4);
+  server.stop();
+}
+
+#endif  // __linux__
 
 #endif  // QC_TEST_HAVE_SOCKETS
 

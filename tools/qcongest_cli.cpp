@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <iostream>
 
 #include "algos/apsp_census.hpp"
@@ -62,7 +63,8 @@ commands:
 client mode (against a running qcongestd — see docs/serving.md):
   --server=ENDPOINT     unix:PATH or HOST:PORT; forwards the command to the
                         daemon instead of computing locally. Commands:
-                        ping, load, unload, graph-info, diameter, approx,
+                        ping, load, unload, graph-info, diameter,
+                        approx (double sweep; --v=ROOT, default 0),
                         radius, ecc (--v=N), girth, stats, shutdown.
                         <graph> is the server-side path of the graph file.
 
@@ -126,6 +128,11 @@ core::QuantumConfig quantum_config(const Cli& cli) {
 int run_client(const Cli& cli, const std::string& cmd,
                const std::vector<std::string>& pos) {
   const bool quiet = cli.get_bool("quiet", false);
+#ifdef SIGPIPE
+  // A daemon that dies mid-conversation must surface as a write error,
+  // not kill the client (MSG_NOSIGNAL covers Linux; this covers macOS).
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   auto client = serve::Client::connect(cli.get_string("server", ""));
   serve::Request req;
   if (pos.size() >= 2) {
@@ -156,7 +163,9 @@ int run_client(const Cli& cli, const std::string& cmd,
     req.arg = static_cast<std::uint64_t>(cli.get_int("v", 0));
   }
   if (cmd == "approx") {
-    req.arg = static_cast<std::uint64_t>(cli.get_int("s", 0));
+    // Server-side approx is a double sweep, not sampling: --v picks the
+    // BFS root of the first sweep (default 0), matching docs/serving.md.
+    req.arg = static_cast<std::uint64_t>(cli.get_int("v", 0));
   }
 
   const auto resp = client.call(req);
