@@ -1,0 +1,267 @@
+// Scaling profile of the sharded multi-process CONGEST backend against the
+// in-process sequential engine, on the flooding workload: every node
+// broadcasts a two-field message every round, so every directed edge
+// carries one delivery per round — the densest traffic the model allows,
+// and (on a random graph with no partition locality) close to the worst
+// case for the shard boundary, since most edges cross worker boundaries
+// and every crossing delivery is serialized through the round barrier.
+//
+// Rows: the in-process sequential engine, then ShardedNetwork at
+// W ∈ {1, 2, 4, 8} workers. Every sharded row is gated on bit-identical
+// parity with the sequential run — message count, bit count, round count,
+// quiescence flag, and an order-sensitive per-node inbox checksum
+// recovered through the state-harvest path. A parity failure is a hard
+// nonzero exit on every run, not just under --check; `--check` only makes
+// that explicit in the output. `--out=FILE` emits the JSON summary that
+// seeds BENCH_shard.json at the repo root.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "congest/network.hpp"
+#include "congest/shard/partition.hpp"
+#include "congest/shard/sharded_network.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+using namespace qc;
+using namespace qc::bench;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+/// Order-sensitive hash fold; summing per-node hashes gives a workload
+/// checksum every engine must reproduce exactly on fault-free runs.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+/// Flooding program: broadcast (id, round) each round, hash everything
+/// heard. Serializes its hash so the sharded engine's harvest can bring
+/// the checksum back to the coordinator for the parity gate.
+class Flood final : public congest::NodeProgram {
+ public:
+  void on_start(congest::NodeContext& ctx) override { blast(ctx); }
+
+  void on_round(congest::NodeContext& ctx) override {
+    for (const auto& in : ctx.inbox()) {
+      sum_ = mix(mix(mix(sum_, in.port), in.msg.field(0)), in.msg.field(1));
+    }
+    blast(ctx);
+  }
+
+  void serialize_state(congest::Message& out) const override {
+    out.push(sum_, 64);
+  }
+  void restore_state(const congest::Message& in) override {
+    require(in.num_fields() == 1, "Flood::restore_state: bad shape");
+    sum_ = in.field(0);
+  }
+
+  std::uint64_t sum() const { return sum_; }
+
+ private:
+  static void blast(congest::NodeContext& ctx) {
+    congest::Message m;
+    m.push(ctx.id(), ctx.id_bits());
+    m.push(ctx.round() & 0xFFFFu, 16);
+    ctx.broadcast(m);
+  }
+
+  std::uint64_t sum_ = 0;
+};
+
+struct Result {
+  double ms = 0.0;                   ///< best (min) timed repetition
+  std::uint64_t messages = 0;        ///< deliveries in that repetition
+  std::uint64_t total_messages = 0;  ///< deliveries across all repetitions
+  std::uint64_t total_bits = 0;
+  std::uint64_t rounds = 0;          ///< total rounds across all repetitions
+  bool quiesced = false;             ///< final phase's quiescence flag
+  std::uint64_t checksum = 0;
+  std::uint64_t boundary_arcs = 0;   ///< directed edges crossing shards
+
+  double msgs_per_sec() const {
+    return static_cast<double>(messages) / std::max(ms, 1e-9) * 1e3;
+  }
+  double ns_per_delivery() const {
+    return ms * 1e6 / static_cast<double>(std::max<std::uint64_t>(messages, 1));
+  }
+};
+
+/// One benchmark pass over any engine with the Network-shaped API:
+/// init, warmup, `reps` timed phases, then the per-node checksum. The
+/// sequence of run_rounds calls is identical for every engine, so the
+/// accumulated stats are directly comparable.
+template <typename Net>
+Result drive(Net& net, const graph::Graph& g, std::uint32_t warm,
+             std::uint32_t rounds, std::uint32_t reps) {
+  net.init_programs([](graph::NodeId) { return std::make_unique<Flood>(); });
+  net.run_rounds(warm);
+  Result r;
+  for (std::uint32_t rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const congest::RunStats st = net.run_rounds(rounds);
+    const double ms = ms_since(t0);
+    if (rep == 0 || ms < r.ms) {
+      r.ms = ms;
+      r.messages = st.messages;
+    }
+    r.total_messages += st.messages;
+    r.total_bits += st.bits;
+    r.quiesced = st.quiesced;
+  }
+  r.rounds = net.stats().rounds;
+  for (graph::NodeId v = 0; v < g.n(); ++v) {
+    r.checksum += net.template program_as<Flood>(v).sum();
+  }
+  return r;
+}
+
+Result run_sequential(const graph::Graph& g, std::uint64_t seed,
+                      std::uint32_t warm, std::uint32_t rounds,
+                      std::uint32_t reps) {
+  congest::NetworkConfig cfg;
+  cfg.seed = seed;
+  congest::Network net(g, cfg);
+  return drive(net, g, warm, rounds, reps);
+}
+
+Result run_sharded(const graph::Graph& g, std::uint32_t shards,
+                   std::uint64_t seed, std::uint32_t warm,
+                   std::uint32_t rounds, std::uint32_t reps) {
+  congest::shard::ShardConfig cfg;
+  cfg.shards = shards;
+  cfg.net.seed = seed;
+  congest::shard::ShardedNetwork net(g, cfg);
+  Result r = drive(net, g, warm, rounds, reps);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    r.boundary_arcs +=
+        congest::shard::boundary_arcs(g, net.assignment(), s).size();
+  }
+  net.shutdown();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt =
+      BenchOptions::parse(argc, argv, {"out", "n", "d", "rounds", "check"});
+  Cli cli(argc, argv);
+  const auto n =
+      static_cast<std::uint32_t>(cli.get_int("n", opt.quick ? 192 : 512));
+  const auto d =
+      static_cast<std::uint32_t>(cli.get_int("d", opt.quick ? 12 : 32));
+  const auto rounds =
+      static_cast<std::uint32_t>(cli.get_int("rounds", opt.quick ? 40 : 160));
+  const bool check = cli.get_bool("check", false);
+  const std::string out = cli.get_string("out", "");
+  const std::uint32_t warm = 8;
+  const std::uint32_t reps = opt.quick ? 2 : 4;
+
+  banner("sharded multi-process engine vs in-process sequential",
+         "flooding workload: one delivery per directed edge per round; "
+         "every sharded row must be bit-identical to the sequential run");
+
+  const auto g = workload(n, d, opt.seed);
+
+  struct NamedResult {
+    std::string name;
+    std::uint32_t shards;  ///< 0 = in-process
+    Result r;
+  };
+  std::vector<NamedResult> results;
+  results.push_back({"seq", 0, run_sequential(g, opt.seed, warm, rounds, reps)});
+  for (const std::uint32_t w : {1u, 2u, 4u, 8u}) {
+    results.push_back({"shard_w" + std::to_string(w), w,
+                       run_sharded(g, w, opt.seed, warm, rounds, reps)});
+  }
+
+  const Result& seq = results[0].r;
+  const std::uint64_t arcs_total = 2ull * g.m();
+
+  Table t({"config", "ms", "messages", "msgs/sec", "ns/delivery",
+           "boundary%", "vs seq"});
+  for (const auto& nr : results) {
+    const double bfrac =
+        100.0 * static_cast<double>(nr.r.boundary_arcs) /
+        static_cast<double>(std::max<std::uint64_t>(arcs_total, 1));
+    t.add_row({nr.name, fmt(nr.r.ms, 1), fmt(nr.r.messages),
+               fmt(nr.r.msgs_per_sec(), 0), fmt(nr.r.ns_per_delivery(), 1),
+               nr.shards == 0 ? std::string("-") : fmt(bfrac, 1),
+               fmt(seq.ms / std::max(nr.r.ms, 1e-9), 2) + "x"});
+  }
+  t.print(std::cout);
+
+  // Parity gates: every sharded configuration must agree with the
+  // sequential engine on every observable — these run on every invocation
+  // and are the reason this bench doubles as a stress test in CI.
+  for (const auto& nr : results) {
+    if (nr.shards == 0) continue;
+    check_internal(nr.r.total_messages == seq.total_messages &&
+                       nr.r.total_bits == seq.total_bits,
+                   nr.name + " disagrees with the sequential engine on "
+                             "message/bit totals");
+    check_internal(nr.r.rounds == seq.rounds &&
+                       nr.r.quiesced == seq.quiesced,
+                   nr.name + " disagrees with the sequential engine on "
+                             "rounds/quiescence");
+    check_internal(nr.r.checksum == seq.checksum,
+                   nr.name + " harvested a different inbox checksum than "
+                             "the sequential engine");
+  }
+  check_internal(seq.total_messages > 0, "workload delivered no messages");
+  if (check) {
+    std::cout << "\ncheck mode: parity assertions passed for every worker "
+                 "count\n";
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"shard_scaling\",\n"
+       << "  \"quick\": " << (opt.quick ? "true" : "false") << ",\n"
+       << "  \"n\": " << n << ",\n"
+       << "  \"d\": " << d << ",\n"
+       << "  \"edges\": " << g.m() << ",\n"
+       << "  \"rounds\": " << rounds << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"warmup_rounds\": " << warm << ",\n"
+       << "  \"bandwidth_bits\": " << congest_bandwidth_bits(n) << ",\n"
+       << "  \"configs\": {\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& nr = results[i];
+    json << "    \"" << nr.name << "\": {\"ms\": " << fmt(nr.r.ms, 3)
+         << ", \"messages\": " << nr.r.messages
+         << ", \"msgs_per_sec\": " << fmt(nr.r.msgs_per_sec(), 0)
+         << ", \"ns_per_delivery\": " << fmt(nr.r.ns_per_delivery(), 1)
+         << ", \"boundary_arcs\": " << nr.r.boundary_arcs
+         << ", \"speedup_vs_seq\": "
+         << fmt(seq.ms / std::max(nr.r.ms, 1e-9), 3) << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  },\n"
+       << "  \"parity\": \"bit-identical\",\n"
+       << "  \"results_equal\": true\n"
+       << "}\n";
+  std::cout << "\n" << json.str();
+  if (!out.empty()) {
+    std::ofstream f(out);
+    require(f.good(), "bench_shard: cannot open --out file " + out);
+    f << json.str();
+    std::cout << "wrote " << out << "\n";
+  }
+  return 0;
+}

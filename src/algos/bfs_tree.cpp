@@ -63,59 +63,29 @@ std::uint64_t BfsTreeProgram::memory_bits() const {
   return 1 + 3ULL * 32;
 }
 
+// Mutable state only: root_ is a constructor parameter the restoring side
+// already has (replicas are built by the same factory). Same principle in
+// the other programs below.
+void BfsTreeProgram::serialize_state(Message& out) const {
+  out.push(active_ ? 1 : 0, 1)
+      .push(dist_, 32)
+      .push(parent_, 32)
+      .push(child_count_, 32);
+}
+
+void BfsTreeProgram::restore_state(const Message& in) {
+  require(in.num_fields() == 4, "BfsTreeProgram::restore_state: bad shape");
+  active_ = in.field(0) != 0;
+  dist_ = static_cast<std::uint32_t>(in.field(1));
+  parent_ = static_cast<NodeId>(in.field(2));
+  child_count_ = static_cast<std::uint32_t>(in.field(3));
+}
+
 BfsOutcome build_bfs_tree(const graph::Graph& g, NodeId root,
                           congest::NetworkConfig cfg,
                           std::uint32_t max_rounds) {
-  require(root < g.n(), "build_bfs_tree: root out of range");
-  require(g.is_connected(), "build_bfs_tree: graph must be connected");
   Network net(g, cfg);
-  net.init_programs([root](NodeId) {
-    return std::make_unique<BfsTreeProgram>(root);
-  });
-  BfsOutcome out;
-  const std::uint32_t budget = max_rounds != 0 ? max_rounds : g.n() + 2;
-  out.stats = net.run_until_quiescent(budget);
-  if (!out.stats.quiesced) out.status = PhaseStatus::kTimedOut;
-
-  auto& t = out.tree;
-  t.root = root;
-  t.parent.assign(g.n(), graph::kInvalidNode);
-  t.depth.assign(g.n(), 0);
-  t.children.assign(g.n(), {});
-  bool complete = true;
-  for (NodeId v = 0; v < g.n(); ++v) {
-    const auto& p = net.program_as<BfsTreeProgram>(v);
-    if (!p.active()) {
-      // Possible only under a fault plan (a dropped activation); the node
-      // keeps the kInvalidNode parent and depth 0 it started with.
-      complete = false;
-      continue;
-    }
-    t.parent[v] = p.parent();
-    t.depth[v] = p.dist();
-    t.height = std::max(t.height, p.dist());
-  }
-  // Child lists are reconstructed driver-side (each node only keeps its
-  // parent and a child count); sorted by id to match dfs_numbering.
-  for (NodeId v = 0; v < g.n(); ++v) {
-    if (v != root && t.parent[v] != graph::kInvalidNode) {
-      t.children[t.parent[v]].push_back(v);
-    }
-  }
-  for (NodeId v = 0; v < g.n(); ++v) {
-    std::sort(t.children[v].begin(), t.children[v].end());
-    // A dropped child-claim flag leaves the distributed count behind the
-    // reconstructed list; both ways of disagreeing mark degradation.
-    if (net.program_as<BfsTreeProgram>(v).child_count() !=
-        t.children[v].size()) {
-      complete = false;
-    }
-  }
-  if (out.status == PhaseStatus::kQuiesced && !complete) {
-    out.status = PhaseStatus::kDegraded;
-  }
-  report_phase_status("bfs_tree", out.status);
-  return out;
+  return build_bfs_tree_on(net, root, max_rounds);
 }
 
 BfsOutcome build_bfs_tree_with_retry(const graph::Graph& g, NodeId root,
@@ -199,6 +169,24 @@ std::uint64_t ConvergecastProgram::memory_bits() const {
   return primary_bits_ + secondary_bits_ + 32 + 2;
 }
 
+void ConvergecastProgram::serialize_state(Message& out) const {
+  out.push(primary_, 64)
+      .push(secondary_, 64)
+      .push(pending_children_, 32)
+      .push(sent_ ? 1 : 0, 1)
+      .push(reported_root_ ? 1 : 0, 1);
+}
+
+void ConvergecastProgram::restore_state(const Message& in) {
+  require(in.num_fields() == 5,
+          "ConvergecastProgram::restore_state: bad shape");
+  primary_ = in.field(0);
+  secondary_ = in.field(1);
+  pending_children_ = static_cast<std::uint32_t>(in.field(2));
+  sent_ = in.field(3) != 0;
+  reported_root_ = in.field(4) != 0;
+}
+
 TreeBroadcastProgram::TreeBroadcastProgram(NodeId parent, std::uint64_t value,
                                            std::uint32_t value_bits)
     : parent_(parent),
@@ -239,6 +227,17 @@ std::uint64_t TreeBroadcastProgram::memory_bits() const {
   return value_bits_ + 2;
 }
 
+void TreeBroadcastProgram::serialize_state(Message& out) const {
+  out.push(received_ ? 1 : 0, 1).push(value_, 64);
+}
+
+void TreeBroadcastProgram::restore_state(const Message& in) {
+  require(in.num_fields() == 2,
+          "TreeBroadcastProgram::restore_state: bad shape");
+  received_ = in.field(0) != 0;
+  value_ = in.field(1);
+}
+
 AggregateOutcome aggregate_to_root(const graph::Graph& g,
                                    const TreeState& tree, AggregateOp op,
                                    const std::vector<std::uint64_t>& primary,
@@ -246,28 +245,9 @@ AggregateOutcome aggregate_to_root(const graph::Graph& g,
                                    std::uint32_t primary_bits,
                                    std::uint32_t secondary_bits,
                                    congest::NetworkConfig cfg) {
-  require(tree.n() == g.n(), "aggregate_to_root: tree/graph size mismatch");
-  require(primary.size() == g.n() && secondary.size() == g.n(),
-          "aggregate_to_root: contribution size mismatch");
   Network net(g, cfg);
-  net.init_programs([&](NodeId v) {
-    return std::make_unique<ConvergecastProgram>(
-        tree.parent[v], static_cast<std::uint32_t>(tree.children[v].size()),
-        op, primary[v], secondary[v], primary_bits, secondary_bits);
-  });
-  AggregateOutcome out;
-  out.stats = net.run_until_quiescent(tree.height + 2);
-  if (!out.stats.quiesced) out.status = PhaseStatus::kTimedOut;
-  const auto& rootp = net.program_as<ConvergecastProgram>(tree.root);
-  if (!rootp.done()) {
-    // A dropped or crash-lost report keeps the root waiting forever; its
-    // partial aggregate is still returned, flagged as degraded.
-    out.status = worst_of(out.status, PhaseStatus::kDegraded);
-  }
-  out.primary = rootp.primary();
-  out.secondary = rootp.secondary();
-  report_phase_status("aggregate", out.status);
-  return out;
+  return aggregate_to_root_on(net, tree, op, primary, secondary, primary_bits,
+                              secondary_bits);
 }
 
 BroadcastOutcome broadcast_from_root(const graph::Graph& g,
@@ -276,50 +256,13 @@ BroadcastOutcome broadcast_from_root(const graph::Graph& g,
                                      std::uint32_t value_bits,
                                      congest::NetworkConfig cfg) {
   Network net(g, cfg);
-  net.init_programs([&](NodeId v) {
-    return std::make_unique<TreeBroadcastProgram>(
-        tree.parent[v], v == tree.root ? value : 0, value_bits);
-  });
-  BroadcastOutcome out;
-  out.stats = net.run_until_quiescent(tree.height + 2);
-  if (!out.stats.quiesced) out.status = PhaseStatus::kTimedOut;
-  for (NodeId v = 0; v < g.n(); ++v) {
-    if (!net.program_as<TreeBroadcastProgram>(v).received()) {
-      out.status = worst_of(out.status, PhaseStatus::kDegraded);
-      break;
-    }
-  }
-  report_phase_status("broadcast", out.status);
-  return out;
+  return broadcast_from_root_on(net, tree, value, value_bits);
 }
 
 EccOutcome compute_eccentricity(const graph::Graph& g, NodeId root,
                                 congest::NetworkConfig cfg) {
-  EccOutcome out;
-  auto bfs = build_bfs_tree(g, root, cfg);
-  out.tree = std::move(bfs.tree);
-  out.stats = bfs.stats;
-  out.status = bfs.status;
-
-  std::vector<std::uint64_t> depths(g.n()), ids(g.n());
-  for (NodeId v = 0; v < g.n(); ++v) {
-    depths[v] = out.tree.depth[v];
-    ids[v] = v;
-  }
-  const std::uint32_t bits = qc::bit_width_for(g.n()) + 1;
-  auto agg = aggregate_to_root(g, out.tree, AggregateOp::kMax, depths, ids,
-                               bits, bits, cfg);
-  out.stats += agg.stats;
-  out.status = worst_of(out.status, agg.status);
-  out.ecc = static_cast<std::uint32_t>(agg.primary);
-  if (out.ecc != out.tree.height) {
-    // On a fault-free network this is unreachable (the convergecast
-    // maximum of tree depths IS the height); under faults a corrupted or
-    // partial aggregate can disagree — surface it, don't abort.
-    out.status = worst_of(out.status, PhaseStatus::kDegraded);
-  }
-  report_phase_status("eccentricity", out.status);
-  return out;
+  Network net(g, cfg);
+  return compute_eccentricity_on(net, root);
 }
 
 }  // namespace qc::algos

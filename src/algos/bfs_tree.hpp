@@ -1,12 +1,16 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "algos/phase_status.hpp"
 #include "algos/tree_state.hpp"
 #include "congest/network.hpp"
 #include "graph/graph.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
 
 namespace qc::algos {
 
@@ -25,6 +29,8 @@ class BfsTreeProgram : public congest::NodeProgram {
   void on_start(congest::NodeContext& ctx) override;
   void on_round(congest::NodeContext& ctx) override;
   std::uint64_t memory_bits() const override;
+  void serialize_state(congest::Message& out) const override;
+  void restore_state(const congest::Message& in) override;
 
   bool active() const { return active_; }
   std::uint32_t dist() const { return dist_; }
@@ -69,6 +75,8 @@ class ConvergecastProgram : public congest::NodeProgram {
 
   void on_round(congest::NodeContext& ctx) override;
   std::uint64_t memory_bits() const override;
+  void serialize_state(congest::Message& out) const override;
+  void restore_state(const congest::Message& in) override;
 
   bool done() const { return sent_ || reported_root_; }
   std::uint64_t primary() const { return primary_; }
@@ -98,6 +106,8 @@ class TreeBroadcastProgram : public congest::NodeProgram {
   void on_start(congest::NodeContext& ctx) override;
   void on_round(congest::NodeContext& ctx) override;
   std::uint64_t memory_bits() const override;
+  void serialize_state(congest::Message& out) const override;
+  void restore_state(const congest::Message& in) override;
 
   bool received() const { return received_; }
   std::uint64_t value() const { return value_; }
@@ -187,5 +197,160 @@ struct EccOutcome {
 /// O(D)-round classical preliminary of Section 3.
 EccOutcome compute_eccentricity(const graph::Graph& g, graph::NodeId root,
                                 congest::NetworkConfig cfg = {});
+
+// ---------------------------------------------------------------------------
+// Engine-generic drivers.
+//
+// The `_on` templates below are the real algorithm drivers: they run
+// against any network type with the congest::Network driver surface
+// (init_programs / run_until_quiescent / program_as / topology), which
+// today means congest::Network and congest::shard::ShardedNetwork. The
+// plain functions above are thin wrappers that construct an in-process
+// Network and delegate here, so the single-process and sharded paths
+// execute literally the same driver code — the property the differential
+// parity harness leans on.
+//
+// A driver may be handed a network that already ran another phase:
+// init_programs fully resets round counters, quiescence state and stats,
+// so reuse is bit-identical to a freshly constructed network (and is what
+// compute_eccentricity_on does to avoid re-forking workers per phase).
+// ---------------------------------------------------------------------------
+
+template <typename Net>
+BfsOutcome build_bfs_tree_on(Net& net, graph::NodeId root,
+                             std::uint32_t max_rounds = 0) {
+  const graph::Graph& g = net.topology();
+  require(root < g.n(), "build_bfs_tree: root out of range");
+  require(g.is_connected(), "build_bfs_tree: graph must be connected");
+  net.init_programs([root](graph::NodeId) {
+    return std::make_unique<BfsTreeProgram>(root);
+  });
+  BfsOutcome out;
+  const std::uint32_t budget = max_rounds != 0 ? max_rounds : g.n() + 2;
+  out.stats = net.run_until_quiescent(budget);
+  if (!out.stats.quiesced) out.status = PhaseStatus::kTimedOut;
+
+  auto& t = out.tree;
+  t.root = root;
+  t.parent.assign(g.n(), graph::kInvalidNode);
+  t.depth.assign(g.n(), 0);
+  t.children.assign(g.n(), {});
+  bool complete = true;
+  for (graph::NodeId v = 0; v < g.n(); ++v) {
+    const auto& p = net.template program_as<BfsTreeProgram>(v);
+    if (!p.active()) {
+      // Possible only under a fault plan (a dropped activation); the node
+      // keeps the kInvalidNode parent and depth 0 it started with.
+      complete = false;
+      continue;
+    }
+    t.parent[v] = p.parent();
+    t.depth[v] = p.dist();
+    t.height = std::max(t.height, p.dist());
+  }
+  // Child lists are reconstructed driver-side (each node only keeps its
+  // parent and a child count); sorted by id to match dfs_numbering.
+  for (graph::NodeId v = 0; v < g.n(); ++v) {
+    if (v != root && t.parent[v] != graph::kInvalidNode) {
+      t.children[t.parent[v]].push_back(v);
+    }
+  }
+  for (graph::NodeId v = 0; v < g.n(); ++v) {
+    std::sort(t.children[v].begin(), t.children[v].end());
+    // A dropped child-claim flag leaves the distributed count behind the
+    // reconstructed list; both ways of disagreeing mark degradation.
+    if (net.template program_as<BfsTreeProgram>(v).child_count() !=
+        t.children[v].size()) {
+      complete = false;
+    }
+  }
+  if (out.status == PhaseStatus::kQuiesced && !complete) {
+    out.status = PhaseStatus::kDegraded;
+  }
+  report_phase_status("bfs_tree", out.status);
+  return out;
+}
+
+template <typename Net>
+AggregateOutcome aggregate_to_root_on(
+    Net& net, const TreeState& tree, AggregateOp op,
+    const std::vector<std::uint64_t>& primary,
+    const std::vector<std::uint64_t>& secondary, std::uint32_t primary_bits,
+    std::uint32_t secondary_bits) {
+  const graph::Graph& g = net.topology();
+  require(tree.n() == g.n(), "aggregate_to_root: tree/graph size mismatch");
+  require(primary.size() == g.n() && secondary.size() == g.n(),
+          "aggregate_to_root: contribution size mismatch");
+  net.init_programs([&](graph::NodeId v) {
+    return std::make_unique<ConvergecastProgram>(
+        tree.parent[v], static_cast<std::uint32_t>(tree.children[v].size()),
+        op, primary[v], secondary[v], primary_bits, secondary_bits);
+  });
+  AggregateOutcome out;
+  out.stats = net.run_until_quiescent(tree.height + 2);
+  if (!out.stats.quiesced) out.status = PhaseStatus::kTimedOut;
+  const auto& rootp = net.template program_as<ConvergecastProgram>(tree.root);
+  if (!rootp.done()) {
+    // A dropped or crash-lost report keeps the root waiting forever; its
+    // partial aggregate is still returned, flagged as degraded.
+    out.status = worst_of(out.status, PhaseStatus::kDegraded);
+  }
+  out.primary = rootp.primary();
+  out.secondary = rootp.secondary();
+  report_phase_status("aggregate", out.status);
+  return out;
+}
+
+template <typename Net>
+BroadcastOutcome broadcast_from_root_on(Net& net, const TreeState& tree,
+                                        std::uint64_t value,
+                                        std::uint32_t value_bits) {
+  const graph::Graph& g = net.topology();
+  net.init_programs([&](graph::NodeId v) {
+    return std::make_unique<TreeBroadcastProgram>(
+        tree.parent[v], v == tree.root ? value : 0, value_bits);
+  });
+  BroadcastOutcome out;
+  out.stats = net.run_until_quiescent(tree.height + 2);
+  if (!out.stats.quiesced) out.status = PhaseStatus::kTimedOut;
+  for (graph::NodeId v = 0; v < g.n(); ++v) {
+    if (!net.template program_as<TreeBroadcastProgram>(v).received()) {
+      out.status = worst_of(out.status, PhaseStatus::kDegraded);
+      break;
+    }
+  }
+  report_phase_status("broadcast", out.status);
+  return out;
+}
+
+template <typename Net>
+EccOutcome compute_eccentricity_on(Net& net, graph::NodeId root) {
+  const graph::Graph& g = net.topology();
+  EccOutcome out;
+  auto bfs = build_bfs_tree_on(net, root);
+  out.tree = std::move(bfs.tree);
+  out.stats = bfs.stats;
+  out.status = bfs.status;
+
+  std::vector<std::uint64_t> depths(g.n()), ids(g.n());
+  for (graph::NodeId v = 0; v < g.n(); ++v) {
+    depths[v] = out.tree.depth[v];
+    ids[v] = v;
+  }
+  const std::uint32_t bits = qc::bit_width_for(g.n()) + 1;
+  auto agg = aggregate_to_root_on(net, out.tree, AggregateOp::kMax, depths,
+                                  ids, bits, bits);
+  out.stats += agg.stats;
+  out.status = worst_of(out.status, agg.status);
+  out.ecc = static_cast<std::uint32_t>(agg.primary);
+  if (out.ecc != out.tree.height) {
+    // On a fault-free network this is unreachable (the convergecast
+    // maximum of tree depths IS the height); under faults a corrupted or
+    // partial aggregate can disagree — surface it, don't abort.
+    out.status = worst_of(out.status, PhaseStatus::kDegraded);
+  }
+  report_phase_status("eccentricity", out.status);
+  return out;
+}
 
 }  // namespace qc::algos

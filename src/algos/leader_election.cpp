@@ -36,24 +36,19 @@ std::uint64_t FloodMaxProgram::memory_bits() const {
                                : static_cast<std::uint64_t>(max_seen_) + 1);
 }
 
+void FloodMaxProgram::serialize_state(Message& out) const {
+  out.push(max_seen_, 32);
+}
+
+void FloodMaxProgram::restore_state(const Message& in) {
+  require(in.num_fields() == 1, "FloodMaxProgram::restore_state: bad shape");
+  max_seen_ = static_cast<NodeId>(in.field(0));
+}
+
 ElectionOutcome elect_leader(const graph::Graph& g,
                              congest::NetworkConfig cfg) {
-  require(g.n() >= 1, "elect_leader: empty graph");
-  require(g.is_connected(), "elect_leader: graph must be connected");
   Network net(g, cfg);
-  net.init_programs(
-      [](NodeId) { return std::make_unique<FloodMaxProgram>(); });
-  // Flood-max quiesces within D+2 rounds; n+2 is a safe hard ceiling.
-  ElectionOutcome out;
-  out.stats = net.run_until_quiescent(g.n() + 2);
-  check_internal(out.stats.quiesced, "elect_leader: flooding did not quiesce");
-  for (NodeId v = 0; v < g.n(); ++v) {
-    const auto& p = net.program_as<FloodMaxProgram>(v);
-    check_internal(p.max_seen() == g.n() - 1,
-                   "elect_leader: node missed the maximum id");
-  }
-  out.leader = g.n() - 1;
-  return out;
+  return elect_leader_on(net);
 }
 
 }  // namespace qc::algos

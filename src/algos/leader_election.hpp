@@ -1,7 +1,10 @@
 #pragma once
 
+#include <memory>
+
 #include "congest/network.hpp"
 #include "graph/graph.hpp"
+#include "util/error.hpp"
 
 namespace qc::algos {
 
@@ -29,11 +32,36 @@ class FloodMaxProgram : public congest::NodeProgram {
   void on_start(congest::NodeContext& ctx) override;
   void on_round(congest::NodeContext& ctx) override;
   std::uint64_t memory_bits() const override;
+  void serialize_state(congest::Message& out) const override;
+  void restore_state(const congest::Message& in) override;
 
   graph::NodeId max_seen() const { return max_seen_; }
 
  private:
   graph::NodeId max_seen_ = graph::kInvalidNode;
 };
+
+/// Engine-generic elect_leader driver (see the `_on` note in bfs_tree.hpp):
+/// runs against congest::Network or shard::ShardedNetwork alike; the plain
+/// elect_leader above delegates here with a fresh in-process Network.
+template <typename Net>
+ElectionOutcome elect_leader_on(Net& net) {
+  const graph::Graph& g = net.topology();
+  require(g.n() >= 1, "elect_leader: empty graph");
+  require(g.is_connected(), "elect_leader: graph must be connected");
+  net.init_programs(
+      [](graph::NodeId) { return std::make_unique<FloodMaxProgram>(); });
+  // Flood-max quiesces within D+2 rounds; n+2 is a safe hard ceiling.
+  ElectionOutcome out;
+  out.stats = net.run_until_quiescent(g.n() + 2);
+  check_internal(out.stats.quiesced, "elect_leader: flooding did not quiesce");
+  for (graph::NodeId v = 0; v < g.n(); ++v) {
+    const auto& p = net.template program_as<FloodMaxProgram>(v);
+    check_internal(p.max_seen() == g.n() - 1,
+                   "elect_leader: node missed the maximum id");
+  }
+  out.leader = g.n() - 1;
+  return out;
+}
 
 }  // namespace qc::algos

@@ -74,6 +74,18 @@ void NodeContext::broadcast(const Message& msg) {
   pending_sends_ += deg;
 }
 
+void NodeProgram::serialize_state(Message&) const {
+  throw Error(
+      "NodeProgram::serialize_state: this program does not implement shard "
+      "state transfer (required to read results from a sharded run)");
+}
+
+void NodeProgram::restore_state(const Message&) {
+  throw Error(
+      "NodeProgram::restore_state: this program does not implement shard "
+      "state transfer (required to read results from a sharded run)");
+}
+
 RunStats& RunStats::operator+=(const RunStats& other) {
   rounds += other.rounds;
   messages += other.messages;
@@ -457,6 +469,60 @@ std::uint32_t Network::run_parallel_block(std::uint32_t max_rounds,
   }
   phase += merged;
   return executed.load();
+}
+
+void Network::shard_set_observer_collection(bool collect) {
+  metrics_observer_.reset();
+  if (collect) {
+    // Non-null so deliver_range records into the caller's sink; never
+    // invoked directly because shard workers always pass a sink.
+    cfg_.observer = std::make_shared<CallbackObserver>(
+        [](NodeId, NodeId, const Message&, std::uint32_t) {});
+  } else {
+    cfg_.observer = nullptr;
+  }
+}
+
+void Network::shard_start_range(std::uint32_t begin, std::uint32_t end) {
+  std::uint32_t sends = 0;
+  for (NodeId v = begin; v < end; ++v) {
+    require(programs_[v] != nullptr,
+            "Network::shard_start_range: init_programs was not called");
+    programs_[v]->on_start(contexts_[v]);
+    sends += contexts_[v].pending_sends_;
+    contexts_[v].pending_sends_ = 0;
+  }
+  if (sends != 0) {
+    quiesce_->inflight.fetch_add(sends, std::memory_order_relaxed);
+  }
+}
+
+void Network::shard_begin_round() {
+  ++round_;
+  if (fault_enabled_) crash_index_.refresh(round_);
+}
+
+std::uint64_t Network::shard_memory_max_range(std::uint32_t begin,
+                                              std::uint32_t end) const {
+  std::uint64_t mx = 0;
+  for (NodeId v = begin; v < end; ++v) {
+    mx = std::max(mx, programs_[v]->memory_bits());
+  }
+  return mx;
+}
+
+Message Network::shard_extract_slot(std::uint32_t slot) {
+  require(slot < outbox_flat_.size() && port_used_flat_[slot] != 0,
+          "Network::shard_extract_slot: slot is not queued");
+  port_used_flat_[slot] = 0;
+  return std::move(outbox_flat_[slot]);  // move resets the slot to empty
+}
+
+void Network::shard_inject_slot(std::uint32_t slot, Message msg) {
+  require(slot < outbox_flat_.size() && port_used_flat_[slot] == 0,
+          "Network::shard_inject_slot: slot is already queued");
+  outbox_flat_[slot] = std::move(msg);
+  port_used_flat_[slot] = 1;
 }
 
 void Network::start_if_needed() {

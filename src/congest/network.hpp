@@ -157,6 +157,17 @@ class NodeProgram {
   /// is pure overhead for non-reporting programs); a program that audits
   /// memory must therefore report a nonzero value from round 1 onward.
   virtual std::uint64_t memory_bits() const { return 0; }
+
+  /// State transfer for the multi-process shard backend: append every bit
+  /// of observable program state to `out` as explicit-width fields. After a
+  /// sharded run the coordinator restores each worker-side program into a
+  /// local replica via restore_state, so driver code that reads results
+  /// through program_as works unchanged. The pair must round-trip exactly
+  /// (restore(serialize(p)) == p in every observable respect); the defaults
+  /// throw, so a program that was never taught to move its state fails
+  /// loudly at harvest time instead of silently reporting initial state.
+  virtual void serialize_state(Message& out) const;
+  virtual void restore_state(const Message& in);
 };
 
 /// How the network reacts to a bandwidth violation.
@@ -295,18 +306,98 @@ class Network {
   /// Stats accumulated since init_programs.
   const RunStats& stats() const { return stats_; }
 
- private:
-  /// A delivery buffered by one parallel worker for the round-barrier
-  /// flush. It names the receiver's inbox slot rather than the sender's
-  /// outbox slot so the flushed event carries the message *as delivered*
-  /// (after any fault corruption or bandwidth truncation); the inbox is
-  /// fully assembled and stable at the flush barrier.
+  /// A delivery buffered for a deferred observer flush (parallel workers at
+  /// the round barrier, shard workers shipping events to the coordinator).
+  /// It names the receiver's inbox slot rather than the sender's outbox
+  /// slot so the flushed event carries the message *as delivered* (after
+  /// any fault corruption or bandwidth truncation); the inbox is fully
+  /// assembled and stable once the deliver pass of the round is over.
   struct PendingDelivery {
     NodeId from;
     NodeId to;
     std::uint32_t inbox_index;
   };
 
+  // ---- Shard-backend hooks (src/congest/shard) ---------------------------
+  // A worker process of the multi-process backend holds a full Network
+  // replica and drives it through these entry points instead of run_rounds/
+  // run_until_quiescent: the coordinator owns the round loop and the
+  // quiescence / memory-audit decisions, and each worker executes only its
+  // owned slice of every round. The hooks reuse the exact deliver_range /
+  // compute_range / flat-outbox code paths of the in-process engines —
+  // which is what makes sharded executions bit-identical by construction.
+  // Boundary traffic moves by flat outbox slot index: the sending worker
+  // extracts a queued slot (without touching the quiescence counter — the
+  // send was already counted), the coordinator routes it, and the owning
+  // worker injects it into the same slot of its replica, where the normal
+  // delivery pass consumes it.
+
+  /// Replaces the observer configuration wholesale: with `collect` true a
+  /// placeholder observer is installed so deliver_range records events into
+  /// the caller's sink (the real observer lives coordinator-side); with
+  /// false observation is disabled entirely. Either way the construction-
+  /// time MetricsObserver is dropped — a worker must not double-report into
+  /// a registry inherited across fork.
+  void shard_set_observer_collection(bool collect);
+
+  /// on_start for nodes in [begin, end) — the worker's share of the
+  /// one-time start phase; queued sends are counted locally.
+  void shard_start_range(std::uint32_t begin, std::uint32_t end);
+
+  /// Advances to the next round (round_+1) and refreshes the crash index,
+  /// exactly as step_round's round prologue does.
+  void shard_begin_round();
+  std::uint32_t shard_round() const { return round_; }
+
+  void shard_deliver_range(std::uint32_t begin, std::uint32_t end,
+                           RunStats& local,
+                           std::vector<PendingDelivery>* sink) {
+    deliver_range(begin, end, local, sink);
+  }
+  void shard_compute_range(std::uint32_t begin, std::uint32_t end) {
+    compute_range(begin, end);
+  }
+
+  /// Max of memory_bits() over [begin, end); the worker's contribution to
+  /// the coordinator's audit decision (see memory_audit_).
+  std::uint64_t shard_memory_max_range(std::uint32_t begin,
+                                       std::uint32_t end) const;
+  /// The coordinator owns the disarm-after-round-1 decision for the whole
+  /// network; workers just follow it.
+  void shard_set_memory_audit(bool on) { memory_audit_ = on; }
+
+  std::uint32_t shard_slot_count() const {
+    return static_cast<std::uint32_t>(outbox_flat_.size());
+  }
+  /// First flat outbox slot of node v; v's port p queues into slot
+  /// shard_out_base(v) + p.
+  std::uint32_t shard_out_base(NodeId v) const { return out_base_[v]; }
+  bool shard_slot_pending(std::uint32_t slot) const {
+    return port_used_flat_[slot] != 0;
+  }
+  /// Moves a queued message out of `slot` and clears its flag. Does NOT
+  /// decrement the inflight counter: the message is still in flight (its
+  /// receiving worker's delivery pass decrements on consume), so the
+  /// per-worker counters sum to the single-process value.
+  Message shard_extract_slot(std::uint32_t slot);
+  /// Places a boundary message into `slot` (which must be free) and sets
+  /// its flag. Does NOT increment inflight: the sender's worker already
+  /// counted the send.
+  void shard_inject_slot(std::uint32_t slot, Message msg);
+
+  std::int64_t shard_inflight() const {
+    return quiesce_->inflight.load(std::memory_order_relaxed);
+  }
+  std::int64_t shard_halted() const {
+    return quiesce_->halted.load(std::memory_order_relaxed);
+  }
+
+  /// The message a buffered PendingDelivery refers to, as delivered.
+  const Message& shard_inbox_message(const PendingDelivery& d) const {
+    return contexts_[d.to].inbox_[d.inbox_index].msg;
+  }
+
+ private:
   void start_if_needed();
   /// Shared body of run_rounds / run_until_quiescent: executes one phase,
   /// accumulates it into the lifetime stats_, and returns the phase stats.

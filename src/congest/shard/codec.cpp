@@ -1,0 +1,365 @@
+#include "congest/shard/codec.hpp"
+
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace qc::congest::shard {
+
+using serve::ProtocolError;
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4;  // version, op, 2 reserved
+// Fixed stats block: u32 + u64*2 + u32 + u64 + u8 + u64*4.
+constexpr std::size_t kStatsBytes = 4 + 8 + 8 + 4 + 8 + 1 + 8 + 8 + 8 + 8;
+
+void proto_require(bool cond, const char* msg) {
+  if (!cond) throw ProtocolError(msg);
+}
+
+void append_le32(std::vector<std::uint8_t>& out, std::uint32_t x) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+  }
+}
+
+void append_le64(std::vector<std::uint8_t>& out, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+  }
+}
+
+/// Bounds-checked little-endian cursor. Every primitive read validates the
+/// remaining byte count, so a strict prefix of a valid payload fails at
+/// the first missing byte; done() rejects trailing bytes, so an overlong
+/// buffer fails too.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> buf) : buf_(buf) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return buf_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t x = 0;
+    for (int i = 0; i < 4; ++i) {
+      x |= static_cast<std::uint32_t>(buf_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return x;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) {
+      x |= static_cast<std::uint64_t>(buf_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return x;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+  const std::uint8_t* cursor() const { return buf_.data() + pos_; }
+
+  void skip(std::size_t k) {
+    need(k);
+    pos_ += k;
+  }
+
+  void done() const {
+    proto_require(pos_ == buf_.size(),
+                  "shard: payload has trailing bytes after its last field");
+  }
+
+ private:
+  void need(std::size_t k) const {
+    proto_require(buf_.size() - pos_ >= k,
+                  "shard: payload truncated inside a field");
+  }
+
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+void append_header(std::vector<std::uint8_t>& out, ShardOp op) {
+  out.push_back(kShardProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(op));
+  out.push_back(0);
+  out.push_back(0);
+}
+
+/// Validates the fixed header and returns a reader positioned at the body.
+Reader open_body(std::span<const std::uint8_t> payload, ShardOp expect) {
+  proto_require(decode_op(payload) == expect,
+                "shard: payload op does not match the expected frame type");
+  Reader r(payload);
+  r.skip(kHeaderBytes);
+  return r;
+}
+
+void append_message(std::vector<std::uint8_t>& out, const Message& m) {
+  require(m.num_fields() <= kMaxWireMessageFields,
+          "shard: message has more fields than the wire cap");
+  append_le32(out, static_cast<std::uint32_t>(m.num_fields()));
+  for (std::size_t i = 0; i < m.num_fields(); ++i) {
+    out.push_back(static_cast<std::uint8_t>(m.field_bits(i)));
+    append_le64(out, m.field(i));
+  }
+}
+
+Message read_message(Reader& r) {
+  const std::uint32_t count = r.u32();
+  proto_require(count <= kMaxWireMessageFields,
+                "shard: message field count exceeds the cap");
+  proto_require(r.remaining() >= static_cast<std::size_t>(count) * 9,
+                "shard: message field count disagrees with the payload size");
+  Message m;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t width = r.u8();
+    const std::uint64_t value = r.u64();
+    proto_require(width >= 1 && width <= 64,
+                  "shard: message field width outside [1,64]");
+    proto_require(width == 64 || value < (1ULL << width),
+                  "shard: message field value does not fit its width");
+    m.push(value, width);
+  }
+  return m;
+}
+
+void append_boundary(std::vector<std::uint8_t>& out,
+                     const std::vector<BoundaryMsg>& boundary) {
+  append_le32(out, static_cast<std::uint32_t>(boundary.size()));
+  for (const auto& b : boundary) {
+    append_le32(out, b.slot);
+    append_message(out, b.msg);
+  }
+}
+
+std::vector<BoundaryMsg> read_boundary(Reader& r) {
+  const std::uint32_t count = r.u32();
+  // Cheapest-possible encoding of one entry is 8 bytes (slot + empty
+  // message); reject length bombs before any allocation of that size.
+  proto_require(r.remaining() >= static_cast<std::size_t>(count) * 8,
+                "shard: boundary count disagrees with the payload size");
+  std::vector<BoundaryMsg> out(count);
+  for (auto& b : out) {
+    b.slot = r.u32();
+    b.msg = read_message(r);
+  }
+  return out;
+}
+
+void append_events(std::vector<std::uint8_t>& out,
+                   const std::vector<DeliveryEvent>& events) {
+  append_le32(out, static_cast<std::uint32_t>(events.size()));
+  for (const auto& e : events) {
+    append_le32(out, e.from);
+    append_le32(out, e.to);
+    append_message(out, e.msg);
+  }
+}
+
+std::vector<DeliveryEvent> read_events(Reader& r) {
+  const std::uint32_t count = r.u32();
+  proto_require(r.remaining() >= static_cast<std::size_t>(count) * 12,
+                "shard: event count disagrees with the payload size");
+  std::vector<DeliveryEvent> out(count);
+  for (auto& e : out) {
+    e.from = r.u32();
+    e.to = r.u32();
+    e.msg = read_message(r);
+  }
+  return out;
+}
+
+void append_stats(std::vector<std::uint8_t>& out, const RunStats& s) {
+  append_le32(out, s.rounds);
+  append_le64(out, s.messages);
+  append_le64(out, s.bits);
+  append_le32(out, s.max_edge_bits);
+  append_le64(out, s.violations);
+  out.push_back(s.quiesced ? 1 : 0);
+  append_le64(out, s.max_node_memory_bits);
+  append_le64(out, s.messages_dropped);
+  append_le64(out, s.messages_corrupted);
+  append_le64(out, s.crashed_node_rounds);
+}
+
+RunStats read_stats(Reader& r) {
+  proto_require(r.remaining() >= kStatsBytes,
+                "shard: payload truncated inside the stats block");
+  RunStats s;
+  s.rounds = r.u32();
+  s.messages = r.u64();
+  s.bits = r.u64();
+  s.max_edge_bits = r.u32();
+  s.violations = r.u64();
+  const std::uint8_t q = r.u8();
+  proto_require(q <= 1, "shard: stats quiesced byte is not 0 or 1");
+  s.quiesced = q == 1;
+  s.max_node_memory_bits = r.u64();
+  s.messages_dropped = r.u64();
+  s.messages_corrupted = r.u64();
+  s.crashed_node_rounds = r.u64();
+  return s;
+}
+
+}  // namespace
+
+const char* shard_op_name(ShardOp op) {
+  switch (op) {
+    case ShardOp::kStart: return "start";
+    case ShardOp::kStartDone: return "start-done";
+    case ShardOp::kRoundBegin: return "round-begin";
+    case ShardOp::kRoundEnd: return "round-end";
+    case ShardOp::kHarvest: return "harvest";
+    case ShardOp::kHarvestDone: return "harvest-done";
+    case ShardOp::kShutdown: return "shutdown";
+    case ShardOp::kError: return "error";
+  }
+  return "unknown";
+}
+
+ShardOp decode_op(std::span<const std::uint8_t> payload) {
+  proto_require(payload.size() >= kHeaderBytes,
+                "shard: payload shorter than the fixed header");
+  proto_require(payload[0] == kShardProtocolVersion,
+                "shard: unsupported protocol version");
+  proto_require(payload[1] <= kMaxShardOp, "shard: unknown op");
+  proto_require(payload[2] == 0 && payload[3] == 0,
+                "shard: nonzero reserved bytes");
+  return static_cast<ShardOp>(payload[1]);
+}
+
+std::vector<std::uint8_t> encode_empty(ShardOp op) {
+  std::vector<std::uint8_t> out;
+  append_header(out, op);
+  return out;
+}
+
+void decode_empty(std::span<const std::uint8_t> payload, ShardOp op) {
+  Reader r = open_body(payload, op);
+  r.done();
+}
+
+std::vector<std::uint8_t> encode_start_done(const StartDoneFrame& f) {
+  std::vector<std::uint8_t> out;
+  append_header(out, ShardOp::kStartDone);
+  append_le64(out, static_cast<std::uint64_t>(f.inflight));
+  append_le64(out, static_cast<std::uint64_t>(f.halted));
+  append_boundary(out, f.boundary);
+  return out;
+}
+
+StartDoneFrame decode_start_done(std::span<const std::uint8_t> payload) {
+  Reader r = open_body(payload, ShardOp::kStartDone);
+  StartDoneFrame f;
+  f.inflight = r.i64();
+  f.halted = r.i64();
+  f.boundary = read_boundary(r);
+  r.done();
+  return f;
+}
+
+std::vector<std::uint8_t> encode_round_begin(const RoundBeginFrame& f) {
+  std::vector<std::uint8_t> out;
+  append_header(out, ShardOp::kRoundBegin);
+  append_le32(out, f.round);
+  out.push_back(f.memory_audit ? 1 : 0);
+  append_boundary(out, f.boundary);
+  return out;
+}
+
+RoundBeginFrame decode_round_begin(std::span<const std::uint8_t> payload) {
+  Reader r = open_body(payload, ShardOp::kRoundBegin);
+  RoundBeginFrame f;
+  f.round = r.u32();
+  const std::uint8_t flags = r.u8();
+  proto_require(flags <= 1, "shard: unknown round-begin flag bits");
+  f.memory_audit = flags == 1;
+  f.boundary = read_boundary(r);
+  r.done();
+  return f;
+}
+
+std::vector<std::uint8_t> encode_round_end(const RoundEndFrame& f) {
+  std::vector<std::uint8_t> out;
+  append_header(out, ShardOp::kRoundEnd);
+  append_le32(out, f.round);
+  append_le64(out, static_cast<std::uint64_t>(f.inflight));
+  append_le64(out, static_cast<std::uint64_t>(f.halted));
+  append_stats(out, f.stats);
+  append_boundary(out, f.boundary);
+  append_events(out, f.events);
+  return out;
+}
+
+RoundEndFrame decode_round_end(std::span<const std::uint8_t> payload) {
+  Reader r = open_body(payload, ShardOp::kRoundEnd);
+  RoundEndFrame f;
+  f.round = r.u32();
+  f.inflight = r.i64();
+  f.halted = r.i64();
+  f.stats = read_stats(r);
+  f.boundary = read_boundary(r);
+  f.events = read_events(r);
+  r.done();
+  return f;
+}
+
+std::vector<std::uint8_t> encode_harvest_done(const HarvestDoneFrame& f) {
+  std::vector<std::uint8_t> out;
+  append_header(out, ShardOp::kHarvestDone);
+  append_le32(out, static_cast<std::uint32_t>(f.states.size()));
+  for (const auto& m : f.states) append_message(out, m);
+  return out;
+}
+
+HarvestDoneFrame decode_harvest_done(std::span<const std::uint8_t> payload) {
+  Reader r = open_body(payload, ShardOp::kHarvestDone);
+  const std::uint32_t count = r.u32();
+  proto_require(r.remaining() >= static_cast<std::size_t>(count) * 4,
+                "shard: harvest count disagrees with the payload size");
+  HarvestDoneFrame f;
+  f.states.resize(count);
+  for (auto& m : f.states) m = read_message(r);
+  r.done();
+  return f;
+}
+
+std::vector<std::uint8_t> encode_error(const std::string& text) {
+  // The worker composes the text itself; truncate rather than fail so an
+  // oversized what() can never wedge the error path.
+  std::string_view msg(text);
+  if (msg.size() > serve::kMaxMessageBytes) {
+    msg = msg.substr(0, serve::kMaxMessageBytes);
+  }
+  std::vector<std::uint8_t> out;
+  append_header(out, ShardOp::kError);
+  append_le32(out, static_cast<std::uint32_t>(msg.size()));
+  out.insert(out.end(), msg.begin(), msg.end());
+  return out;
+}
+
+std::string decode_error(std::span<const std::uint8_t> payload) {
+  Reader r = open_body(payload, ShardOp::kError);
+  const std::uint32_t len = r.u32();
+  proto_require(len <= serve::kMaxMessageBytes,
+                "shard: error text length exceeds the cap");
+  proto_require(r.remaining() == len,
+                "shard: error length disagrees with the payload size");
+  std::string text(reinterpret_cast<const char*>(r.cursor()), len);
+  r.skip(len);
+  r.done();
+  return text;
+}
+
+}  // namespace qc::congest::shard

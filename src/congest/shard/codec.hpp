@@ -1,0 +1,153 @@
+#pragma once
+
+// Shard wire protocol — the coordinator <-> worker frames of the
+// multi-process CONGEST backend.
+//
+// Framing reuses serve::read_frame / serve::write_frame (u32 length prefix,
+// little-endian, truncation is an error) under a larger cap, and the payload
+// validation follows the same adversarial discipline as src/serve/protocol:
+// every count is capped and cross-checked against the remaining bytes,
+// unknown version/op bytes and nonzero reserved bytes are rejected, and a
+// payload with trailing bytes after its last field is malformed — so every
+// strict prefix and every overlong buffer of a valid payload fails decoding.
+//
+// Grammar (all integers little-endian):
+//
+//   frame        := u32 payload_len | payload      len in [1, kMaxShardFrameBytes]
+//   payload      := u8 version | u8 op | u8 x2 reserved(0) | body
+//   message      := u32 num_fields | num_fields x (u8 width | u64 value)
+//                   width in [1,64], value < 2^width
+//   boundary     := u32 count | count x (u32 slot | message)
+//   events       := u32 count | count x (u32 from | u32 to | message)
+//   stats        := u32 rounds | u64 messages | u64 bits | u32 max_edge_bits
+//                 | u64 violations | u8 quiesced | u64 max_node_memory_bits
+//                 | u64 messages_dropped | u64 messages_corrupted
+//                 | u64 crashed_node_rounds
+//
+//   body by op (direction):
+//     start        (c->w) := (empty)                 run on_start, report
+//     start_done   (w->c) := i64 inflight | i64 halted | boundary
+//     round_begin  (c->w) := u32 round | u8 flags | boundary
+//                            flags bit 0: memory audit armed
+//     round_end    (w->c) := u32 round | i64 inflight | i64 halted
+//                          | stats | boundary | events
+//     harvest      (c->w) := (empty)                 serialize owned programs
+//     harvest_done (w->c) := u32 count | count x message
+//     shutdown     (c->w) := (empty)                 worker exits 0
+//     error        (w->c) := u32 len | len bytes     worker failed; text
+//
+// `slot` is a flat outbox slot index of the (identical) Network replica
+// every process holds — see Network::shard_out_base. `boundary` lists are
+// in extraction order (sender ascending, port ascending); `events` are in
+// delivery order (receiver ascending, port ascending). Full protocol and
+// determinism contract: docs/distributed.md.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "congest/network.hpp"
+#include "serve/protocol.hpp"
+
+namespace qc::congest::shard {
+
+using graph::NodeId;
+
+inline constexpr std::uint8_t kShardProtocolVersion = 1;
+
+/// Hard cap on one shard frame's payload. Round frames carry one message
+/// per boundary arc (or per delivered edge when observer events ship), so
+/// the cap scales with the largest supported per-round cut, not with n;
+/// 64 MiB covers every workload in this repo with two orders of margin.
+/// A frame above the cap is a protocol error — producers must respect it.
+inline constexpr std::uint32_t kMaxShardFrameBytes = 1u << 26;
+/// Cap on fields in one wire message. CONGEST messages are bandwidth-
+/// bounded (O(log n) bits, so a handful of fields); 4096 is absurdly
+/// generous and still rejects length-bomb payloads cheaply.
+inline constexpr std::uint32_t kMaxWireMessageFields = 4096;
+
+enum class ShardOp : std::uint8_t {
+  kStart = 0,
+  kStartDone = 1,
+  kRoundBegin = 2,
+  kRoundEnd = 3,
+  kHarvest = 4,
+  kHarvestDone = 5,
+  kShutdown = 6,
+  kError = 7,
+};
+inline constexpr std::uint8_t kMaxShardOp =
+    static_cast<std::uint8_t>(ShardOp::kError);
+
+const char* shard_op_name(ShardOp op);
+
+/// A boundary-edge message in transit, addressed by the flat outbox slot it
+/// occupies in every replica.
+struct BoundaryMsg {
+  std::uint32_t slot = 0;
+  Message msg;
+};
+
+/// One delivered message a worker ships for the coordinator's observer
+/// flush (the round is implicit in the enclosing round_end frame).
+struct DeliveryEvent {
+  NodeId from = 0;
+  NodeId to = 0;
+  Message msg;
+};
+
+struct StartDoneFrame {
+  std::int64_t inflight = 0;
+  std::int64_t halted = 0;
+  std::vector<BoundaryMsg> boundary;
+};
+
+struct RoundBeginFrame {
+  std::uint32_t round = 0;
+  bool memory_audit = false;
+  std::vector<BoundaryMsg> boundary;
+};
+
+struct RoundEndFrame {
+  std::uint32_t round = 0;
+  std::int64_t inflight = 0;
+  std::int64_t halted = 0;
+  RunStats stats;  ///< this worker's slice of the round (quiesced unused)
+  std::vector<BoundaryMsg> boundary;
+  std::vector<DeliveryEvent> events;
+};
+
+struct HarvestDoneFrame {
+  std::vector<Message> states;  ///< owned programs, canonical node order
+};
+
+/// Peeks the op byte of a framed payload after validating the fixed
+/// header (length, version, reserved bytes). Throws serve::ProtocolError —
+/// the shard codec reuses the serve error type so callers handle one
+/// "peer violated the protocol" exception class across both protocols.
+ShardOp decode_op(std::span<const std::uint8_t> payload);
+
+// encode_* never fails for inputs within the documented caps; decode_*
+// throws serve::ProtocolError on anything malformed. The body-free ops
+// (start, harvest, shutdown) share encode_empty / decode_empty.
+std::vector<std::uint8_t> encode_empty(ShardOp op);
+void decode_empty(std::span<const std::uint8_t> payload, ShardOp op);
+
+std::vector<std::uint8_t> encode_start_done(const StartDoneFrame& f);
+StartDoneFrame decode_start_done(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_round_begin(const RoundBeginFrame& f);
+RoundBeginFrame decode_round_begin(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_round_end(const RoundEndFrame& f);
+RoundEndFrame decode_round_end(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_harvest_done(const HarvestDoneFrame& f);
+HarvestDoneFrame decode_harvest_done(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_error(const std::string& text);
+std::string decode_error(std::span<const std::uint8_t> payload);
+
+}  // namespace qc::congest::shard

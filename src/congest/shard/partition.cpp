@@ -1,0 +1,64 @@
+#include "congest/shard/partition.hpp"
+
+#include "util/error.hpp"
+
+namespace qc::congest::shard {
+
+std::vector<std::uint32_t> ContiguousPartitioner::assign(
+    const graph::Graph& g, std::uint32_t shards) const {
+  const std::uint32_t n = g.n();
+  std::vector<std::uint32_t> shard_of(n);
+  const std::uint32_t base = n / shards;
+  const std::uint32_t extra = n % shards;
+  std::uint32_t v = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const std::uint32_t size = base + (s < extra ? 1 : 0);
+    for (std::uint32_t i = 0; i < size; ++i) shard_of[v++] = s;
+  }
+  return shard_of;
+}
+
+ShardAssignment make_assignment(const graph::Graph& g, std::uint32_t shards,
+                                const Partitioner& p) {
+  require(shards >= 1, "shard: need at least one shard");
+  require(shards <= g.n(),
+          "shard: more shards than nodes (every worker must own a node)");
+  ShardAssignment a;
+  a.shards = shards;
+  a.shard_of = p.assign(g, shards);
+  require(a.shard_of.size() == g.n(),
+          "shard: partitioner returned the wrong number of owners");
+  a.runs.assign(shards, {});
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const std::uint32_t s = a.shard_of[v];
+    require(s < shards, "shard: partitioner assigned an out-of-range shard");
+    auto& r = a.runs[s];
+    if (!r.empty() && r.back().second == v) {
+      r.back().second = v + 1;  // extend the current run
+    } else {
+      r.emplace_back(v, v + 1);
+    }
+  }
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    require(!a.runs[s].empty(),
+            "shard: partitioner left shard " + std::to_string(s) + " empty");
+  }
+  return a;
+}
+
+std::vector<std::pair<NodeId, NodeId>> boundary_arcs(const graph::Graph& g,
+                                                     const ShardAssignment& a,
+                                                     std::uint32_t s) {
+  require(s < a.shards, "boundary_arcs: shard out of range");
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  for (const auto& [b, e] : a.runs[s]) {
+    for (NodeId u = b; u < e; ++u) {
+      for (const NodeId v : g.neighbors(u)) {
+        if (a.shard_of[v] != s) arcs.emplace_back(u, v);
+      }
+    }
+  }
+  return arcs;
+}
+
+}  // namespace qc::congest::shard

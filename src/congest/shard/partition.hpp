@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qc::congest::shard {
+
+using graph::NodeId;
+
+/// A validated node-to-worker assignment plus the derived structure the
+/// runtime iterates: per shard, the maximal runs of consecutively owned
+/// node ids. The contiguous default yields exactly one run per shard, so
+/// worker round loops cost one range call; an arbitrary owner map (a
+/// future PowerGraph-style edge-cut partitioner) still works, just with
+/// more runs. Runs are ascending, which keeps every worker's delivery and
+/// event order ascending in receiver id — the property the coordinator's
+/// canonical observer merge relies on (see docs/distributed.md).
+struct ShardAssignment {
+  std::uint32_t shards = 0;
+  std::vector<std::uint32_t> shard_of;  ///< node -> owning shard
+  /// Per shard: maximal [begin, end) runs of owned ids, ascending.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> runs;
+
+  std::uint32_t owner(NodeId v) const { return shard_of[v]; }
+
+  std::uint64_t owned_count(std::uint32_t s) const {
+    std::uint64_t c = 0;
+    for (const auto& [b, e] : runs[s]) c += e - b;
+    return c;
+  }
+};
+
+/// Strategy interface: maps every node to one of `shards` workers.
+/// Implementations must cover every node exactly once (enforced by
+/// make_assignment) and leave no shard empty.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Returns shard_of: one owner in [0, shards) per node.
+  virtual std::vector<std::uint32_t> assign(const graph::Graph& g,
+                                            std::uint32_t shards) const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Balanced contiguous ranges: the first n % W shards own ceil(n/W) ids,
+/// the rest floor(n/W) — every shard non-empty whenever W <= n. Contiguity
+/// keeps boundary arcs proportional to the cut of an interval partition
+/// and gives each worker a single iteration run.
+class ContiguousPartitioner final : public Partitioner {
+ public:
+  std::vector<std::uint32_t> assign(const graph::Graph& g,
+                                    std::uint32_t shards) const override;
+  const char* name() const override { return "contiguous"; }
+};
+
+/// Validates a partitioner's output (size n, every owner in range, every
+/// node assigned exactly once by construction of the map, every shard
+/// non-empty) and derives the per-shard runs. Requires 1 <= shards <= n.
+ShardAssignment make_assignment(const graph::Graph& g, std::uint32_t shards,
+                                const Partitioner& p);
+
+/// Directed boundary arcs (u, v) with owner(u) == s and owner(v) != s, in
+/// (u ascending, port ascending) order — exactly the order shard s
+/// extracts outbound boundary messages in. Test/tooling helper; the
+/// runtime precomputes its own slot tables.
+std::vector<std::pair<NodeId, NodeId>> boundary_arcs(const graph::Graph& g,
+                                                     const ShardAssignment& a,
+                                                     std::uint32_t s);
+
+}  // namespace qc::congest::shard

@@ -1,0 +1,437 @@
+#include "congest/shard/sharded_network.hpp"
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "congest/shard/worker.hpp"
+#include "serve/protocol.hpp"
+#include "util/bits.hpp"
+#include "util/metrics.hpp"
+
+namespace qc::congest::shard {
+
+namespace {
+
+/// Closes every fd of the freshly forked child except stdio and `keep`:
+/// the child inherits the parent's whole fd table (other workers'
+/// coordinator-side sockets, listening sockets, open logs...), and a held
+/// duplicate of another worker's socket would defeat EOF-based teardown.
+/// mmap'ed graph payloads stay valid — a mapping outlives its fd.
+void close_other_fds(int keep) {
+  std::vector<int> to_close;
+  if (DIR* d = ::opendir("/proc/self/fd")) {
+    const int dir_fd = ::dirfd(d);
+    while (const dirent* ent = ::readdir(d)) {
+      char* end = nullptr;
+      const long fd = std::strtol(ent->d_name, &end, 10);
+      if (end == ent->d_name || *end != '\0') continue;  // "." / ".."
+      if (fd <= 2 || fd == keep || fd == dir_fd) continue;
+      to_close.push_back(static_cast<int>(fd));
+    }
+    ::closedir(d);
+  } else {
+    for (int fd = 3; fd < 1024; ++fd) {
+      if (fd != keep) to_close.push_back(fd);
+    }
+  }
+  for (const int fd : to_close) ::close(fd);
+}
+
+/// Sums worker round deltas the way the in-process engines merge per-round
+/// / per-thread stats: counters add, maxima combine by max. Deliberately
+/// not RunStats::operator+= (which also adds `rounds` and overwrites
+/// `quiesced`; the coordinator owns both of those).
+void merge_worker_stats(RunStats& into, const RunStats& d) {
+  into.messages += d.messages;
+  into.bits += d.bits;
+  into.max_edge_bits = std::max(into.max_edge_bits, d.max_edge_bits);
+  into.violations += d.violations;
+  into.max_node_memory_bits =
+      std::max(into.max_node_memory_bits, d.max_node_memory_bits);
+  into.messages_dropped += d.messages_dropped;
+  into.messages_corrupted += d.messages_corrupted;
+  into.crashed_node_rounds += d.crashed_node_rounds;
+}
+
+}  // namespace
+
+ShardedNetwork::ShardedNetwork(const graph::Graph& g, ShardConfig cfg)
+    : graph_(&g), cfg_(std::move(cfg)) {
+  bandwidth_bits_ = cfg_.net.bandwidth_bits != 0
+                        ? cfg_.net.bandwidth_bits
+                        : qc::congest_bandwidth_bits(g.n());
+  const ContiguousPartitioner contiguous;
+  const Partitioner& p =
+      cfg_.partitioner != nullptr ? *cfg_.partitioner : contiguous;
+  asn_ = make_assignment(g, cfg_.shards, p);
+  // Routing table: the flat slot of sender u's port p targets
+  // neighbors(u)[p], so the slot's messages belong to that receiver's
+  // worker. Built once; slot numbering is identical in every replica
+  // because it derives from the shared CSR adjacency alone.
+  slot_receiver_shard_.reserve(g.csr_neighbors().size());
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      slot_receiver_shard_.push_back(asn_.shard_of[v]);
+    }
+  }
+  replicas_.resize(g.n());
+}
+
+ShardedNetwork::~ShardedNetwork() { teardown(/*graceful=*/!broken_); }
+
+std::vector<pid_t> ShardedNetwork::worker_pids() const {
+  std::vector<pid_t> pids;
+  pids.reserve(workers_.size());
+  for (const auto& w : workers_) pids.push_back(w.pid);
+  return pids;
+}
+
+void ShardedNetwork::init_programs(const ProgramFactory& make) {
+  teardown(/*graceful=*/!broken_);
+  factory_ = make;
+  for (NodeId v = 0; v < n(); ++v) {
+    replicas_[v] = make(v);
+    require(replicas_[v] != nullptr,
+            "ShardedNetwork::init_programs: factory returned null");
+  }
+  round_ = 0;
+  stats_ = RunStats{};
+  started_ = false;
+  broken_ = false;
+  needs_harvest_ = false;  // replicas hold pristine initial state
+  memory_audit_ = true;
+  interrupted_ = false;
+  spawn_workers();
+}
+
+void ShardedNetwork::spawn_workers() {
+  const bool collect_events = cfg_.net.observer != nullptr;
+  workers_.assign(asn_.shards, Worker{});
+  // Any buffered stdio the child inherits would be flushed twice (once per
+  // process); drain it while there is still only one process.
+  std::fflush(nullptr);
+  for (std::uint32_t s = 0; s < asn_.shards; ++s) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      const std::string err = std::strerror(errno);
+      teardown(/*graceful=*/false);
+      throw Error("ShardedNetwork: socketpair failed: " + err);
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const std::string err = std::strerror(errno);
+      ::close(sv[0]);
+      ::close(sv[1]);
+      teardown(/*graceful=*/false);
+      throw Error("ShardedNetwork: fork failed: " + err);
+    }
+    if (pid == 0) {
+      // Worker process. Drop the inherited fd table (including earlier
+      // workers' coordinator ends) and the inherited metrics registry —
+      // the coordinator reports shard metrics; a worker reporting into a
+      // fork-shared registry would double-count and the export would be
+      // lost at _exit anyway.
+      close_other_fds(sv[1]);
+      metrics::set_global(nullptr);
+      const int rc = run_worker(sv[1], *graph_, cfg_.net, asn_, s,
+                                collect_events, factory_);
+      // _exit, not exit: the child must not run the parent's atexit
+      // handlers (leak-check finalizers, stdio flushes of inherited
+      // buffers) — the same discipline as qcongestd's test forks.
+      ::_exit(rc);
+    }
+    ::close(sv[1]);
+    workers_[s].pid = pid;
+    workers_[s].fd = sv[0];
+  }
+  spawned_ = true;
+  metrics::count("shard.spawns", asn_.shards);
+  metrics::gauge("shard.workers", static_cast<double>(asn_.shards));
+}
+
+std::string ShardedNetwork::teardown(bool graceful) {
+  std::string problems;
+  if (graceful) {
+    const auto bye = encode_empty(ShardOp::kShutdown);
+    for (auto& w : workers_) {
+      if (w.fd < 0) continue;
+      try {
+        serve::write_frame(w.fd, bye, kMaxShardFrameBytes);
+      } catch (...) {  // a dead worker is reported via its exit status
+      }
+    }
+  }
+  for (auto& w : workers_) {
+    if (w.fd >= 0) {
+      ::close(w.fd);  // EOF tells a healthy worker to exit 0
+      w.fd = -1;
+    }
+  }
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    auto& w = workers_[s];
+    if (w.pid <= 0) continue;
+    if (!graceful) ::kill(w.pid, SIGKILL);
+    int st = 0;
+    bool reaped = false;
+    // Workers exit promptly on shutdown/EOF; poll briefly, then escalate
+    // so a wedged worker can never hang the coordinator.
+    for (int i = 0; i < 5000; ++i) {
+      const pid_t r = ::waitpid(w.pid, &st, WNOHANG);
+      if (r == w.pid || (r < 0 && errno == ECHILD)) {
+        reaped = true;
+        break;
+      }
+      ::usleep(1000);
+    }
+    if (!reaped) {
+      ::kill(w.pid, SIGKILL);
+      ::waitpid(w.pid, &st, 0);
+      problems += "worker " + std::to_string(s) + " had to be SIGKILLed; ";
+    } else if (graceful && !(WIFEXITED(st) && WEXITSTATUS(st) == 0)) {
+      problems += "worker " + std::to_string(s) +
+                  (WIFSIGNALED(st)
+                       ? " died on signal " + std::to_string(WTERMSIG(st))
+                       : " exited with status " +
+                             std::to_string(WIFEXITED(st) ? WEXITSTATUS(st)
+                                                          : -1)) +
+                  "; ";
+    }
+    w.pid = -1;
+  }
+  spawned_ = false;
+  return problems;
+}
+
+void ShardedNetwork::shutdown() {
+  if (!spawned_) return;
+  const std::string problems = teardown(/*graceful=*/!broken_);
+  if (!problems.empty()) {
+    throw Error("ShardedNetwork::shutdown: " + problems);
+  }
+}
+
+void ShardedNetwork::mark_broken() {
+  broken_ = true;
+  teardown(/*graceful=*/false);
+}
+
+void ShardedNetwork::send_to(std::size_t w,
+                             const std::vector<std::uint8_t>& payload) {
+  try {
+    serve::write_frame(workers_[w].fd, payload, kMaxShardFrameBytes);
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    mark_broken();
+    throw Error("shard: worker " + std::to_string(w) +
+                " is unreachable (crashed?): " + what);
+  }
+}
+
+std::vector<std::uint8_t> ShardedNetwork::recv_from(std::size_t w) {
+  std::vector<std::uint8_t> payload;
+  bool ok = false;
+  try {
+    ok = serve::read_frame(workers_[w].fd, payload, kMaxShardFrameBytes);
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    mark_broken();
+    throw Error("shard: worker " + std::to_string(w) +
+                " sent a malformed frame: " + what);
+  }
+  if (!ok) {
+    mark_broken();
+    throw Error("shard: worker " + std::to_string(w) +
+                " exited mid-run (crashed?)");
+  }
+  if (decode_op(payload) == ShardOp::kError) {
+    const std::string text = decode_error(payload);
+    mark_broken();
+    throw Error("shard: worker " + std::to_string(w) + " failed: " + text);
+  }
+  return payload;
+}
+
+void ShardedNetwork::route_boundary(std::size_t from_worker,
+                                    std::vector<BoundaryMsg>&& boundary) {
+  for (auto& bm : boundary) {
+    if (bm.slot >= slot_receiver_shard_.size()) {
+      mark_broken();
+      throw Error("shard: worker " + std::to_string(from_worker) +
+                  " sent an out-of-range boundary slot");
+    }
+    workers_[slot_receiver_shard_[bm.slot]].pending.push_back(std::move(bm));
+  }
+}
+
+bool ShardedNetwork::all_quiet() const {
+  std::int64_t inflight = 0;
+  std::int64_t halted = 0;
+  for (const auto& w : workers_) {
+    inflight += w.inflight;
+    halted += w.halted;
+  }
+  // Per-worker counters can individually go negative (a worker that mostly
+  // receives decrements more than it increments), but the sums track the
+  // single-process counters exactly: every queued message is counted +1 by
+  // its sender's worker and -1 by its receiver's worker.
+  return halted == static_cast<std::int64_t>(n()) && inflight == 0;
+}
+
+void ShardedNetwork::start_if_needed() {
+  if (started_) return;
+  const auto go = encode_empty(ShardOp::kStart);
+  for (std::size_t w = 0; w < workers_.size(); ++w) send_to(w, go);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    StartDoneFrame f = decode_start_done(recv_from(w));
+    workers_[w].inflight = f.inflight;
+    workers_[w].halted = f.halted;
+    route_boundary(w, std::move(f.boundary));
+  }
+  started_ = true;
+}
+
+void ShardedNetwork::flush_events(
+    std::vector<std::vector<DeliveryEvent>>& per_worker, std::uint32_t round) {
+  DeliveryObserver* const obs = cfg_.net.observer.get();
+  // Each worker's batch is already ascending in receiver id (workers
+  // deliver their runs in ascending order) and receivers are disjoint
+  // across workers, so merging by smallest front receiver reproduces the
+  // sequential engine's (round, receiver, port) order exactly. For the
+  // contiguous partitioner this degenerates to concatenation.
+  std::vector<std::size_t> idx(per_worker.size(), 0);
+  for (;;) {
+    std::size_t best = per_worker.size();
+    for (std::size_t w = 0; w < per_worker.size(); ++w) {
+      if (idx[w] >= per_worker[w].size()) continue;
+      if (best == per_worker.size() ||
+          per_worker[w][idx[w]].to < per_worker[best][idx[best]].to) {
+        best = w;
+      }
+    }
+    if (best == per_worker.size()) break;
+    const DeliveryEvent& e = per_worker[best][idx[best]++];
+    obs->on_deliver(e.from, e.to, e.msg, round);
+  }
+}
+
+RunStats ShardedNetwork::run_phase(std::uint32_t max_rounds, bool until_quiet) {
+  require(spawned_,
+          "ShardedNetwork::run: init_programs was not called (or the "
+          "network was shut down)");
+  require(!broken_,
+          "ShardedNetwork::run: a worker failed earlier; call init_programs "
+          "to respawn");
+  metrics::ScopedTimer span("shard.phase");
+  start_if_needed();
+  RunStats phase;
+  std::uint64_t boundary_messages = 0;
+  std::uint64_t events_merged = 0;
+  std::uint32_t executed = 0;
+  std::vector<std::vector<DeliveryEvent>> events(workers_.size());
+  while (executed < max_rounds && !(until_quiet && all_quiet())) {
+    if (cfg_.stop != nullptr &&
+        cfg_.stop->load(std::memory_order_relaxed)) {
+      interrupted_ = true;
+      break;
+    }
+    ++round_;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      RoundBeginFrame rb;
+      rb.round = round_;
+      rb.memory_audit = memory_audit_;
+      rb.boundary = std::move(workers_[w].pending);
+      workers_[w].pending.clear();
+      send_to(w, encode_round_begin(rb));
+    }
+    RunStats round_merged;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      RoundEndFrame re = decode_round_end(recv_from(w));
+      if (re.round != round_) {
+        mark_broken();
+        throw Error("shard: worker " + std::to_string(w) +
+                    " answered for the wrong round");
+      }
+      merge_worker_stats(round_merged, re.stats);
+      workers_[w].inflight = re.inflight;
+      workers_[w].halted = re.halted;
+      boundary_messages += re.boundary.size();
+      route_boundary(w, std::move(re.boundary));
+      events[w] = std::move(re.events);
+      events_merged += events[w].size();
+    }
+    if (cfg_.net.observer != nullptr) flush_events(events, round_);
+    // The disarm-after-round-1 rule of the in-process engines, decided
+    // globally: workers sweep only their owned programs, so only the
+    // merged round-1 maximum can tell whether anyone audits memory.
+    if (memory_audit_ && round_ == 1 &&
+        round_merged.max_node_memory_bits == 0) {
+      memory_audit_ = false;
+    }
+    merge_worker_stats(phase, round_merged);
+    ++executed;
+  }
+  phase.rounds = executed;
+  phase.quiesced = all_quiet();
+  stats_ += phase;
+  needs_harvest_ = true;
+  span.add(phase.rounds, phase.messages, phase.bits);
+  if (metrics::enabled()) {
+    metrics::count("shard.phases");
+    metrics::count("shard.rounds", phase.rounds);
+    metrics::count("shard.boundary_messages", boundary_messages);
+    metrics::count("shard.observer_events_merged", events_merged);
+  }
+  return phase;
+}
+
+RunStats ShardedNetwork::run_rounds(std::uint32_t rounds) {
+  return run_phase(rounds, /*until_quiet=*/false);
+}
+
+RunStats ShardedNetwork::run_until_quiescent(std::uint32_t max_rounds) {
+  return run_phase(max_rounds, /*until_quiet=*/true);
+}
+
+void ShardedNetwork::sync_programs() {
+  if (!needs_harvest_) return;
+  require(spawned_ && !broken_,
+          "ShardedNetwork::program: workers are gone; results from the last "
+          "run are unavailable (read them before shutdown)");
+  const auto req = encode_empty(ShardOp::kHarvest);
+  for (std::size_t w = 0; w < workers_.size(); ++w) send_to(w, req);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    HarvestDoneFrame f = decode_harvest_done(recv_from(w));
+    if (f.states.size() != asn_.owned_count(static_cast<std::uint32_t>(w))) {
+      mark_broken();
+      throw Error("shard: worker " + std::to_string(w) +
+                  " harvested the wrong number of programs");
+    }
+    std::size_t i = 0;
+    for (const auto& [b, e] : asn_.runs[w]) {
+      for (NodeId v = b; v < e; ++v) {
+        replicas_[v]->restore_state(f.states[i++]);
+      }
+    }
+  }
+  metrics::count("shard.harvests");
+  needs_harvest_ = false;
+}
+
+NodeProgram& ShardedNetwork::program(NodeId v) {
+  require(v < n() && replicas_[v] != nullptr,
+          "ShardedNetwork::program: no program");
+  sync_programs();
+  return *replicas_[v];
+}
+
+}  // namespace qc::congest::shard

@@ -1,0 +1,180 @@
+#pragma once
+
+// Multi-process CONGEST execution: the coordinator side.
+//
+// ShardedNetwork mirrors congest::Network's driver-facing API
+// (init_programs / run_rounds / run_until_quiescent / stats / program_as)
+// but executes rounds across W worker processes. At init_programs the
+// coordinator forks W workers connected by socketpairs; fork inherits the
+// graph and the program factory, so every worker builds a bit-identical
+// Network replica and owns one partition slice of its nodes. Each round the
+// coordinator sends every worker a round-begin frame carrying the boundary
+// messages addressed to it, workers run the unchanged zero-allocation
+// deliver/compute hot path over their owned ranges, and reply with their
+// stats delta, quiescence counters, outbound boundary messages and (when an
+// observer is installed) their delivery events. The round barrier is the
+// only synchronization point in the whole design: within a round workers
+// share nothing and proceed independently.
+//
+// Determinism contract (enforced by tests/test_differential.cpp and
+// tests/test_shard.cpp): RunStats, fault-injection outcomes, report fields
+// and the observer event stream of a sharded run are bit-identical to the
+// single-process engines for every worker count. Stats merge by sum/max
+// (order-independent), fault decisions are stateless hashes of
+// (seed, round, from, to) (process-invariant by construction), per-node
+// RNGs derive from (seed, node id) identically in every replica, and the
+// coordinator k-way merges worker event batches back into the canonical
+// (round, receiver ascending, port ascending) order before invoking the
+// user observer. See docs/distributed.md for the full argument.
+//
+// Program results flow back through NodeProgram::serialize_state /
+// restore_state: on first access to program(v) after a run the coordinator
+// harvests every worker's owned program states and restores them into
+// local replicas built by the same factory, so existing driver code reads
+// outcomes exactly as it does from an in-process Network.
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "congest/shard/codec.hpp"
+#include "congest/shard/partition.hpp"
+
+namespace qc::congest::shard {
+
+struct ShardConfig {
+  /// Worker process count W; must satisfy 1 <= W <= n. W=1 still runs the
+  /// full fork/protocol path (useful as the parity baseline that exercises
+  /// identical machinery).
+  std::uint32_t shards = 2;
+  /// The network configuration every worker replica is built with. The
+  /// observer (if any) is invoked coordinator-side only, in canonical
+  /// order; bandwidth/fault/seed semantics are identical to Network's.
+  NetworkConfig net;
+  /// Node-to-worker strategy; null means ContiguousPartitioner.
+  std::shared_ptr<const Partitioner> partitioner;
+  /// Optional cooperative stop: checked between rounds (e.g. from a
+  /// SIGTERM handler); when it reads true the phase ends early and
+  /// interrupted() reports it. The workers still shut down cleanly.
+  std::atomic<bool>* stop = nullptr;
+};
+
+class ShardedNetwork {
+ public:
+  using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(NodeId)>;
+
+  ShardedNetwork(const graph::Graph& g, ShardConfig cfg = {});
+  ~ShardedNetwork();
+
+  ShardedNetwork(const ShardedNetwork&) = delete;
+  ShardedNetwork& operator=(const ShardedNetwork&) = delete;
+
+  /// Builds coordinator-side program replicas and (re)spawns the W worker
+  /// processes, each constructing its own replica network. Clears any
+  /// previous run's state, exactly like Network::init_programs.
+  void init_programs(const ProgramFactory& make);
+
+  /// Runs exactly `rounds` rounds across the workers; returns this call's
+  /// stats only (the same per-phase semantics as Network::run_rounds).
+  RunStats run_rounds(std::uint32_t rounds);
+
+  /// Runs until global quiescence (every node halted, no message in
+  /// flight anywhere) or `max_rounds`; stats.quiesced tells which.
+  RunStats run_until_quiescent(std::uint32_t max_rounds);
+
+  const graph::Graph& topology() const { return *graph_; }
+  std::uint32_t n() const { return graph_->n(); }
+  std::uint32_t bandwidth_bits() const { return bandwidth_bits_; }
+  const ShardAssignment& assignment() const { return asn_; }
+
+  /// Coordinator-side replica of node v's program, lazily synchronized
+  /// from the workers (one harvest round-trip per run phase, on first
+  /// access). Requires the workers to be alive — read results before
+  /// shutdown().
+  NodeProgram& program(NodeId v);
+
+  template <typename T>
+  T& program_as(NodeId v) {
+    auto* p = dynamic_cast<T*>(&program(v));
+    require(p != nullptr, "ShardedNetwork::program_as: wrong program type");
+    return *p;
+  }
+
+  /// Stats accumulated since init_programs.
+  const RunStats& stats() const { return stats_; }
+
+  /// True when the last phase ended because cfg.stop read true.
+  bool interrupted() const { return interrupted_; }
+
+  /// Worker pids, for process-hygiene checks in tests and tooling.
+  std::vector<pid_t> worker_pids() const;
+
+  /// Graceful teardown: sends every worker a shutdown frame, closes the
+  /// sockets and reaps the processes. Throws qc::Error if any worker did
+  /// not exit cleanly with status 0. Idempotent; the destructor performs
+  /// the same teardown without throwing.
+  void shutdown();
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+    /// Latest reported quiescence counters; their sums over workers equal
+    /// the single-process counters at every round boundary (extraction
+    /// does not decrement, injection does not increment — see the
+    /// shard hooks in congest/network.hpp).
+    std::int64_t inflight = 0;
+    std::int64_t halted = 0;
+    /// Boundary messages routed to this worker, delivered with the next
+    /// round-begin frame.
+    std::vector<BoundaryMsg> pending;
+  };
+
+  void spawn_workers();
+  /// Closes sockets and reaps every worker. `graceful` sends shutdown
+  /// frames first and expects exit 0; non-graceful SIGKILLs. Returns a
+  /// description of anything abnormal ("" when clean). Never throws.
+  std::string teardown(bool graceful);
+  void mark_broken();
+  RunStats run_phase(std::uint32_t max_rounds, bool until_quiet);
+  void start_if_needed();
+  bool all_quiet() const;
+  void send_to(std::size_t w, const std::vector<std::uint8_t>& payload);
+  /// Receives one frame from worker w; a clean EOF (worker died) or an
+  /// error frame becomes a thrown qc::Error after force-tearing down the
+  /// remaining workers — a crashed worker is a clean failure, not a hang.
+  std::vector<std::uint8_t> recv_from(std::size_t w);
+  void route_boundary(std::size_t from_worker,
+                      std::vector<BoundaryMsg>&& boundary);
+  /// Merges per-worker event batches into canonical receiver-ascending
+  /// order and invokes the user observer.
+  void flush_events(std::vector<std::vector<DeliveryEvent>>& per_worker,
+                    std::uint32_t round);
+  void sync_programs();
+
+  const graph::Graph* graph_;
+  ShardConfig cfg_;
+  ShardAssignment asn_;
+  std::uint32_t bandwidth_bits_ = 0;
+  /// slot -> shard owning the slot's *receiver*: the routing table for
+  /// boundary messages workers extract.
+  std::vector<std::uint32_t> slot_receiver_shard_;
+  ProgramFactory factory_;
+  std::vector<std::unique_ptr<NodeProgram>> replicas_;
+  std::vector<Worker> workers_;
+  RunStats stats_;
+  std::uint32_t round_ = 0;
+  bool spawned_ = false;
+  bool started_ = false;
+  bool broken_ = false;
+  bool needs_harvest_ = false;
+  bool memory_audit_ = true;
+  bool interrupted_ = false;
+};
+
+}  // namespace qc::congest::shard

@@ -1,0 +1,186 @@
+#include "congest/shard/worker.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "congest/shard/codec.hpp"
+#include "serve/protocol.hpp"
+#include "util/error.hpp"
+
+namespace qc::congest::shard {
+
+namespace {
+
+/// Placeholder for nodes this worker does not own: a correctly driven
+/// worker never runs deliver/compute over foreign ranges, so on_round is
+/// unreachable; the placeholder only keeps the replica's program table
+/// fully populated (init_programs requires it) at zero state.
+class InertProgram final : public NodeProgram {
+ public:
+  void on_round(NodeContext&) override {
+    throw InternalError("shard worker: a foreign node's program ran");
+  }
+};
+
+/// Moves every queued outbound boundary message out of the replica, in
+/// extraction order (sender ascending, port ascending — the order
+/// `out_slots` was built in).
+std::vector<BoundaryMsg> extract_boundary(
+    Network& net, const std::vector<std::uint32_t>& out_slots) {
+  std::vector<BoundaryMsg> out;
+  for (const std::uint32_t slot : out_slots) {
+    if (!net.shard_slot_pending(slot)) continue;
+    out.push_back(BoundaryMsg{slot, net.shard_extract_slot(slot)});
+  }
+  return out;
+}
+
+}  // namespace
+
+int run_worker(
+    int fd, const graph::Graph& g, const NetworkConfig& net_cfg,
+    const ShardAssignment& asn, std::uint32_t shard, bool collect_events,
+    const std::function<std::unique_ptr<NodeProgram>(NodeId)>& make) noexcept {
+  try {
+    NetworkConfig wcfg = net_cfg;
+    // The coordinator owns the round loop; each worker's slice is driven
+    // range-by-range, so the replica's own engine choice is irrelevant.
+    wcfg.engine = Engine::kSequential;
+    // The user observer lives coordinator-side; shard_set_observer_collection
+    // below rebuilds worker-side observation from scratch.
+    wcfg.observer = nullptr;
+    Network net(g, wcfg);
+    net.shard_set_observer_collection(collect_events);
+    net.init_programs([&](NodeId v) -> std::unique_ptr<NodeProgram> {
+      if (asn.shard_of[v] == shard) return make(v);
+      return std::make_unique<InertProgram>();
+    });
+
+    // Outbound boundary slots (owned sender -> foreign receiver) in
+    // extraction order, and the set of slots the coordinator may inject
+    // into (foreign sender -> owned receiver). Anything outside that set
+    // in a round-begin frame is a protocol violation.
+    std::vector<std::uint32_t> out_slots;
+    std::vector<std::uint8_t> inbound_ok(net.shard_slot_count(), 0);
+    for (const auto& [b, e] : asn.runs[shard]) {
+      for (NodeId u = b; u < e; ++u) {
+        const auto nb = g.neighbors(u);
+        const std::uint32_t base = net.shard_out_base(u);
+        for (std::uint32_t p = 0; p < nb.size(); ++p) {
+          if (asn.shard_of[nb[p]] != shard) out_slots.push_back(base + p);
+        }
+        for (const NodeId v : nb) {
+          if (asn.shard_of[v] == shard) continue;
+          // The foreign sender v queues for u in slot out_base(v) + port,
+          // where port is u's position in v's sorted neighbor list.
+          const auto vnb = g.neighbors(v);
+          const auto it = std::lower_bound(vnb.begin(), vnb.end(), u);
+          inbound_ok[net.shard_out_base(v) +
+                     static_cast<std::uint32_t>(it - vnb.begin())] = 1;
+        }
+      }
+    }
+
+    std::vector<std::uint8_t> payload;
+    std::vector<Network::PendingDelivery> sink;
+    for (;;) {
+      if (!serve::read_frame(fd, payload, kMaxShardFrameBytes)) {
+        return 0;  // coordinator closed its end: clean teardown
+      }
+      const ShardOp op = decode_op(payload);
+      switch (op) {
+        case ShardOp::kStart: {
+          decode_empty(payload, ShardOp::kStart);
+          for (const auto& [b, e] : asn.runs[shard]) {
+            net.shard_start_range(b, e);
+          }
+          StartDoneFrame f;
+          f.inflight = net.shard_inflight();
+          f.halted = net.shard_halted();
+          f.boundary = extract_boundary(net, out_slots);
+          serve::write_frame(fd, encode_start_done(f), kMaxShardFrameBytes);
+          break;
+        }
+        case ShardOp::kRoundBegin: {
+          RoundBeginFrame rb = decode_round_begin(payload);
+          if (rb.round != net.shard_round() + 1) {
+            throw serve::ProtocolError(
+                "shard worker: coordinator round out of sequence");
+          }
+          for (auto& bm : rb.boundary) {
+            if (bm.slot >= inbound_ok.size() || !inbound_ok[bm.slot]) {
+              throw serve::ProtocolError(
+                  "shard worker: injected slot is not an inbound boundary "
+                  "slot of this shard");
+            }
+            net.shard_inject_slot(bm.slot, std::move(bm.msg));
+          }
+          net.shard_set_memory_audit(rb.memory_audit);
+          net.shard_begin_round();
+          RoundEndFrame re;
+          re.round = rb.round;
+          sink.clear();
+          for (const auto& [b, e] : asn.runs[shard]) {
+            net.shard_deliver_range(b, e, re.stats,
+                                    collect_events ? &sink : nullptr);
+          }
+          for (const auto& [b, e] : asn.runs[shard]) {
+            net.shard_compute_range(b, e);
+          }
+          if (rb.memory_audit) {
+            for (const auto& [b, e] : asn.runs[shard]) {
+              re.stats.max_node_memory_bits =
+                  std::max(re.stats.max_node_memory_bits,
+                           net.shard_memory_max_range(b, e));
+            }
+          }
+          re.inflight = net.shard_inflight();
+          re.halted = net.shard_halted();
+          re.boundary = extract_boundary(net, out_slots);
+          if (collect_events) {
+            re.events.reserve(sink.size());
+            for (const auto& d : sink) {
+              re.events.push_back(
+                  DeliveryEvent{d.from, d.to, net.shard_inbox_message(d)});
+            }
+          }
+          serve::write_frame(fd, encode_round_end(re), kMaxShardFrameBytes);
+          break;
+        }
+        case ShardOp::kHarvest: {
+          decode_empty(payload, ShardOp::kHarvest);
+          HarvestDoneFrame f;
+          for (const auto& [b, e] : asn.runs[shard]) {
+            for (NodeId v = b; v < e; ++v) {
+              Message m;
+              net.program(v).serialize_state(m);
+              f.states.push_back(std::move(m));
+            }
+          }
+          serve::write_frame(fd, encode_harvest_done(f), kMaxShardFrameBytes);
+          break;
+        }
+        case ShardOp::kShutdown: {
+          decode_empty(payload, ShardOp::kShutdown);
+          return 0;
+        }
+        default:
+          throw serve::ProtocolError(
+              std::string("shard worker: unexpected op ") +
+              shard_op_name(op));
+      }
+    }
+  } catch (const std::exception& e) {
+    // Best effort: tell the coordinator why before dying. If the pipe is
+    // already gone the nonzero exit code still reaches waitpid.
+    try {
+      serve::write_frame(fd, encode_error(e.what()), kMaxShardFrameBytes);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+    return 1;
+  }
+}
+
+}  // namespace qc::congest::shard

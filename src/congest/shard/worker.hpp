@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "congest/network.hpp"
+#include "congest/shard/partition.hpp"
+
+namespace qc::congest::shard {
+
+/// Body of a forked worker process (internal to the shard backend; exposed
+/// for tests). Builds a full Network replica of `g` with `net_cfg` —
+/// inherited by value through fork, so every process constructs bit-
+/// identical state — instantiates `make(v)` programs for the nodes shard
+/// `shard` owns (inert placeholders elsewhere), and services coordinator
+/// frames on `fd` until a shutdown frame or EOF (coordinator gone), both
+/// of which return 0. Any failure is reported back as an error frame and
+/// returns 1; the function never throws — the caller _exit()s with the
+/// returned code, skipping atexit machinery the forked child must not run.
+int run_worker(
+    int fd, const graph::Graph& g, const NetworkConfig& net_cfg,
+    const ShardAssignment& asn, std::uint32_t shard, bool collect_events,
+    const std::function<std::unique_ptr<NodeProgram>(NodeId)>& make) noexcept;
+
+}  // namespace qc::congest::shard

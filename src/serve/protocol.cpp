@@ -204,9 +204,10 @@ bool read_frame(int fd, std::vector<std::uint8_t>& payload,
   return true;
 }
 
-void write_frame(int fd, std::span<const std::uint8_t> payload) {
-  require(!payload.empty() && payload.size() <= kMaxFrameBytes,
-          "serve: write_frame payload outside [1, kMaxFrameBytes]");
+void write_frame(int fd, std::span<const std::uint8_t> payload,
+                 std::uint32_t max_frame_bytes) {
+  require(!payload.empty() && payload.size() <= max_frame_bytes,
+          "serve: write_frame payload outside [1, max_frame_bytes]");
   std::vector<std::uint8_t> buf;
   buf.reserve(4 + payload.size());
   append_le32(buf, static_cast<std::uint32_t>(payload.size()));
@@ -236,7 +237,7 @@ bool read_frame(int, std::vector<std::uint8_t>&, std::uint32_t) {
   throw Error("serve: socket IO is not available on this platform");
 }
 
-void write_frame(int, std::span<const std::uint8_t>) {
+void write_frame(int, std::span<const std::uint8_t>, std::uint32_t) {
   throw Error("serve: socket IO is not available on this platform");
 }
 

@@ -106,8 +106,14 @@ Response decode_response(std::span<const std::uint8_t> payload);
 /// read_frame returns false on a clean EOF at a frame boundary (the peer
 /// closed); EOF inside a frame, a zero length, or a length above
 /// `max_frame_bytes` throw ProtocolError.
+///
+/// Both ends take the cap as a parameter because the framing layer is
+/// shared: qcongestd frames stay under kMaxFrameBytes, while the shard
+/// backend (src/congest/shard) moves boundary-message batches under its
+/// own, larger cap.
 bool read_frame(int fd, std::vector<std::uint8_t>& payload,
                 std::uint32_t max_frame_bytes = kMaxFrameBytes);
-void write_frame(int fd, std::span<const std::uint8_t> payload);
+void write_frame(int fd, std::span<const std::uint8_t> payload,
+                 std::uint32_t max_frame_bytes = kMaxFrameBytes);
 
 }  // namespace qc::serve

@@ -59,6 +59,16 @@ struct SpanSample {
 /// Thread-safe metrics store. One instance per capture session; install it
 /// with set_global() to arm the instrumentation sites, uninstall (or
 /// destroy a ScopedExport) to write the JSONL out.
+///
+/// Fork contract: the registry is a single-process object — its export
+/// runs once, in the process that installed it. A child process that
+/// inherits an armed registry across fork() must call
+/// set_global(nullptr) before doing any work (the shard workers in
+/// src/congest/shard/ do exactly this), or the parent's capture would
+/// double-count and the child's _exit path would race the buffers.
+/// Model-level quantities observed in workers are instead reported over
+/// the shard protocol and accounted once, coordinator-side, under the
+/// shard.* names (docs/distributed.md).
 class MetricsRegistry {
  public:
   MetricsRegistry();

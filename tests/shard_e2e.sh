@@ -1,0 +1,78 @@
+#!/bin/sh
+# End-to-end ctest fixture for the sharded CONGEST backend: drives
+# `qcongest run` on the checked-in 10k dataset across worker counts,
+# checks the pinned answers, byte-identical stdout between the in-process
+# and every sharded configuration, a clean SIGTERM interrupt of a
+# long-running sharded session (exit 0), and that no worker process
+# outlives the coordinator.
+#
+# Usage: shard_e2e.sh <qcongest> <data-dir> <work-dir>
+#
+# The expected answers (ecc(0) 5, double-sweep lower bound 6) are pinned
+# properties of data/synth-p2p-10k.qcg, cross-checked by test_dataset.
+
+set -u
+
+QCONGEST="$1"
+DATA_DIR="$2"
+WORK_DIR="$3"
+
+DATASET="@$DATA_DIR/synth-p2p-10k.qcg"
+OUT0="$WORK_DIR/shard_e2e_$$_w0.out"
+ERR="$WORK_DIR/shard_e2e_$$_err.out"
+
+fail() {
+    echo "shard_e2e: FAIL: $1" >&2
+    rm -f "$OUT0" "$WORK_DIR/shard_e2e_$$"_*.out
+    exit 1
+}
+
+# Pinned answers through the sharded engine.
+got=$("$QCONGEST" run "$DATASET" --algo=ecc --root=0 --shards=2 --quiet \
+      2>/dev/null) || fail "sharded ecc failed"
+[ "$got" = "5" ] || fail "ecc(0): expected 5, got '$got'"
+got=$("$QCONGEST" run "$DATASET" --algo=sweep --root=0 --shards=3 --quiet \
+      2>/dev/null) || fail "sharded sweep failed"
+[ "$got" = "6" ] || fail "sweep lower bound: expected 6, got '$got'"
+
+# Full stdout must be byte-identical between the in-process engine and
+# every sharded worker count — stats, status, everything.
+"$QCONGEST" run "$DATASET" --algo=ecc --root=0 >"$OUT0" 2>/dev/null \
+    || fail "in-process ecc failed"
+grep -q "eccentricity | 5" "$OUT0" || fail "unexpected in-process output"
+for W in 1 3 8; do
+    OUTW="$WORK_DIR/shard_e2e_$$_w$W.out"
+    "$QCONGEST" run "$DATASET" --algo=ecc --root=0 --shards="$W" \
+        >"$OUTW" 2>"$ERR" || fail "sharded ecc W=$W failed"
+    cmp -s "$OUT0" "$OUTW" || fail "stdout differs at W=$W"
+    grep -q "^workers: " "$ERR" || fail "W=$W did not report worker pids"
+done
+
+# SIGTERM a long-running sharded session: the coordinator must notice at
+# the next round barrier, tear the workers down and exit 0.
+"$QCONGEST" run "$DATASET" --algo=ecc --root=0 --shards=3 \
+    --rounds=100000000 --quiet >"$WORK_DIR/shard_e2e_$$_sig.out" 2>"$ERR" &
+CLI_PID=$!
+sleep 2
+kill -0 "$CLI_PID" 2>/dev/null || fail "long run exited before SIGTERM"
+kill -TERM "$CLI_PID"
+wait "$CLI_PID"
+status=$?
+[ "$status" -eq 0 ] || fail "SIGTERM run exited with status $status"
+grep -q "^interrupted$" "$WORK_DIR/shard_e2e_$$_sig.out" \
+    || fail "SIGTERM run did not report the interrupt"
+
+# No worker may outlive the coordinator: every pid it reported must be
+# gone (reaped, not orphaned or zombified).
+workers=$(sed -n 's/^workers: //p' "$ERR" | tail -1)
+[ -n "$workers" ] || fail "SIGTERM run did not report worker pids"
+sleep 0.2
+for pid in $workers; do
+    if kill -0 "$pid" 2>/dev/null; then
+        fail "worker $pid outlived the coordinator"
+    fi
+done
+
+rm -f "$OUT0" "$ERR" "$WORK_DIR/shard_e2e_$$"_*.out
+echo "shard_e2e: PASS"
+exit 0

@@ -10,11 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "algos/bfs_tree.hpp"
+#include "algos/leader_election.hpp"
+#include "congest/shard/sharded_network.hpp"
+#include "congest/trace.hpp"
 #include "core/quantum_approx.hpp"
 #include "core/quantum_decision.hpp"
 #include "core/quantum_diameter.hpp"
@@ -246,6 +251,151 @@ TEST(Differential, BranchThreadsDoNotChangeReports) {
     EXPECT_EQ(radius_serial.total_rounds, radius_threaded.total_rounds)
         << c.describe();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Engine parity: the multi-process shard backend vs the in-process engine.
+//
+// The same differential discipline as above, applied to execution engines
+// instead of front-ends: for every graph family the sharded backend must
+// reproduce the single-process run bit for bit — RunStats, algorithm
+// outcomes AND the full delivery-event stream — at every worker count.
+// Mismatches shrink to the smallest failing n like the quantum dimension.
+// ---------------------------------------------------------------------------
+
+std::string diff_stats(const congest::RunStats& a, const congest::RunStats& b,
+                       const char* what) {
+  std::ostringstream os;
+  os << what << ": ";
+  if (a.rounds != b.rounds) {
+    os << "rounds " << a.rounds << " vs " << b.rounds;
+  } else if (a.messages != b.messages) {
+    os << "messages " << a.messages << " vs " << b.messages;
+  } else if (a.bits != b.bits) {
+    os << "bits " << a.bits << " vs " << b.bits;
+  } else if (a.max_edge_bits != b.max_edge_bits) {
+    os << "max_edge_bits " << a.max_edge_bits << " vs " << b.max_edge_bits;
+  } else if (a.violations != b.violations) {
+    os << "violations " << a.violations << " vs " << b.violations;
+  } else if (a.quiesced != b.quiesced) {
+    os << "quiesced " << a.quiesced << " vs " << b.quiesced;
+  } else if (a.max_node_memory_bits != b.max_node_memory_bits) {
+    os << "max_node_memory_bits " << a.max_node_memory_bits << " vs "
+       << b.max_node_memory_bits;
+  } else if (a.messages_dropped != b.messages_dropped ||
+             a.messages_corrupted != b.messages_corrupted ||
+             a.crashed_node_rounds != b.crashed_node_rounds) {
+    os << "fault counters differ";
+  } else {
+    return "";
+  }
+  return os.str();
+}
+
+// Runs leader election and eccentricity (BFS + convergecast) on one graph,
+// single-process vs sharded at worker count `w`, with delivery tracing
+// armed on both. Returns "" on bit-identical agreement.
+std::string check_shard_case(const graph::Graph& g, std::uint32_t w,
+                             int& checks) {
+  using congest::shard::ShardConfig;
+  using congest::shard::ShardedNetwork;
+  w = std::min(w, g.n());  // a shard needs at least one node
+
+  congest::TraceRecorder seq_trace;
+  congest::TraceRecorder shard_trace;
+
+  congest::NetworkConfig seq_cfg = seq_trace.arm({});
+  congest::Network seq_net(g, seq_cfg);
+  ShardConfig scfg;
+  scfg.shards = w;
+  scfg.net = shard_trace.arm({});
+  ShardedNetwork shard_net(g, scfg);
+
+  {
+    const auto a = algos::elect_leader_on(seq_net);
+    const auto b = algos::elect_leader_on(shard_net);
+    ++checks;
+    if (a.leader != b.leader) return "leader differs";
+    if (auto err = diff_stats(a.stats, b.stats, "elect"); !err.empty()) {
+      return err;
+    }
+  }
+  {
+    const graph::NodeId root = g.n() / 3;
+    const auto a = algos::compute_eccentricity_on(seq_net, root);
+    const auto b = algos::compute_eccentricity_on(shard_net, root);
+    ++checks;
+    if (a.ecc != b.ecc) return "ecc differs";
+    if (a.status != b.status) return "ecc status differs";
+    if (a.tree.parent != b.tree.parent) return "bfs parents differ";
+    if (a.tree.depth != b.tree.depth) return "bfs depths differ";
+    if (a.tree.children != b.tree.children) return "bfs children differ";
+    if (a.tree.height != b.tree.height) return "bfs height differs";
+    if (auto err = diff_stats(a.stats, b.stats, "ecc"); !err.empty()) {
+      return err;
+    }
+  }
+  ++checks;
+  if (seq_trace.events().size() != shard_trace.events().size()) {
+    return "event stream length differs: " +
+           std::to_string(seq_trace.events().size()) + " vs " +
+           std::to_string(shard_trace.events().size());
+  }
+  for (std::size_t i = 0; i < seq_trace.events().size(); ++i) {
+    if (!(seq_trace.events()[i] == shard_trace.events()[i])) {
+      const auto& e = seq_trace.events()[i];
+      const auto& f = shard_trace.events()[i];
+      std::ostringstream os;
+      os << "event " << i << " differs: seq (r" << e.round << " " << e.from
+         << "->" << e.to << " " << e.bits << "b) vs shard (r" << f.round
+         << " " << f.from << "->" << f.to << " " << f.bits << "b)";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+void report_shrunk_shard(const CaseId& failing, std::uint32_t w,
+                         const std::string& original_error) {
+  CaseId best = failing;
+  std::string best_error = original_error;
+  const std::uint32_t floor_n =
+      failing.family == "diam" ? std::max(2u, failing.d + 1) : 2u;
+  for (std::uint32_t n = failing.n; n-- > floor_n;) {
+    CaseId smaller = failing;
+    smaller.n = n;
+    const auto g = build(smaller);
+    if (!g.is_connected()) continue;
+    int ignored = 0;
+    const std::string err = check_shard_case(g, w, ignored);
+    if (!err.empty()) {
+      best = smaller;
+      best_error = err;
+    }
+  }
+  ADD_FAILURE() << "shard-parity mismatch at W=" << w
+                << "; minimal failing case " << best.describe() << ": "
+                << best_error;
+}
+
+TEST(Differential, ShardedEngineBitIdenticalForEveryWorkerCount) {
+  int checks = 0;
+  // One representative n per family keeps the fork count sane; the shard
+  // unit tests cover more graphs, this dimension covers more W.
+  const std::vector<CaseId> cases = {
+      {"diam", 28, 5, 1},        {"diam", 36, 8, 2}, {"path", 17, 16, 0},
+      {"star", 25, 2, 0},        {"chorded-tree", 20, 0, 1},
+      {"chorded-tree", 28, 0, 3},
+  };
+  for (const auto& c : cases) {
+    const auto g = build(c);
+    ASSERT_TRUE(g.is_connected()) << c.describe();
+    for (const std::uint32_t w : {1u, 2u, 3u, 8u}) {
+      const std::string err = check_shard_case(g, w, checks);
+      if (!err.empty()) report_shrunk_shard(c, w, err);
+    }
+  }
+  EXPECT_GE(checks, 72);  // 6 cases x 4 worker counts x 3 comparisons
 }
 
 }  // namespace

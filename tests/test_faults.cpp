@@ -12,6 +12,7 @@
 #include "algos/girth.hpp"
 #include "congest/fault.hpp"
 #include "congest/network.hpp"
+#include "congest/shard/sharded_network.hpp"
 #include "congest/trace.hpp"
 #include "core/optimizer.hpp"
 #include "graph/algorithms.hpp"
@@ -355,6 +356,64 @@ TEST(CrashIndex, EnginesAgreeUnderCrashPlan) {
   EXPECT_EQ(seq_stats.messages, par_stats.messages);
   EXPECT_EQ(seq_stats.messages_dropped, par_stats.messages_dropped);
   EXPECT_EQ(seq_stats.bits, par_stats.bits);
+}
+
+TEST(FaultPlan, ShardedEngineAgreesUnderActiveFaultPlan) {
+  // Fault decisions are stateless hashes of (seed, round, from, to), so
+  // they cannot depend on which process rolls them — but only if every
+  // worker refreshes the crash index over ALL nodes and receiver-side drop
+  // checks see crashed foreign senders. This test pins that: identical
+  // fault counters and phase outcomes, single-process vs every W.
+  auto g = random_graph(30, 5, 31);
+  NetworkConfig cfg;
+  cfg.fault.crashes = {CrashWindow{2, 2, 6}, CrashWindow{9, 1, 0},
+                       CrashWindow{17, 3, 4}};
+  cfg.fault.drop_probability = 0.08;
+  cfg.fault.corrupt_probability = 0.05;
+  cfg.fault.seed = 13;
+
+  congest::RunStats seq_stats;
+  {
+    Network net(g, cfg);
+    net.init_programs(
+        [](NodeId) { return std::make_unique<ChatterProgram>(8); });
+    seq_stats = net.run_rounds(10);
+  }
+  // BFS under the same plan: phase status and (degraded) tree must match.
+  const auto seq_bfs = algos::build_bfs_tree(g, 0, cfg, 40);
+
+  for (const std::uint32_t w : {1u, 2u, 3u, 8u}) {
+    congest::shard::ShardConfig scfg;
+    scfg.shards = w;
+    scfg.net = cfg;
+    congest::shard::ShardedNetwork net(g, scfg);
+    net.init_programs(
+        [](NodeId) { return std::make_unique<ChatterProgram>(8); });
+    const auto st = net.run_rounds(10);
+    EXPECT_EQ(st.messages, seq_stats.messages) << "W=" << w;
+    EXPECT_EQ(st.bits, seq_stats.bits) << "W=" << w;
+    EXPECT_EQ(st.messages_dropped, seq_stats.messages_dropped) << "W=" << w;
+    EXPECT_EQ(st.messages_corrupted, seq_stats.messages_corrupted)
+        << "W=" << w;
+    EXPECT_EQ(st.crashed_node_rounds, seq_stats.crashed_node_rounds)
+        << "W=" << w;
+    EXPECT_EQ(st.quiesced, seq_stats.quiesced) << "W=" << w;
+
+    const auto bfs = algos::build_bfs_tree_on(net, 0, 40);
+    EXPECT_EQ(static_cast<int>(bfs.status),
+              static_cast<int>(seq_bfs.status))
+        << "W=" << w;
+    EXPECT_EQ(bfs.tree.parent, seq_bfs.tree.parent) << "W=" << w;
+    EXPECT_EQ(bfs.tree.depth, seq_bfs.tree.depth) << "W=" << w;
+    EXPECT_EQ(bfs.stats.rounds, seq_bfs.stats.rounds) << "W=" << w;
+    EXPECT_EQ(bfs.stats.messages_dropped, seq_bfs.stats.messages_dropped)
+        << "W=" << w;
+    EXPECT_EQ(bfs.stats.messages_corrupted, seq_bfs.stats.messages_corrupted)
+        << "W=" << w;
+    EXPECT_EQ(bfs.stats.crashed_node_rounds,
+              seq_bfs.stats.crashed_node_rounds)
+        << "W=" << w;
+  }
 }
 
 TEST(FaultPlan, ForAttemptDecorrelatesButKeepsAttemptZero) {

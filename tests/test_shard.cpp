@@ -1,0 +1,622 @@
+// The shard backend, bottom up: partitioner invariants (full cover,
+// balance, boundary-arc symmetry), codec round-trips for every frame shape
+// (inline and heap-spilled messages) with the same adversarial rejection
+// discipline as the serve protocol (every strict prefix, every overlong
+// buffer, unknown version/op, nonzero reserved, length bombs), and the
+// coordinator end to end: bit-identical parity against the in-process
+// engine, custom partitioners, observer-stream merge order, cooperative
+// stop, worker-crash containment, process/fd hygiene across lifecycles.
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "algos/bfs_tree.hpp"
+#include "algos/leader_election.hpp"
+#include "congest/network.hpp"
+#include "congest/observer.hpp"
+#include "congest/shard/codec.hpp"
+#include "congest/shard/partition.hpp"
+#include "congest/shard/sharded_network.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "serve/protocol.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qc::congest::shard {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+// ---------------------------------------------------------------------------
+// Partitioner
+// ---------------------------------------------------------------------------
+
+TEST(ShardPartition, ContiguousCoversEveryNodeExactlyOnceAndBalances) {
+  Rng rng(7);
+  const Graph g = graph::make_connected_er(97, 0.08, rng);
+  const ContiguousPartitioner part;
+  for (const std::uint32_t w : {1u, 2u, 3u, 8u, 97u}) {
+    const ShardAssignment a = make_assignment(g, w, part);
+    ASSERT_EQ(a.shards, w);
+    ASSERT_EQ(a.shard_of.size(), g.n());
+    std::vector<std::uint64_t> seen(w, 0);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      ASSERT_LT(a.owner(v), w);
+      ++seen[a.owner(v)];
+    }
+    std::uint64_t total = 0;
+    for (std::uint32_t s = 0; s < w; ++s) {
+      EXPECT_GE(seen[s], 1u) << "empty shard " << s;
+      EXPECT_EQ(seen[s], a.owned_count(s));
+      // Balanced within one node, and contiguous: exactly one run.
+      EXPECT_LE(seen[s], (g.n() + w - 1) / w);
+      ASSERT_EQ(a.runs[s].size(), 1u);
+      total += seen[s];
+    }
+    EXPECT_EQ(total, g.n());
+    // Runs cover [0, n) in order, back to back.
+    std::uint32_t cursor = 0;
+    for (std::uint32_t s = 0; s < w; ++s) {
+      EXPECT_EQ(a.runs[s].front().first, cursor);
+      cursor = a.runs[s].front().second;
+    }
+    EXPECT_EQ(cursor, g.n());
+  }
+}
+
+TEST(ShardPartition, RejectsDegenerateShardCounts) {
+  const Graph g = graph::make_path(5);
+  const ContiguousPartitioner part;
+  EXPECT_THROW(make_assignment(g, 0, part), Error);
+  EXPECT_THROW(make_assignment(g, 6, part), Error);
+}
+
+// An adversarial partitioner whose output skips a shard.
+class EmptyShardPartitioner final : public Partitioner {
+ public:
+  std::vector<std::uint32_t> assign(const Graph& g,
+                                    std::uint32_t) const override {
+    return std::vector<std::uint32_t>(g.n(), 0);
+  }
+  const char* name() const override { return "empty-shard"; }
+};
+
+// Non-contiguous ownership: node v belongs to shard v % W. Worst case for
+// run derivation and for the coordinator's observer merge — every node is
+// its own run and every edge is a boundary edge.
+class StripePartitioner final : public Partitioner {
+ public:
+  std::vector<std::uint32_t> assign(const Graph& g,
+                                    std::uint32_t shards) const override {
+    std::vector<std::uint32_t> owner(g.n());
+    for (NodeId v = 0; v < g.n(); ++v) owner[v] = v % shards;
+    return owner;
+  }
+  const char* name() const override { return "stripe"; }
+};
+
+TEST(ShardPartition, RejectsPartitionerLeavingAShardEmpty) {
+  const Graph g = graph::make_path(8);
+  EXPECT_THROW(make_assignment(g, 2, EmptyShardPartitioner()), Error);
+}
+
+TEST(ShardPartition, BoundaryArcsAreSymmetricAndOrdered) {
+  Rng rng(11);
+  const Graph g = graph::make_connected_er(60, 0.1, rng);
+  const ContiguousPartitioner contiguous;
+  const StripePartitioner stripe;
+  for (const std::uint32_t w : {2u, 3u, 8u}) {
+    for (const Partitioner* p :
+         {static_cast<const Partitioner*>(&contiguous),
+          static_cast<const Partitioner*>(&stripe)}) {
+      const ShardAssignment a = make_assignment(g, w, *p);
+      std::uint64_t arcs = 0;
+      for (std::uint32_t s = 0; s < w; ++s) {
+        const auto out = boundary_arcs(g, a, s);
+        arcs += out.size();
+        // (u ascending, port ascending) order; port order on a sorted
+        // adjacency is neighbor-id order.
+        for (std::size_t i = 1; i < out.size(); ++i) {
+          EXPECT_TRUE(out[i - 1].first < out[i].first ||
+                      (out[i - 1].first == out[i].first &&
+                       out[i - 1].second < out[i].second));
+        }
+        for (const auto& [u, v] : out) {
+          EXPECT_EQ(a.owner(u), s);
+          EXPECT_NE(a.owner(v), s);
+          // The reverse arc is a boundary arc of the peer shard.
+          const auto back = boundary_arcs(g, a, a.owner(v));
+          EXPECT_NE(std::find(back.begin(), back.end(),
+                              std::make_pair(v, u)),
+                    back.end());
+        }
+      }
+      // Every cut edge contributes exactly two directed arcs.
+      std::uint64_t cut2 = 0;
+      for (NodeId u = 0; u < g.n(); ++u) {
+        for (const NodeId v : g.neighbors(u)) {
+          if (a.owner(u) != a.owner(v)) ++cut2;
+        }
+      }
+      EXPECT_EQ(arcs, cut2);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+Message inline_msg() { return Message().push(5, 4).push(0x1FF, 17); }
+
+Message spilled_msg() {
+  Message m;
+  for (std::uint64_t i = 0; i < Message::kInlineFields + 5; ++i) {
+    m.push(i, 7);
+  }
+  return m;
+}
+
+Message extreme_msg() {
+  // Width-1 zero and the full 64-bit range — both ends of the grammar.
+  return Message().push(0, 1).push(~0ULL, 64);
+}
+
+void expect_eq(const Message& a, const Message& b) {
+  ASSERT_EQ(a.num_fields(), b.num_fields());
+  for (std::size_t i = 0; i < a.num_fields(); ++i) {
+    EXPECT_EQ(a.field(i), b.field(i));
+    EXPECT_EQ(a.field_bits(i), b.field_bits(i));
+  }
+}
+
+RunStats sample_stats() {
+  RunStats s;
+  s.rounds = 3;
+  s.messages = 1234567;
+  s.bits = 87654321;
+  s.max_edge_bits = 96;
+  s.violations = 2;
+  s.quiesced = true;
+  s.max_node_memory_bits = 4096;
+  s.messages_dropped = 17;
+  s.messages_corrupted = 5;
+  s.crashed_node_rounds = 41;
+  return s;
+}
+
+StartDoneFrame sample_start_done() {
+  StartDoneFrame f;
+  f.inflight = -12;  // per-worker counters may legitimately go negative
+  f.halted = 99;
+  f.boundary.push_back(BoundaryMsg{7, inline_msg()});
+  f.boundary.push_back(BoundaryMsg{123456, spilled_msg()});
+  return f;
+}
+
+RoundEndFrame sample_round_end() {
+  RoundEndFrame f;
+  f.round = 42;
+  f.inflight = -3;
+  f.halted = 10;
+  f.stats = sample_stats();
+  f.boundary.push_back(BoundaryMsg{0, extreme_msg()});
+  f.events.push_back(DeliveryEvent{3, 9, inline_msg()});
+  f.events.push_back(DeliveryEvent{9, 3, spilled_msg()});
+  return f;
+}
+
+TEST(ShardCodec, EmptyFramesRoundTrip) {
+  for (const ShardOp op :
+       {ShardOp::kStart, ShardOp::kHarvest, ShardOp::kShutdown}) {
+    const auto p = encode_empty(op);
+    EXPECT_EQ(decode_op(p), op);
+    EXPECT_NO_THROW(decode_empty(p, op));
+    // The right payload for the wrong op must not pass.
+    EXPECT_THROW(decode_empty(p, ShardOp::kRoundBegin),
+                 serve::ProtocolError);
+  }
+}
+
+TEST(ShardCodec, StartDoneRoundTrips) {
+  const StartDoneFrame f = sample_start_done();
+  const StartDoneFrame d = decode_start_done(encode_start_done(f));
+  EXPECT_EQ(d.inflight, f.inflight);
+  EXPECT_EQ(d.halted, f.halted);
+  ASSERT_EQ(d.boundary.size(), f.boundary.size());
+  for (std::size_t i = 0; i < f.boundary.size(); ++i) {
+    EXPECT_EQ(d.boundary[i].slot, f.boundary[i].slot);
+    expect_eq(d.boundary[i].msg, f.boundary[i].msg);
+  }
+}
+
+TEST(ShardCodec, RoundBeginRoundTrips) {
+  for (const bool audit : {false, true}) {
+    RoundBeginFrame f;
+    f.round = 7;
+    f.memory_audit = audit;
+    f.boundary.push_back(BoundaryMsg{31, spilled_msg()});
+    const RoundBeginFrame d = decode_round_begin(encode_round_begin(f));
+    EXPECT_EQ(d.round, f.round);
+    EXPECT_EQ(d.memory_audit, audit);
+    ASSERT_EQ(d.boundary.size(), 1u);
+    EXPECT_EQ(d.boundary[0].slot, 31u);
+    expect_eq(d.boundary[0].msg, f.boundary[0].msg);
+  }
+}
+
+TEST(ShardCodec, RoundEndRoundTripsIncludingStats) {
+  const RoundEndFrame f = sample_round_end();
+  const RoundEndFrame d = decode_round_end(encode_round_end(f));
+  EXPECT_EQ(d.round, f.round);
+  EXPECT_EQ(d.inflight, f.inflight);
+  EXPECT_EQ(d.halted, f.halted);
+  const RunStats &a = d.stats, &b = f.stats;
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bits, b.bits);
+  EXPECT_EQ(a.max_edge_bits, b.max_edge_bits);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.quiesced, b.quiesced);
+  EXPECT_EQ(a.max_node_memory_bits, b.max_node_memory_bits);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.messages_corrupted, b.messages_corrupted);
+  EXPECT_EQ(a.crashed_node_rounds, b.crashed_node_rounds);
+  ASSERT_EQ(d.boundary.size(), 1u);
+  expect_eq(d.boundary[0].msg, f.boundary[0].msg);
+  ASSERT_EQ(d.events.size(), 2u);
+  EXPECT_EQ(d.events[0].from, 3u);
+  EXPECT_EQ(d.events[0].to, 9u);
+  expect_eq(d.events[1].msg, f.events[1].msg);
+}
+
+TEST(ShardCodec, HarvestDoneRoundTrips) {
+  HarvestDoneFrame f;
+  f.states.push_back(inline_msg());
+  f.states.push_back(spilled_msg());
+  f.states.push_back(Message());  // a zero-field state is legal
+  const HarvestDoneFrame d = decode_harvest_done(encode_harvest_done(f));
+  ASSERT_EQ(d.states.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) expect_eq(d.states[i], f.states[i]);
+}
+
+TEST(ShardCodec, ErrorRoundTripsAndTruncates) {
+  EXPECT_EQ(decode_error(encode_error("boom")), "boom");
+  const std::string huge(serve::kMaxMessageBytes + 100, 'x');
+  const std::string back = decode_error(encode_error(huge));
+  EXPECT_EQ(back.size(), serve::kMaxMessageBytes);
+}
+
+// The serve discipline, applied to every shard frame shape: every strict
+// prefix of a valid payload and every extension of one must fail loudly.
+TEST(ShardCodec, EveryStrictPrefixAndOverlongBufferIsRejected) {
+  struct Shape {
+    std::vector<std::uint8_t> payload;
+    std::function<void(std::span<const std::uint8_t>)> decode;
+  };
+  const std::vector<Shape> shapes = {
+      {encode_empty(ShardOp::kStart),
+       [](auto p) { decode_empty(p, ShardOp::kStart); }},
+      {encode_start_done(sample_start_done()),
+       [](auto p) { decode_start_done(p); }},
+      {[] {
+         RoundBeginFrame f;
+         f.round = 3;
+         f.memory_audit = true;
+         f.boundary.push_back(BoundaryMsg{5, spilled_msg()});
+         return encode_round_begin(f);
+       }(),
+       [](auto p) { decode_round_begin(p); }},
+      {encode_round_end(sample_round_end()),
+       [](auto p) { decode_round_end(p); }},
+      {[] {
+         HarvestDoneFrame f;
+         f.states.push_back(extreme_msg());
+         return encode_harvest_done(f);
+       }(),
+       [](auto p) { decode_harvest_done(p); }},
+      {encode_error("why"), [](auto p) { decode_error(p); }},
+  };
+  for (const Shape& s : shapes) {
+    for (std::size_t len = 0; len < s.payload.size(); ++len) {
+      EXPECT_THROW(
+          s.decode(std::span(s.payload.data(), len)),
+          serve::ProtocolError)
+          << "prefix of length " << len << " of " << s.payload.size()
+          << " decoded";
+    }
+    auto longer = s.payload;
+    longer.push_back(0);
+    EXPECT_THROW(s.decode(longer), serve::ProtocolError)
+        << "trailing byte accepted";
+  }
+}
+
+TEST(ShardCodec, RejectsBadVersionReservedAndOp) {
+  auto p = encode_start_done(sample_start_done());
+  auto bad = p;
+  bad[0] = kShardProtocolVersion + 1;
+  EXPECT_THROW(decode_op(bad), serve::ProtocolError);
+  bad = p;
+  bad[1] = kMaxShardOp + 1;  // unknown op byte
+  EXPECT_THROW(decode_op(bad), serve::ProtocolError);
+  bad = p;
+  bad[2] = 1;  // reserved must be zero
+  EXPECT_THROW(decode_op(bad), serve::ProtocolError);
+  bad = p;
+  bad[3] = 0x80;
+  EXPECT_THROW(decode_op(bad), serve::ProtocolError);
+  // Right grammar, wrong op for the decoder invoked.
+  EXPECT_THROW(decode_round_end(p), serve::ProtocolError);
+}
+
+TEST(ShardCodec, RejectsLengthBombsAndBadFieldWidths) {
+  // harvest_done claiming 2^32-1 states in a 10-byte body.
+  std::vector<std::uint8_t> bomb = {kShardProtocolVersion,
+                                    static_cast<std::uint8_t>(
+                                        ShardOp::kHarvestDone),
+                                    0, 0, 0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_THROW(decode_harvest_done(bomb), serve::ProtocolError);
+
+  // A message field with width 0, width 65, and a value exceeding its
+  // declared width — all three must be rejected, not silently masked.
+  const auto make_state = [](std::uint8_t width, std::uint64_t value) {
+    std::vector<std::uint8_t> p = {kShardProtocolVersion,
+                                   static_cast<std::uint8_t>(
+                                       ShardOp::kHarvestDone),
+                                   0, 0,
+                                   1, 0, 0, 0,   // one state
+                                   1, 0, 0, 0};  // one field
+    p.push_back(width);
+    for (int i = 0; i < 8; ++i) {
+      p.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+    return p;
+  };
+  EXPECT_NO_THROW(decode_harvest_done(make_state(3, 7)));
+  EXPECT_THROW(decode_harvest_done(make_state(0, 0)), serve::ProtocolError);
+  EXPECT_THROW(decode_harvest_done(make_state(65, 0)), serve::ProtocolError);
+  EXPECT_THROW(decode_harvest_done(make_state(3, 8)), serve::ProtocolError);
+
+  // More fields in one message than the cap: the encoder refuses to
+  // produce such a payload at all (qc::Error), and a handcrafted one is
+  // rejected by the decoder's count check.
+  Message too_many;
+  for (std::uint32_t i = 0; i <= kMaxWireMessageFields; ++i) {
+    too_many.push(1, 1);
+  }
+  HarvestDoneFrame f;
+  f.states.push_back(std::move(too_many));
+  EXPECT_THROW(encode_harvest_done(f), Error);
+  std::vector<std::uint8_t> crafted = {
+      kShardProtocolVersion, static_cast<std::uint8_t>(ShardOp::kHarvestDone),
+      0, 0, 1, 0, 0, 0};
+  const std::uint32_t nf = kMaxWireMessageFields + 1;
+  for (int i = 0; i < 4; ++i) {
+    crafted.push_back(static_cast<std::uint8_t>(nf >> (8 * i)));
+  }
+  for (std::uint32_t i = 0; i < nf; ++i) {
+    crafted.push_back(1);  // width 1
+    for (int b = 0; b < 8; ++b) crafted.push_back(0);
+  }
+  EXPECT_THROW(decode_harvest_done(crafted), serve::ProtocolError);
+}
+
+// ---------------------------------------------------------------------------
+// End to end
+// ---------------------------------------------------------------------------
+
+int open_fd_count() {
+  int count = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ShardedNetwork, LeaderElectionMatchesInProcessEngineBitForBit) {
+  Rng rng(3);
+  const Graph g = graph::make_connected_er(40, 0.12, rng);
+  const auto expect = algos::elect_leader(g);
+  for (const std::uint32_t w : {1u, 2u, 3u, 8u}) {
+    ShardConfig cfg;
+    cfg.shards = w;
+    ShardedNetwork net(g, cfg);
+    const auto got = algos::elect_leader_on(net);
+    EXPECT_EQ(got.leader, expect.leader) << "W=" << w;
+    EXPECT_EQ(got.stats.rounds, expect.stats.rounds) << "W=" << w;
+    EXPECT_EQ(got.stats.messages, expect.stats.messages) << "W=" << w;
+    EXPECT_EQ(got.stats.bits, expect.stats.bits) << "W=" << w;
+    EXPECT_EQ(got.stats.max_edge_bits, expect.stats.max_edge_bits);
+    EXPECT_EQ(got.stats.max_node_memory_bits,
+              expect.stats.max_node_memory_bits);
+    EXPECT_EQ(got.stats.quiesced, expect.stats.quiesced);
+    net.shutdown();
+  }
+}
+
+TEST(ShardedNetwork, StripePartitionerStillBitIdentical) {
+  Rng rng(5);
+  const Graph g = graph::make_connected_er(33, 0.15, rng);
+  const auto expect = algos::compute_eccentricity(g, 0);
+  ShardConfig cfg;
+  cfg.shards = 3;
+  cfg.partitioner = std::make_shared<StripePartitioner>();
+  ShardedNetwork net(g, cfg);
+  const auto got = algos::compute_eccentricity_on(net, 0);
+  EXPECT_EQ(got.ecc, expect.ecc);
+  EXPECT_EQ(got.stats.rounds, expect.stats.rounds);
+  EXPECT_EQ(got.stats.messages, expect.stats.messages);
+  EXPECT_EQ(got.stats.bits, expect.stats.bits);
+  EXPECT_EQ(got.tree.parent, expect.tree.parent);
+  EXPECT_EQ(got.tree.depth, expect.tree.depth);
+}
+
+TEST(ShardedNetwork, ObserverStreamMergesIntoCanonicalOrder) {
+  Rng rng(9);
+  const Graph g = graph::make_connected_er(24, 0.2, rng);
+  using Event = std::tuple<NodeId, NodeId, std::uint32_t, std::uint64_t>;
+  const auto record = [](std::vector<Event>& into) {
+    return std::make_shared<CallbackObserver>(
+        [&into](NodeId from, NodeId to, const Message& m,
+                std::uint32_t round) {
+          into.emplace_back(from, to, round,
+                            m.num_fields() > 0 ? m.field(0) : 0);
+        });
+  };
+  std::vector<Event> sequential;
+  {
+    NetworkConfig nc;
+    nc.observer = record(sequential);
+    Network net(g, nc);
+    algos::elect_leader_on(net);
+  }
+  ASSERT_FALSE(sequential.empty());
+  // The stripe partitioner maximally interleaves receivers across workers,
+  // so a correct stream here demonstrates a real k-way merge, not
+  // concatenation.
+  for (const bool stripe : {false, true}) {
+    std::vector<Event> sharded;
+    ShardConfig cfg;
+    cfg.shards = 3;
+    cfg.net.observer = record(sharded);
+    if (stripe) cfg.partitioner = std::make_shared<StripePartitioner>();
+    ShardedNetwork net(g, cfg);
+    algos::elect_leader_on(net);
+    EXPECT_EQ(sharded, sequential) << "stripe=" << stripe;
+  }
+}
+
+TEST(ShardedNetwork, HarvestRestoresFullBfsTreeState) {
+  Rng rng(13);
+  const Graph g = graph::make_connected_er(50, 0.1, rng);
+  const auto expect = algos::build_bfs_tree(g, 4);
+  ShardConfig cfg;
+  cfg.shards = 4;
+  ShardedNetwork net(g, cfg);
+  const auto got = algos::build_bfs_tree_on(net, 4);
+  EXPECT_EQ(got.tree.parent, expect.tree.parent);
+  EXPECT_EQ(got.tree.depth, expect.tree.depth);
+  EXPECT_EQ(got.tree.children, expect.tree.children);
+  EXPECT_EQ(got.tree.height, expect.tree.height);
+  EXPECT_EQ(static_cast<int>(got.status), static_cast<int>(expect.status));
+}
+
+TEST(ShardedNetwork, RejectsResultReadsWithoutStateTransfer) {
+  // A program type without serialize_state/restore_state must fail loudly
+  // at harvest time, not return garbage.
+  class Opaque final : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override { ctx.vote_halt(); }
+  };
+  const Graph g = graph::make_path(6);
+  ShardConfig cfg;
+  cfg.shards = 2;
+  ShardedNetwork net(g, cfg);
+  net.init_programs([](NodeId) { return std::make_unique<Opaque>(); });
+  net.run_until_quiescent(4);
+  EXPECT_THROW(net.program(0), Error);
+}
+
+TEST(ShardedNetwork, CooperativeStopInterruptsBetweenRounds) {
+  const Graph g = graph::make_cycle(16);
+  std::atomic<bool> stop{true};  // raised before the run even starts
+  ShardConfig cfg;
+  cfg.shards = 2;
+  cfg.stop = &stop;
+  ShardedNetwork net(g, cfg);
+  net.init_programs(
+      [](NodeId) { return std::make_unique<algos::FloodMaxProgram>(); });
+  const RunStats st = net.run_rounds(100);
+  EXPECT_EQ(st.rounds, 0u);
+  EXPECT_TRUE(net.interrupted());
+  net.shutdown();  // clean teardown after an interrupt
+}
+
+TEST(ShardedNetwork, WorkerCrashMidRunFailsCleanlyWithoutHanging) {
+  Rng rng(21);
+  const Graph g = graph::make_connected_er(30, 0.15, rng);
+  ShardConfig cfg;
+  cfg.shards = 3;
+  ShardedNetwork net(g, cfg);
+  net.init_programs(
+      [](NodeId) { return std::make_unique<algos::FloodMaxProgram>(); });
+  const auto pids = net.worker_pids();
+  ASSERT_EQ(pids.size(), 3u);
+  ASSERT_EQ(::kill(pids[1], SIGKILL), 0);
+  EXPECT_THROW(net.run_until_quiescent(100), Error);
+  // Every worker (killed or force-torn-down) is reaped, not zombified.
+  for (const pid_t pid : pids) {
+    EXPECT_EQ(::waitpid(pid, nullptr, WNOHANG), -1);
+    EXPECT_EQ(errno, ECHILD);
+  }
+  // The coordinator stays broken but safe: further runs refuse, a fresh
+  // init_programs recovers.
+  EXPECT_THROW(net.run_rounds(1), Error);
+  net.init_programs(
+      [](NodeId) { return std::make_unique<algos::FloodMaxProgram>(); });
+  EXPECT_NO_THROW(net.run_until_quiescent(100));
+}
+
+TEST(ShardedNetwork, LifecyclesLeakNeitherFdsNorProcesses) {
+  Rng rng(17);
+  const Graph g = graph::make_connected_er(25, 0.15, rng);
+  // Warm up lazily initialized process state before counting fds.
+  {
+    ShardConfig cfg;
+    cfg.shards = 2;
+    ShardedNetwork net(g, cfg);
+    algos::elect_leader_on(net);
+  }
+  const int before = open_fd_count();
+  std::vector<pid_t> all_pids;
+  for (int i = 0; i < 4; ++i) {
+    ShardConfig cfg;
+    cfg.shards = 3;
+    ShardedNetwork net(g, cfg);
+    algos::elect_leader_on(net);
+    const auto pids = net.worker_pids();
+    all_pids.insert(all_pids.end(), pids.begin(), pids.end());
+    if (i % 2 == 0) net.shutdown();  // explicit and destructor paths
+  }
+  EXPECT_EQ(open_fd_count(), before);
+  for (const pid_t pid : all_pids) {
+    EXPECT_EQ(::waitpid(pid, nullptr, WNOHANG), -1) << "unreaped " << pid;
+  }
+}
+
+TEST(ShardedNetwork, ShutdownIsIdempotentAndRefusesLateReads) {
+  const Graph g = graph::make_path(8);
+  ShardConfig cfg;
+  cfg.shards = 2;
+  ShardedNetwork net(g, cfg);
+  net.init_programs(
+      [](NodeId) { return std::make_unique<algos::FloodMaxProgram>(); });
+  net.run_until_quiescent(20);
+  net.shutdown();
+  EXPECT_NO_THROW(net.shutdown());
+  // Results were never harvested and the workers are gone.
+  EXPECT_THROW(net.program(0), Error);
+}
+
+}  // namespace
+}  // namespace qc::congest::shard

@@ -20,8 +20,12 @@
 #include <csignal>
 #include <iostream>
 
+#include <atomic>
+
 #include "algos/apsp_census.hpp"
+#include "algos/bfs_tree.hpp"
 #include "algos/diameter_classical.hpp"
+#include "congest/shard/sharded_network.hpp"
 #include "algos/girth.hpp"
 #include "algos/hprw.hpp"
 #include "core/quantum_approx.hpp"
@@ -59,6 +63,12 @@ commands:
   census      all eccentricities (classical O(n)-round APSP census)
   gen         generate a graph --out=FILE (.qcg extension writes the
               binary container; --encoding=varint|raw picks the payload)
+  run         drive one distributed algorithm on the CONGEST simulator,
+              optionally sharded across worker processes:
+              --algo=bfs|ecc|sweep (default ecc), --root=N (default 0),
+              --shards=W (default 0 = in-process; W>=1 forks W workers —
+              results are bit-identical at every W), --rounds=N (spin N
+              extra rounds after the answer; SIGTERM interrupts cleanly)
 
 client mode (against a running qcongestd — see docs/serving.md):
   --server=ENDPOINT     unix:PATH or HOST:PORT; forwards the command to the
@@ -233,13 +243,96 @@ int run_client(const Cli& cli, const std::string& cmd,
 
 }  // namespace
 
+// Cooperative stop for `qcongest run`: SIGTERM/SIGINT raise the flag, the
+// round loop (coordinator-side for sharded runs, the driver's spin loop
+// otherwise) notices at the next round barrier and winds down cleanly —
+// workers reaped, exit 0.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+// The `run` command body, generic over the execution engine (in-process
+// Network or multi-process ShardedNetwork — the same template drivers the
+// parity tests exercise). Returns the process exit code.
+template <typename Net>
+int run_distributed(Net& net, const graph::Graph& g, const std::string& algo,
+                    graph::NodeId root, std::uint32_t spin_rounds,
+                    bool quiet) {
+  require(root < g.n(), "run: --root out of range");
+  congest::RunStats total;
+  Table t({"property", "value"});
+  std::uint64_t answer = 0;
+  if (algo == "bfs") {
+    const auto out = algos::build_bfs_tree_on(net, root);
+    total = out.stats;
+    answer = out.tree.height;
+    t.add_row({"algo", "bfs"});
+    t.add_row({"root", fmt(root)});
+    t.add_row({"tree height", fmt(out.tree.height)});
+    t.add_row({"status", algos::to_string(out.status)});
+  } else if (algo == "ecc") {
+    const auto out = algos::compute_eccentricity_on(net, root);
+    total = out.stats;
+    answer = out.ecc;
+    t.add_row({"algo", "ecc"});
+    t.add_row({"root", fmt(root)});
+    t.add_row({"eccentricity", fmt(out.ecc)});
+    t.add_row({"status", algos::to_string(out.status)});
+  } else if (algo == "sweep") {
+    // Double sweep: ecc from the root, then ecc from the farthest node
+    // found — a classical diameter lower bound in two O(D) phases.
+    const auto first = algos::compute_eccentricity_on(net, root);
+    graph::NodeId far = root;
+    for (graph::NodeId v = 0; v < g.n(); ++v) {
+      if (first.tree.depth[v] > first.tree.depth[far]) far = v;
+    }
+    const auto second = algos::compute_eccentricity_on(net, far);
+    total = first.stats;
+    total += second.stats;
+    answer = second.ecc;
+    t.add_row({"algo", "sweep"});
+    t.add_row({"root", fmt(root)});
+    t.add_row({"far vertex", fmt(far)});
+    t.add_row({"diameter lower bound", fmt(second.ecc)});
+    t.add_row({"status", algos::to_string(
+                             algos::worst_of(first.status, second.status))});
+  } else {
+    require(false, "run: --algo must be bfs, ecc or sweep");
+  }
+  // Optional spin phase: keep the (quiescent) network ticking so signal
+  // handling and long-running shard sessions can be exercised end to end.
+  // Chunked so the driver notices g_stop between chunks on any engine.
+  std::uint32_t spun = 0;
+  while (spun < spin_rounds && !g_stop.load(std::memory_order_relaxed)) {
+    const std::uint32_t chunk = std::min(spin_rounds - spun, 64u);
+    total += net.run_rounds(chunk);
+    spun += chunk;
+  }
+  if (g_stop.load(std::memory_order_relaxed)) {
+    std::cout << "interrupted\n";
+    return 0;
+  }
+  if (quiet) {
+    std::cout << answer << "\n";
+    return 0;
+  }
+  t.add_row({"rounds", fmt(total.rounds)});
+  t.add_row({"messages", fmt(total.messages)});
+  t.add_row({"bits", fmt(total.bits)});
+  t.print(std::cout);
+  return 0;
+}
+
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
   // Strict flag checking: a typo'd flag (--sead=7) or malformed value
   // (--seed=abc) aborts with a message instead of being silently ignored.
   cli.expect_flags({"seed", "oracle", "fault-drop", "fault-corrupt",
                     "fault-seed", "quiet", "algo", "s", "threshold", "out",
-                    "metrics-out", "encoding", "server", "v"});
+                    "metrics-out", "encoding", "server", "v", "root",
+                    "shards", "rounds"});
   const auto& pos = cli.positional();
   if (pos.empty()) return usage();
   const std::string cmd = pos[0];
@@ -471,6 +564,35 @@ int main(int argc, char** argv) try {
     t.add_row({"rounds", fmt(rep.stats.rounds)});
     t.print(std::cout);
     return 0;
+  }
+
+  if (cmd == "run") {
+    const std::string algo = cli.get_string("algo", "ecc");
+    const auto root =
+        static_cast<graph::NodeId>(cli.get_int("root", 0));
+    const auto shards = static_cast<std::uint32_t>(cli.get_int("shards", 0));
+    const auto spin = static_cast<std::uint32_t>(cli.get_int("rounds", 0));
+    std::signal(SIGTERM, handle_stop_signal);
+    std::signal(SIGINT, handle_stop_signal);
+    if (shards == 0) {
+      congest::Network net(g, net_config(cli));
+      return run_distributed(net, g, algo, root, spin, quiet);
+    }
+    congest::shard::ShardConfig scfg;
+    scfg.shards = shards;
+    scfg.net = net_config(cli);
+    scfg.stop = &g_stop;
+    congest::shard::ShardedNetwork net(g, scfg);
+    const int rc = run_distributed(net, g, algo, root, spin, quiet);
+    // Worker pids go to stderr so stdout stays byte-identical across
+    // worker counts (the e2e parity check diffs it); scripts use them to
+    // audit process hygiene after exit. Printed after the run because
+    // each phase's init_programs respawns the worker set.
+    std::cerr << "workers:";
+    for (const pid_t pid : net.worker_pids()) std::cerr << " " << pid;
+    std::cerr << "\n";
+    net.shutdown();
+    return rc;
   }
 
   std::cerr << "unknown command '" << cmd << "'\n";
