@@ -2,18 +2,31 @@
 // in-process sequential engine, on the flooding workload: every node
 // broadcasts a two-field message every round, so every directed edge
 // carries one delivery per round — the densest traffic the model allows,
-// and (on a random graph with no partition locality) close to the worst
-// case for the shard boundary, since most edges cross worker boundaries
-// and every crossing delivery is serialized through the round barrier.
+// and close to the worst case for the shard boundary.
+//
+// Two workloads:
+//   * toy (default): the synthetic fixed-diameter random graph the bench
+//     has always used (--n/--d override the size);
+//   * --dataset=FILE: any graph file (.qcg container, edge list, SNAP raw),
+//     e.g. data/synth-p2p-10k.qcg — a partition-structure-bearing graph
+//     where the greedy partitioner's cut reduction is visible.
 //
 // Rows: the in-process sequential engine, then ShardedNetwork at
-// W ∈ {1, 2, 4, 8} workers. Every sharded row is gated on bit-identical
-// parity with the sequential run — message count, bit count, round count,
-// quiescence flag, and an order-sensitive per-node inbox checksum
-// recovered through the state-harvest path. A parity failure is a hard
-// nonzero exit on every run, not just under --check; `--check` only makes
-// that explicit in the output. `--out=FILE` emits the JSON summary that
-// seeds BENCH_shard.json at the repo root.
+// W ∈ {1, 2, 4, 8} workers under the contiguous partitioner and
+// W ∈ {2, 4, 8} under the greedy (cut-minimizing) one. Per row the table
+// reports the static boundary fraction, the coordinator's barrier wait per
+// round and the boundary bytes moved per round (shm mesh + spill).
+//
+// Every sharded row is gated on bit-identical parity with the sequential
+// run — message count, bit count, round count, quiescence flag, and an
+// order-sensitive per-node inbox checksum recovered through the
+// state-harvest path. A parity failure is a hard nonzero exit on every
+// run, not just under --check. `--check` additionally arms the
+// zero-allocation gates: this binary installs the alloc probe, the timed
+// reps must not allocate on the coordinator, and every worker arms its own
+// probe after warmup (ShardConfig::verify_zero_alloc_from_round) — a
+// steady-state allocation on either side of the barrier fails the bench.
+// `--out=FILE` emits the JSON summary that seeds BENCH_shard.json.
 
 #include <algorithm>
 #include <chrono>
@@ -22,6 +35,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -29,8 +43,12 @@
 #include "congest/network.hpp"
 #include "congest/shard/partition.hpp"
 #include "congest/shard/sharded_network.hpp"
+#include "graph/io.hpp"
+#include "util/alloc_probe.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
+
+QC_INSTALL_ALLOC_PROBE();
 
 using namespace qc;
 using namespace qc::bench;
@@ -92,6 +110,12 @@ struct Result {
   bool quiesced = false;             ///< final phase's quiescence flag
   std::uint64_t checksum = 0;
   std::uint64_t boundary_arcs = 0;   ///< directed edges crossing shards
+  std::uint64_t timed_allocs = 0;    ///< coordinator heap allocs in the reps
+  // From ShardedNetwork::perf(), accumulated over warmup + reps:
+  double barrier_us_per_round = 0.0;
+  double boundary_bytes_per_round = 0.0;
+  std::uint64_t events_elided = 0;
+  std::uint64_t spilled_frames = 0;
 
   double msgs_per_sec() const {
     return static_cast<double>(messages) / std::max(ms, 1e-9) * 1e3;
@@ -104,13 +128,16 @@ struct Result {
 /// One benchmark pass over any engine with the Network-shaped API:
 /// init, warmup, `reps` timed phases, then the per-node checksum. The
 /// sequence of run_rounds calls is identical for every engine, so the
-/// accumulated stats are directly comparable.
+/// accumulated stats are directly comparable. The coordinator-side alloc
+/// probe brackets exactly the timed reps: warmup owns every one-time
+/// capacity growth, so a warmed steady state must stay at zero.
 template <typename Net>
 Result drive(Net& net, const graph::Graph& g, std::uint32_t warm,
              std::uint32_t rounds, std::uint32_t reps) {
   net.init_programs([](graph::NodeId) { return std::make_unique<Flood>(); });
   net.run_rounds(warm);
   Result r;
+  const std::uint64_t a0 = qc::alloc_probe_count();
   for (std::uint32_t rep = 0; rep < reps; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
     const congest::RunStats st = net.run_rounds(rounds);
@@ -123,6 +150,7 @@ Result drive(Net& net, const graph::Graph& g, std::uint32_t warm,
     r.total_bits += st.bits;
     r.quiesced = st.quiesced;
   }
+  r.timed_allocs = qc::alloc_probe_count() - a0;
   r.rounds = net.stats().rounds;
   for (graph::NodeId v = 0; v < g.n(); ++v) {
     r.checksum += net.template program_as<Flood>(v).sum();
@@ -140,17 +168,32 @@ Result run_sequential(const graph::Graph& g, std::uint64_t seed,
 }
 
 Result run_sharded(const graph::Graph& g, std::uint32_t shards,
-                   std::uint64_t seed, std::uint32_t warm,
+                   std::shared_ptr<const congest::shard::Partitioner> part,
+                   bool check, std::uint64_t seed, std::uint32_t warm,
                    std::uint32_t rounds, std::uint32_t reps) {
   congest::shard::ShardConfig cfg;
   cfg.shards = shards;
   cfg.net.seed = seed;
+  cfg.partitioner = std::move(part);
+  // Workers arm their own alloc probes after the warmup rounds; a
+  // steady-state allocation in any worker fails its run (and thus the
+  // bench) with a descriptive error.
+  if (check) cfg.verify_zero_alloc_from_round = warm;
   congest::shard::ShardedNetwork net(g, cfg);
   Result r = drive(net, g, warm, rounds, reps);
   for (std::uint32_t s = 0; s < shards; ++s) {
     r.boundary_arcs +=
         congest::shard::boundary_arcs(g, net.assignment(), s).size();
   }
+  const auto& perf = net.perf();
+  const double per_round =
+      1.0 / static_cast<double>(std::max<std::uint64_t>(perf.rounds, 1));
+  r.barrier_us_per_round =
+      static_cast<double>(perf.barrier_wait_us) * per_round;
+  r.boundary_bytes_per_round =
+      static_cast<double>(perf.boundary_bytes) * per_round;
+  r.events_elided = perf.events_elided;
+  r.spilled_frames = perf.spilled_frames;
   net.shutdown();
   return r;
 }
@@ -158,25 +201,39 @@ Result run_sharded(const graph::Graph& g, std::uint32_t shards,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt =
-      BenchOptions::parse(argc, argv, {"out", "n", "d", "rounds", "check"});
+  const auto opt = BenchOptions::parse(
+      argc, argv, {"out", "n", "d", "rounds", "check", "dataset"});
   Cli cli(argc, argv);
+  const std::string dataset = cli.get_string("dataset", "");
   const auto n =
       static_cast<std::uint32_t>(cli.get_int("n", opt.quick ? 192 : 512));
   const auto d =
       static_cast<std::uint32_t>(cli.get_int("d", opt.quick ? 12 : 32));
+  const std::uint32_t default_rounds =
+      dataset.empty() ? (opt.quick ? 40u : 160u) : (opt.quick ? 12u : 40u);
   const auto rounds =
-      static_cast<std::uint32_t>(cli.get_int("rounds", opt.quick ? 40 : 160));
+      static_cast<std::uint32_t>(cli.get_int("rounds", default_rounds));
   const bool check = cli.get_bool("check", false);
   const std::string out = cli.get_string("out", "");
   const std::uint32_t warm = 8;
-  const std::uint32_t reps = opt.quick ? 2 : 4;
+  const std::uint32_t reps = dataset.empty() ? (opt.quick ? 2 : 4)
+                                             : (opt.quick ? 1 : 2);
 
   banner("sharded multi-process engine vs in-process sequential",
          "flooding workload: one delivery per directed edge per round; "
          "every sharded row must be bit-identical to the sequential run");
 
-  const auto g = workload(n, d, opt.seed);
+  std::string workload_name = "toy";
+  graph::Graph g = [&] {
+    if (dataset.empty()) return workload(n, d, opt.seed);
+    workload_name = dataset;
+    std::cout << "dataset: " << dataset << "\n";
+    return graph::load_graph_file(dataset);
+  }();
+
+  const auto contiguous =
+      std::make_shared<congest::shard::ContiguousPartitioner>();
+  const auto greedy = std::make_shared<congest::shard::GreedyGrowPartitioner>();
 
   struct NamedResult {
     std::string name;
@@ -187,21 +244,31 @@ int main(int argc, char** argv) {
   results.push_back({"seq", 0, run_sequential(g, opt.seed, warm, rounds, reps)});
   for (const std::uint32_t w : {1u, 2u, 4u, 8u}) {
     results.push_back({"shard_w" + std::to_string(w), w,
-                       run_sharded(g, w, opt.seed, warm, rounds, reps)});
+                       run_sharded(g, w, contiguous, check, opt.seed, warm,
+                                   rounds, reps)});
+  }
+  for (const std::uint32_t w : {2u, 4u, 8u}) {
+    results.push_back({"shard_w" + std::to_string(w) + "_greedy", w,
+                       run_sharded(g, w, greedy, check, opt.seed, warm,
+                                   rounds, reps)});
   }
 
   const Result& seq = results[0].r;
   const std::uint64_t arcs_total = 2ull * g.m();
 
-  Table t({"config", "ms", "messages", "msgs/sec", "ns/delivery",
-           "boundary%", "vs seq"});
+  Table t({"config", "ms", "msgs/sec", "ns/delivery", "boundary%",
+           "barrier us/rd", "bytes/rd", "vs seq"});
   for (const auto& nr : results) {
     const double bfrac =
         100.0 * static_cast<double>(nr.r.boundary_arcs) /
         static_cast<double>(std::max<std::uint64_t>(arcs_total, 1));
-    t.add_row({nr.name, fmt(nr.r.ms, 1), fmt(nr.r.messages),
-               fmt(nr.r.msgs_per_sec(), 0), fmt(nr.r.ns_per_delivery(), 1),
-               nr.shards == 0 ? std::string("-") : fmt(bfrac, 1),
+    const bool sharded = nr.shards != 0;
+    t.add_row({nr.name, fmt(nr.r.ms, 1), fmt(nr.r.msgs_per_sec(), 0),
+               fmt(nr.r.ns_per_delivery(), 1),
+               sharded ? fmt(bfrac, 1) : std::string("-"),
+               sharded ? fmt(nr.r.barrier_us_per_round, 0) : std::string("-"),
+               sharded ? fmt(nr.r.boundary_bytes_per_round, 0)
+                       : std::string("-"),
                fmt(seq.ms / std::max(nr.r.ms, 1e-9), 2) + "x"});
   }
   t.print(std::cout);
@@ -224,22 +291,44 @@ int main(int argc, char** argv) {
                              "the sequential engine");
   }
   check_internal(seq.total_messages > 0, "workload delivered no messages");
+  // The greedy partitioner must never cut more than contiguous does at the
+  // same W (it falls back to contiguous-like growth in the worst case and
+  // exploits locality when the graph has any).
+  for (const auto& nr : results) {
+    if (nr.name.find("_greedy") == std::string::npos) continue;
+    for (const auto& base : results) {
+      if (base.name == "shard_w" + std::to_string(nr.shards)) {
+        check_internal(nr.r.boundary_arcs <= base.r.boundary_arcs,
+                       nr.name + " cut MORE boundary arcs than contiguous");
+      }
+    }
+  }
   if (check) {
-    std::cout << "\ncheck mode: parity assertions passed for every worker "
-                 "count\n";
+    // Zero-allocation gates. Worker-side violations already failed inside
+    // run_sharded; this pins the coordinator's barrier loop.
+    for (const auto& nr : results) {
+      if (nr.shards == 0) continue;
+      check_internal(nr.r.timed_allocs == 0,
+                     nr.name + " coordinator allocated " +
+                         std::to_string(nr.r.timed_allocs) +
+                         " time(s) during the timed steady-state reps");
+    }
+    std::cout << "\ncheck mode: parity + zero-alloc assertions passed for "
+                 "every worker count\n";
   }
 
   std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"shard_scaling\",\n"
+       << "  \"workload\": \"" << workload_name << "\",\n"
        << "  \"quick\": " << (opt.quick ? "true" : "false") << ",\n"
-       << "  \"n\": " << n << ",\n"
-       << "  \"d\": " << d << ",\n"
+       << "  \"host_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"n\": " << g.n() << ",\n"
        << "  \"edges\": " << g.m() << ",\n"
        << "  \"rounds\": " << rounds << ",\n"
        << "  \"reps\": " << reps << ",\n"
        << "  \"warmup_rounds\": " << warm << ",\n"
-       << "  \"bandwidth_bits\": " << congest_bandwidth_bits(n) << ",\n"
+       << "  \"bandwidth_bits\": " << congest_bandwidth_bits(g.n()) << ",\n"
        << "  \"configs\": {\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& nr = results[i];
@@ -248,6 +337,11 @@ int main(int argc, char** argv) {
          << ", \"msgs_per_sec\": " << fmt(nr.r.msgs_per_sec(), 0)
          << ", \"ns_per_delivery\": " << fmt(nr.r.ns_per_delivery(), 1)
          << ", \"boundary_arcs\": " << nr.r.boundary_arcs
+         << ", \"barrier_us_per_round\": " << fmt(nr.r.barrier_us_per_round, 1)
+         << ", \"boundary_bytes_per_round\": "
+         << fmt(nr.r.boundary_bytes_per_round, 0)
+         << ", \"events_elided\": " << nr.r.events_elided
+         << ", \"spilled_frames\": " << nr.r.spilled_frames
          << ", \"speedup_vs_seq\": "
          << fmt(seq.ms / std::max(nr.r.ms, 1e-9), 3) << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";

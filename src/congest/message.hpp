@@ -106,6 +106,20 @@ class Message {
     return *this;
   }
 
+  /// Removes every field but keeps any spill block's capacity, so a
+  /// message reused as a decode target (or a cleared outbox slot) stays
+  /// allocation-free once warmed — unlike move-from, which steals the
+  /// spill block, or `*this = Message{}`, which frees it.
+  Message& clear() {
+    count_ = 0;
+    bits_ = 0;
+    if (spill_ != nullptr) {
+      spill_->values.clear();
+      spill_->widths.clear();
+    }
+    return *this;
+  }
+
   std::uint64_t field(std::size_t i) const {
     require(i < count_, "Message::field: index out of range");
     return value_at(i);

@@ -380,6 +380,18 @@ class Network {
   /// receiving worker's delivery pass decrements on consume), so the
   /// per-worker counters sum to the single-process value.
   Message shard_extract_slot(std::uint32_t slot);
+  /// Reads a queued slot's message in place — the shm mesh transport
+  /// serializes it straight into shared memory without moving it out.
+  const Message& shard_slot_message(std::uint32_t slot) const {
+    return outbox_flat_[slot];
+  }
+  /// Clears a queued slot after its contents were copied out, keeping the
+  /// message's spill capacity (Message::clear). Same quiescence-counter
+  /// contract as shard_extract_slot: the in-flight count is untouched.
+  void shard_clear_slot(std::uint32_t slot) {
+    port_used_flat_[slot] = 0;
+    outbox_flat_[slot].clear();
+  }
   /// Places a boundary message into `slot` (which must be free) and sets
   /// its flag. Does NOT increment inflight: the sender's worker already
   /// counted the send.

@@ -18,17 +18,29 @@ void proto_require(bool cond, const char* msg) {
   if (!cond) throw ProtocolError(msg);
 }
 
-void append_le32(std::vector<std::uint8_t>& out, std::uint32_t x) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
-  }
-}
+/// Unbounded writer over a growing vector — the socket-frame encode path.
+/// Mirrors FrameWriter's interface so the body encoders below are written
+/// once and instantiated for both destinations (an encoder that diverged
+/// between the ring and the socket would break frame parity silently).
+class VecWriter {
+ public:
+  explicit VecWriter(std::vector<std::uint8_t>& out) : out_(out) {}
 
-void append_le64(std::vector<std::uint8_t>& out, std::uint64_t x) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+  void u8(std::uint8_t x) { out_.push_back(x); }
+  void u32(std::uint32_t x) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+    }
   }
-}
+  void u64(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
 
 /// Bounds-checked little-endian cursor. Every primitive read validates the
 /// remaining byte count, so a strict prefix of a valid payload fails at
@@ -67,6 +79,8 @@ class Reader {
 
   std::size_t remaining() const { return buf_.size() - pos_; }
 
+  std::size_t pos() const { return pos_; }
+
   const std::uint8_t* cursor() const { return buf_.data() + pos_; }
 
   void skip(std::size_t k) {
@@ -89,11 +103,12 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-void append_header(std::vector<std::uint8_t>& out, ShardOp op) {
-  out.push_back(kShardProtocolVersion);
-  out.push_back(static_cast<std::uint8_t>(op));
-  out.push_back(0);
-  out.push_back(0);
+template <class W>
+void put_header(W& w, ShardOp op) {
+  w.u8(kShardProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u8(0);
+  w.u8(0);
 }
 
 /// Validates the fixed header and returns a reader positioned at the body.
@@ -105,23 +120,24 @@ Reader open_body(std::span<const std::uint8_t> payload, ShardOp expect) {
   return r;
 }
 
-void append_message(std::vector<std::uint8_t>& out, const Message& m) {
+template <class W>
+void put_message(W& w, const Message& m) {
   require(m.num_fields() <= kMaxWireMessageFields,
           "shard: message has more fields than the wire cap");
-  append_le32(out, static_cast<std::uint32_t>(m.num_fields()));
+  w.u32(static_cast<std::uint32_t>(m.num_fields()));
   for (std::size_t i = 0; i < m.num_fields(); ++i) {
-    out.push_back(static_cast<std::uint8_t>(m.field_bits(i)));
-    append_le64(out, m.field(i));
+    w.u8(static_cast<std::uint8_t>(m.field_bits(i)));
+    w.u64(m.field(i));
   }
 }
 
-Message read_message(Reader& r) {
+void read_message_into(Reader& r, Message& m) {
   const std::uint32_t count = r.u32();
   proto_require(count <= kMaxWireMessageFields,
                 "shard: message field count exceeds the cap");
   proto_require(r.remaining() >= static_cast<std::size_t>(count) * 9,
                 "shard: message field count disagrees with the payload size");
-  Message m;
+  m.clear();
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint32_t width = r.u8();
     const std::uint64_t value = r.u64();
@@ -131,66 +147,64 @@ Message read_message(Reader& r) {
                   "shard: message field value does not fit its width");
     m.push(value, width);
   }
-  return m;
 }
 
-void append_boundary(std::vector<std::uint8_t>& out,
-                     const std::vector<BoundaryMsg>& boundary) {
-  append_le32(out, static_cast<std::uint32_t>(boundary.size()));
+template <class W>
+void put_boundary(W& w, const std::vector<BoundaryMsg>& boundary) {
+  w.u32(static_cast<std::uint32_t>(boundary.size()));
   for (const auto& b : boundary) {
-    append_le32(out, b.slot);
-    append_message(out, b.msg);
+    w.u32(b.slot);
+    put_message(w, b.msg);
   }
 }
 
-std::vector<BoundaryMsg> read_boundary(Reader& r) {
+void read_boundary_into(Reader& r, std::vector<BoundaryMsg>& out) {
   const std::uint32_t count = r.u32();
   // Cheapest-possible encoding of one entry is 8 bytes (slot + empty
   // message); reject length bombs before any allocation of that size.
   proto_require(r.remaining() >= static_cast<std::size_t>(count) * 8,
                 "shard: boundary count disagrees with the payload size");
-  std::vector<BoundaryMsg> out(count);
+  out.resize(count);
   for (auto& b : out) {
     b.slot = r.u32();
-    b.msg = read_message(r);
+    read_message_into(r, b.msg);
   }
-  return out;
 }
 
-void append_events(std::vector<std::uint8_t>& out,
-                   const std::vector<DeliveryEvent>& events) {
-  append_le32(out, static_cast<std::uint32_t>(events.size()));
+template <class W>
+void put_events(W& w, const std::vector<DeliveryEvent>& events) {
+  w.u32(static_cast<std::uint32_t>(events.size()));
   for (const auto& e : events) {
-    append_le32(out, e.from);
-    append_le32(out, e.to);
-    append_message(out, e.msg);
+    w.u32(e.from);
+    w.u32(e.to);
+    put_message(w, e.msg);
   }
 }
 
-std::vector<DeliveryEvent> read_events(Reader& r) {
+void read_events_into(Reader& r, std::vector<DeliveryEvent>& out) {
   const std::uint32_t count = r.u32();
   proto_require(r.remaining() >= static_cast<std::size_t>(count) * 12,
                 "shard: event count disagrees with the payload size");
-  std::vector<DeliveryEvent> out(count);
+  out.resize(count);
   for (auto& e : out) {
     e.from = r.u32();
     e.to = r.u32();
-    e.msg = read_message(r);
+    read_message_into(r, e.msg);
   }
-  return out;
 }
 
-void append_stats(std::vector<std::uint8_t>& out, const RunStats& s) {
-  append_le32(out, s.rounds);
-  append_le64(out, s.messages);
-  append_le64(out, s.bits);
-  append_le32(out, s.max_edge_bits);
-  append_le64(out, s.violations);
-  out.push_back(s.quiesced ? 1 : 0);
-  append_le64(out, s.max_node_memory_bits);
-  append_le64(out, s.messages_dropped);
-  append_le64(out, s.messages_corrupted);
-  append_le64(out, s.crashed_node_rounds);
+template <class W>
+void put_stats(W& w, const RunStats& s) {
+  w.u32(s.rounds);
+  w.u64(s.messages);
+  w.u64(s.bits);
+  w.u32(s.max_edge_bits);
+  w.u64(s.violations);
+  w.u8(s.quiesced ? 1 : 0);
+  w.u64(s.max_node_memory_bits);
+  w.u64(s.messages_dropped);
+  w.u64(s.messages_corrupted);
+  w.u64(s.crashed_node_rounds);
 }
 
 RunStats read_stats(Reader& r) {
@@ -212,6 +226,27 @@ RunStats read_stats(Reader& r) {
   return s;
 }
 
+template <class W>
+void put_round_begin(W& w, const RoundBeginFrame& f) {
+  put_header(w, ShardOp::kRoundBegin);
+  w.u32(f.round);
+  w.u8(f.memory_audit ? 1 : 0);
+  put_boundary(w, f.boundary);
+}
+
+template <class W>
+void put_round_end(W& w, const RoundEndFrame& f) {
+  put_header(w, ShardOp::kRoundEnd);
+  w.u32(f.round);
+  w.u64(static_cast<std::uint64_t>(f.inflight));
+  w.u64(static_cast<std::uint64_t>(f.halted));
+  w.u64(f.boundary_bytes);
+  w.u64(f.boundary_msgs);
+  put_stats(w, f.stats);
+  put_boundary(w, f.boundary);
+  put_events(w, f.events);
+}
+
 }  // namespace
 
 const char* shard_op_name(ShardOp op) {
@@ -224,6 +259,7 @@ const char* shard_op_name(ShardOp op) {
     case ShardOp::kHarvestDone: return "harvest-done";
     case ShardOp::kShutdown: return "shutdown";
     case ShardOp::kError: return "error";
+    case ShardOp::kMesh: return "mesh";
   }
   return "unknown";
 }
@@ -241,7 +277,8 @@ ShardOp decode_op(std::span<const std::uint8_t> payload) {
 
 std::vector<std::uint8_t> encode_empty(ShardOp op) {
   std::vector<std::uint8_t> out;
-  append_header(out, op);
+  VecWriter w(out);
+  put_header(w, op);
   return out;
 }
 
@@ -252,10 +289,11 @@ void decode_empty(std::span<const std::uint8_t> payload, ShardOp op) {
 
 std::vector<std::uint8_t> encode_start_done(const StartDoneFrame& f) {
   std::vector<std::uint8_t> out;
-  append_header(out, ShardOp::kStartDone);
-  append_le64(out, static_cast<std::uint64_t>(f.inflight));
-  append_le64(out, static_cast<std::uint64_t>(f.halted));
-  append_boundary(out, f.boundary);
+  VecWriter w(out);
+  put_header(w, ShardOp::kStartDone);
+  w.u64(static_cast<std::uint64_t>(f.inflight));
+  w.u64(static_cast<std::uint64_t>(f.halted));
+  put_boundary(w, f.boundary);
   return out;
 }
 
@@ -264,62 +302,95 @@ StartDoneFrame decode_start_done(std::span<const std::uint8_t> payload) {
   StartDoneFrame f;
   f.inflight = r.i64();
   f.halted = r.i64();
-  f.boundary = read_boundary(r);
+  read_boundary_into(r, f.boundary);
   r.done();
   return f;
 }
 
 std::vector<std::uint8_t> encode_round_begin(const RoundBeginFrame& f) {
   std::vector<std::uint8_t> out;
-  append_header(out, ShardOp::kRoundBegin);
-  append_le32(out, f.round);
-  out.push_back(f.memory_audit ? 1 : 0);
-  append_boundary(out, f.boundary);
+  VecWriter w(out);
+  put_round_begin(w, f);
   return out;
 }
 
-RoundBeginFrame decode_round_begin(std::span<const std::uint8_t> payload) {
+void decode_round_begin_into(std::span<const std::uint8_t> payload,
+                             RoundBeginFrame& f) {
   Reader r = open_body(payload, ShardOp::kRoundBegin);
-  RoundBeginFrame f;
   f.round = r.u32();
   const std::uint8_t flags = r.u8();
   proto_require(flags <= 1, "shard: unknown round-begin flag bits");
   f.memory_audit = flags == 1;
-  f.boundary = read_boundary(r);
+  read_boundary_into(r, f.boundary);
   r.done();
+}
+
+RoundBeginFrame decode_round_begin(std::span<const std::uint8_t> payload) {
+  RoundBeginFrame f;
+  decode_round_begin_into(payload, f);
   return f;
 }
 
 std::vector<std::uint8_t> encode_round_end(const RoundEndFrame& f) {
   std::vector<std::uint8_t> out;
-  append_header(out, ShardOp::kRoundEnd);
-  append_le32(out, f.round);
-  append_le64(out, static_cast<std::uint64_t>(f.inflight));
-  append_le64(out, static_cast<std::uint64_t>(f.halted));
-  append_stats(out, f.stats);
-  append_boundary(out, f.boundary);
-  append_events(out, f.events);
+  VecWriter w(out);
+  put_round_end(w, f);
   return out;
 }
 
-RoundEndFrame decode_round_end(std::span<const std::uint8_t> payload) {
+void decode_round_end_into(std::span<const std::uint8_t> payload,
+                           RoundEndFrame& f) {
   Reader r = open_body(payload, ShardOp::kRoundEnd);
-  RoundEndFrame f;
   f.round = r.u32();
   f.inflight = r.i64();
   f.halted = r.i64();
+  f.boundary_bytes = r.u64();
+  f.boundary_msgs = r.u64();
   f.stats = read_stats(r);
-  f.boundary = read_boundary(r);
-  f.events = read_events(r);
+  read_boundary_into(r, f.boundary);
+  read_events_into(r, f.events);
   r.done();
+}
+
+RoundEndFrame decode_round_end(std::span<const std::uint8_t> payload) {
+  RoundEndFrame f;
+  decode_round_end_into(payload, f);
   return f;
+}
+
+bool encode_round_begin_to(std::span<std::uint8_t> buf,
+                           const RoundBeginFrame& f, std::size_t& len) {
+  FrameWriter w(buf);
+  put_round_begin(w, f);
+  if (!w.ok()) return false;
+  len = w.size();
+  return true;
+}
+
+bool encode_round_end_to(std::span<std::uint8_t> buf, const RoundEndFrame& f,
+                         std::size_t& len) {
+  FrameWriter w(buf);
+  put_round_end(w, f);
+  if (!w.ok()) return false;
+  len = w.size();
+  return true;
+}
+
+bool encode_empty_to(std::span<std::uint8_t> buf, ShardOp op,
+                     std::size_t& len) {
+  FrameWriter w(buf);
+  put_header(w, op);
+  if (!w.ok()) return false;
+  len = w.size();
+  return true;
 }
 
 std::vector<std::uint8_t> encode_harvest_done(const HarvestDoneFrame& f) {
   std::vector<std::uint8_t> out;
-  append_header(out, ShardOp::kHarvestDone);
-  append_le32(out, static_cast<std::uint32_t>(f.states.size()));
-  for (const auto& m : f.states) append_message(out, m);
+  VecWriter w(out);
+  put_header(w, ShardOp::kHarvestDone);
+  w.u32(static_cast<std::uint32_t>(f.states.size()));
+  for (const auto& m : f.states) put_message(w, m);
   return out;
 }
 
@@ -330,7 +401,7 @@ HarvestDoneFrame decode_harvest_done(std::span<const std::uint8_t> payload) {
                 "shard: harvest count disagrees with the payload size");
   HarvestDoneFrame f;
   f.states.resize(count);
-  for (auto& m : f.states) m = read_message(r);
+  for (auto& m : f.states) read_message_into(r, m);
   r.done();
   return f;
 }
@@ -343,9 +414,10 @@ std::vector<std::uint8_t> encode_error(const std::string& text) {
     msg = msg.substr(0, serve::kMaxMessageBytes);
   }
   std::vector<std::uint8_t> out;
-  append_header(out, ShardOp::kError);
-  append_le32(out, static_cast<std::uint32_t>(msg.size()));
-  out.insert(out.end(), msg.begin(), msg.end());
+  VecWriter w(out);
+  put_header(w, ShardOp::kError);
+  w.u32(static_cast<std::uint32_t>(msg.size()));
+  for (const char c : msg) w.u8(static_cast<std::uint8_t>(c));
   return out;
 }
 
@@ -360,6 +432,60 @@ std::string decode_error(std::span<const std::uint8_t> payload) {
   r.skip(len);
   r.done();
   return text;
+}
+
+// ---- Mesh batches ---------------------------------------------------------
+
+MeshWriter::MeshWriter(std::span<std::uint8_t> buf, std::uint32_t round)
+    : w_(buf) {
+  put_header(w_, ShardOp::kMesh);
+  w_.u32(round);
+  count_at_ = w_.mark();
+  w_.u32(0);  // entry count, patched by finish()
+}
+
+bool MeshWriter::add(std::uint32_t slot, const Message& m) {
+  w_.u32(slot);
+  put_message(w_, m);
+  if (!w_.ok()) return false;
+  ++count_;
+  return true;
+}
+
+bool MeshWriter::finish(std::size_t& len) {
+  if (!w_.ok()) return false;
+  w_.patch_u32(count_at_, count_);
+  len = w_.size();
+  return true;
+}
+
+MeshReader::MeshReader(std::span<const std::uint8_t> payload,
+                       std::uint32_t round)
+    : buf_(payload) {
+  Reader r = open_body(payload, ShardOp::kMesh);
+  const std::uint32_t stamp = r.u32();
+  proto_require(stamp == round,
+                "shard: mesh batch carries the wrong round number");
+  count_ = r.u32();
+  // Cheapest entry is 8 bytes (slot + empty message).
+  proto_require(r.remaining() >= static_cast<std::size_t>(count_) * 8,
+                "shard: mesh entry count disagrees with the payload size");
+  if (count_ == 0) r.done();
+  pos_ = r.pos();
+}
+
+bool MeshReader::next(std::uint32_t& slot, Message& m) {
+  if (read_ == count_) return false;
+  Reader r(buf_.subspan(pos_));
+  slot = r.u32();
+  read_message_into(r, m);
+  pos_ += r.pos();
+  ++read_;
+  if (read_ == count_) {
+    proto_require(pos_ == buf_.size(),
+                  "shard: payload has trailing bytes after its last field");
+  }
+  return true;
 }
 
 }  // namespace qc::congest::shard

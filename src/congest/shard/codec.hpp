@@ -30,11 +30,24 @@
 //     round_begin  (c->w) := u32 round | u8 flags | boundary
 //                            flags bit 0: memory audit armed
 //     round_end    (w->c) := u32 round | i64 inflight | i64 halted
+//                          | u64 boundary_bytes | u64 boundary_msgs
 //                          | stats | boundary | events
 //     harvest      (c->w) := (empty)                 serialize owned programs
 //     harvest_done (w->c) := u32 count | count x message
 //     shutdown     (c->w) := (empty)                 worker exits 0
 //     error        (w->c) := u32 len | len bytes     worker failed; text
+//     mesh         (w->w) := u32 round | u32 count | count x
+//                            (u32 slot | message)
+//
+// `mesh` payloads never cross a socket: they are the contents of the
+// worker-to-worker shared-memory segments (shm_ring.hpp), carrying one
+// round's boundary batch for one directed shard pair. They keep the full
+// version/op/reserved header and the same adversarial validation as every
+// socket frame — shared memory is still untrusted input. round_end's
+// boundary list is the overflow path for batches that did not fit their
+// mesh segment (routed through the coordinator like PR 9 did for all of
+// them); boundary_bytes/boundary_msgs report what the worker moved through
+// both paths combined.
 //
 // `slot` is a flat outbox slot index of the (identical) Network replica
 // every process holds — see Network::shard_out_base. `boundary` lists are
@@ -77,9 +90,10 @@ enum class ShardOp : std::uint8_t {
   kHarvestDone = 5,
   kShutdown = 6,
   kError = 7,
+  kMesh = 8,
 };
 inline constexpr std::uint8_t kMaxShardOp =
-    static_cast<std::uint8_t>(ShardOp::kError);
+    static_cast<std::uint8_t>(ShardOp::kMesh);
 
 const char* shard_op_name(ShardOp op);
 
@@ -114,8 +128,13 @@ struct RoundEndFrame {
   std::uint32_t round = 0;
   std::int64_t inflight = 0;
   std::int64_t halted = 0;
+  /// Boundary payload the worker moved this round over both transports
+  /// (mesh segments + the spill list below), for the coordinator's
+  /// shard.boundary_bytes accounting.
+  std::uint64_t boundary_bytes = 0;
+  std::uint64_t boundary_msgs = 0;
   RunStats stats;  ///< this worker's slice of the round (quiesced unused)
-  std::vector<BoundaryMsg> boundary;
+  std::vector<BoundaryMsg> boundary;  ///< mesh-overflow spill only
   std::vector<DeliveryEvent> events;
 };
 
@@ -149,5 +168,129 @@ HarvestDoneFrame decode_harvest_done(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_error(const std::string& text);
 std::string decode_error(std::span<const std::uint8_t> payload);
+
+// ---- Allocation-free variants ---------------------------------------------
+// The round loop runs every round of every phase; the vector-returning API
+// above allocates per call, which PR 9 paid on both sides of the barrier.
+// These variants encode into a caller-owned bounded buffer (a shm ring
+// slot) and decode into caller-owned reusable frame structs, so a warmed
+// steady-state round performs zero heap allocations end to end —
+// bench_shard --check pins that with the alloc probe.
+
+/// Bounded little-endian writer over a fixed buffer (a ring slot). An
+/// append past the end latches overflow instead of throwing: producers
+/// probe whether a frame fits and fall back to the socket path when it
+/// does not, so overflow is an expected outcome, not an error.
+class FrameWriter {
+ public:
+  explicit FrameWriter(std::span<std::uint8_t> buf) : buf_(buf) {}
+
+  void u8(std::uint8_t x) {
+    if (pos_ + 1 > buf_.size()) {
+      ok_ = false;
+      return;
+    }
+    buf_[pos_++] = x;
+  }
+  void u32(std::uint32_t x) {
+    if (pos_ + 4 > buf_.size()) {
+      ok_ = false;
+      pos_ = buf_.size();
+      return;
+    }
+    for (int i = 0; i < 4; ++i) {
+      buf_[pos_++] = static_cast<std::uint8_t>(x >> (8 * i));
+    }
+  }
+  void u64(std::uint64_t x) {
+    if (pos_ + 8 > buf_.size()) {
+      ok_ = false;
+      pos_ = buf_.size();
+      return;
+    }
+    for (int i = 0; i < 8; ++i) {
+      buf_[pos_++] = static_cast<std::uint8_t>(x >> (8 * i));
+    }
+  }
+
+  /// Offset of the next byte — remember it to patch_u32 a count later.
+  std::size_t mark() const { return pos_; }
+  /// Overwrites 4 bytes at `off` (must already be written).
+  void patch_u32(std::size_t off, std::uint32_t x) {
+    for (int i = 0; i < 4; ++i) {
+      buf_[off + i] = static_cast<std::uint8_t>(x >> (8 * i));
+    }
+  }
+
+  bool ok() const { return ok_; }
+  std::size_t size() const { return pos_; }
+
+ private:
+  std::span<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Encode into `buf`; on success set `len` and return true. Returns false
+/// when the frame does not fit — the caller re-encodes with the vector API
+/// and ships it over the socket instead.
+bool encode_round_begin_to(std::span<std::uint8_t> buf,
+                           const RoundBeginFrame& f, std::size_t& len);
+bool encode_round_end_to(std::span<std::uint8_t> buf, const RoundEndFrame& f,
+                         std::size_t& len);
+bool encode_empty_to(std::span<std::uint8_t> buf, ShardOp op,
+                     std::size_t& len);
+
+/// Decode into a reused frame struct: vectors are resized in place and
+/// Messages rebuilt with Message::clear() + push, so a warmed frame
+/// decodes without touching the heap. Same validation (and the same
+/// serve::ProtocolError throws) as the returning variants, which are
+/// implemented on top of these.
+void decode_round_begin_into(std::span<const std::uint8_t> payload,
+                             RoundBeginFrame& f);
+void decode_round_end_into(std::span<const std::uint8_t> payload,
+                           RoundEndFrame& f);
+
+/// Streams one mesh batch (op kMesh) into a ring slot. add() latches
+/// overflow like FrameWriter; the producer then publishes an *empty* batch
+/// for the pair (consumers require a publication per ring per round) and
+/// spills the messages to the coordinator path.
+class MeshWriter {
+ public:
+  MeshWriter(std::span<std::uint8_t> buf, std::uint32_t round);
+
+  /// Appends one (slot, message) entry; false once anything overflowed.
+  bool add(std::uint32_t slot, const Message& m);
+  std::uint32_t count() const { return count_; }
+  /// Patches the entry count and returns the final byte size; false when
+  /// the batch overflowed (the buffer contents are then unusable).
+  bool finish(std::size_t& len);
+
+ private:
+  FrameWriter w_;
+  std::size_t count_at_;
+  std::uint32_t count_ = 0;
+};
+
+/// Validating cursor over one mesh batch. The constructor checks the
+/// header and the round stamp; next() validates each entry as it is read
+/// and the exact end-of-buffer after the last one — a truncated, overlong
+/// or stale-round segment throws serve::ProtocolError exactly like a
+/// malformed socket frame.
+class MeshReader {
+ public:
+  MeshReader(std::span<const std::uint8_t> payload, std::uint32_t round);
+
+  std::uint32_t count() const { return count_; }
+  /// Reads the next entry into (slot, m); false when the batch is
+  /// exhausted (at which point trailing bytes have been rejected).
+  bool next(std::uint32_t& slot, Message& m);
+
+ private:
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  std::uint32_t count_ = 0;
+  std::uint32_t read_ = 0;
+};
 
 }  // namespace qc::congest::shard

@@ -57,6 +57,28 @@ class ContiguousPartitioner final : public Partitioner {
   const char* name() const override { return "contiguous"; }
 };
 
+/// Cut-minimizing partitioner: visits nodes in BFS order (lowest-id seed
+/// per component) and places each on the shard where it has the most
+/// already-placed neighbors, minus a Fennel-style balance penalty
+/// alpha * gamma * size^(gamma-1) (gamma = 3/2, alpha = sqrt(W) * m /
+/// n^(3/2) — Tsourakakis et al., WSDM'14), under a hard capacity cap of
+/// ceil(n/W) * (1 + balance_slack). BFS order keeps the stream's
+/// neighborhoods warm (a streamed node has placed neighbors to score), the
+/// penalty keeps blocks from starving each other, and the cap plus a
+/// deterministic repair pass guarantee make_assignment's invariants.
+/// Everything tie-breaks on lowest shard id, so the partition is a pure
+/// function of the graph — every replica can recompute it identically.
+class GreedyGrowPartitioner final : public Partitioner {
+ public:
+  explicit GreedyGrowPartitioner(double balance_slack = 0.05);
+  std::vector<std::uint32_t> assign(const graph::Graph& g,
+                                    std::uint32_t shards) const override;
+  const char* name() const override { return "greedy"; }
+
+ private:
+  double slack_;
+};
+
 /// Validates a partitioner's output (size n, every owner in range, every
 /// node assigned exactly once by construction of the map, every shard
 /// non-empty) and derives the per-shard runs. Requires 1 <= shards <= n.

@@ -1,12 +1,15 @@
 #include "congest/shard/sharded_network.hpp"
 
 #include <dirent.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,11 +25,17 @@ namespace qc::congest::shard {
 
 namespace {
 
+/// How long one futex sleep at the barrier may last before the coordinator
+/// re-checks worker liveness over the sockets. Bounds the time a silently
+/// killed worker can stall a phase.
+constexpr int kBarrierWaitSliceMs = 100;
+
 /// Closes every fd of the freshly forked child except stdio and `keep`:
 /// the child inherits the parent's whole fd table (other workers'
 /// coordinator-side sockets, listening sockets, open logs...), and a held
 /// duplicate of another worker's socket would defeat EOF-based teardown.
-/// mmap'ed graph payloads stay valid — a mapping outlives its fd.
+/// mmap'ed graph payloads and the shm arena stay valid — a mapping
+/// outlives its fd (and the arena is anonymous, it never had one).
 void close_other_fds(int keep) {
   std::vector<int> to_close;
   if (DIR* d = ::opendir("/proc/self/fd")) {
@@ -74,10 +83,10 @@ ShardedNetwork::ShardedNetwork(const graph::Graph& g, ShardConfig cfg)
   const Partitioner& p =
       cfg_.partitioner != nullptr ? *cfg_.partitioner : contiguous;
   asn_ = make_assignment(g, cfg_.shards, p);
-  // Routing table: the flat slot of sender u's port p targets
-  // neighbors(u)[p], so the slot's messages belong to that receiver's
-  // worker. Built once; slot numbering is identical in every replica
-  // because it derives from the shared CSR adjacency alone.
+  // Routing table for spilled boundary messages: the flat slot of sender
+  // u's port p targets neighbors(u)[p], so the slot's messages belong to
+  // that receiver's worker. Built once; slot numbering is identical in
+  // every replica because it derives from the shared CSR adjacency alone.
   slot_receiver_shard_.reserve(g.csr_neighbors().size());
   for (NodeId u = 0; u < g.n(); ++u) {
     for (const NodeId v : g.neighbors(u)) {
@@ -106,6 +115,7 @@ void ShardedNetwork::init_programs(const ProgramFactory& make) {
   }
   round_ = 0;
   stats_ = RunStats{};
+  perf_ = ShardPerfCounters{};
   started_ = false;
   broken_ = false;
   needs_harvest_ = false;  // replicas hold pristine initial state
@@ -117,6 +127,23 @@ void ShardedNetwork::init_programs(const ProgramFactory& make) {
 void ShardedNetwork::spawn_workers() {
   const bool collect_events = cfg_.net.observer != nullptr;
   workers_.assign(asn_.shards, Worker{});
+  // A fresh arena per spawn: the zero-initialized pages ARE the valid idle
+  // state of every channel and ring, so a respawn can never inherit a
+  // stale doorbell from a previous (possibly crashed) worker set. The
+  // views below and the forked children all alias the same mapping.
+  layout_ = plan_layout(*graph_, asn_, collect_events);
+  c2w_.clear();
+  w2c_.clear();
+  arena_ = ShmArena(layout_.total_bytes);
+  completion_ = CompletionCounter(arena_.base() + layout_.completion_off);
+  completion_seen_ = 0;
+  for (std::uint32_t s = 0; s < asn_.shards; ++s) {
+    c2w_.emplace_back(arena_.base() + layout_.c2w[s].off, layout_.c2w[s].cap);
+    w2c_.emplace_back(arena_.base() + layout_.w2c[s].off, layout_.w2c[s].cap);
+  }
+  re_.assign(asn_.shards, RoundEndFrame{});
+  done_.assign(asn_.shards, 0);
+  evt_idx_.assign(asn_.shards, 0);
   // Any buffered stdio the child inherits would be flushed twice (once per
   // process); drain it while there is still only one process.
   std::fflush(nullptr);
@@ -143,8 +170,14 @@ void ShardedNetwork::spawn_workers() {
       // lost at _exit anyway.
       close_other_fds(sv[1]);
       metrics::set_global(nullptr);
-      const int rc = run_worker(sv[1], *graph_, cfg_.net, asn_, s,
-                                collect_events, factory_);
+      WorkerLink link;
+      link.fd = sv[1];
+      link.shm = arena_.base();
+      link.layout = &layout_;
+      link.shard = s;
+      link.collect_events = collect_events;
+      link.verify_zero_alloc_from_round = cfg_.verify_zero_alloc_from_round;
+      const int rc = run_worker(link, *graph_, cfg_.net, asn_, factory_);
       // _exit, not exit: the child must not run the parent's atexit
       // handlers (leak-check finalizers, stdio flushes of inherited
       // buffers) — the same discipline as qcongestd's test forks.
@@ -163,10 +196,22 @@ std::string ShardedNetwork::teardown(bool graceful) {
   std::string problems;
   if (graceful) {
     const auto bye = encode_empty(ShardOp::kShutdown);
-    for (auto& w : workers_) {
-      if (w.fd < 0) continue;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (workers_[w].fd < 0) continue;
+      // Prefer the channel (the worker is parked on its futex); fall back
+      // to a hinted socket frame, and if even that fails the fd close
+      // below surfaces as EOF within one worker wait slice.
+      if (w < c2w_.size() && c2w_[w].valid() && c2w_[w].idle() &&
+          bye.size() <= c2w_[w].capacity()) {
+        std::memcpy(c2w_[w].buffer().data(), bye.data(), bye.size());
+        c2w_[w].publish_frame(bye.size());
+        continue;
+      }
+      if (w < c2w_.size() && c2w_[w].valid()) {
+        c2w_[w].try_publish_signal(ShmSignal::kSocket);
+      }
       try {
-        serve::write_frame(w.fd, bye, kMaxShardFrameBytes);
+        serve::write_frame(workers_[w].fd, bye, kMaxShardFrameBytes);
       } catch (...) {  // a dead worker is reported via its exit status
       }
     }
@@ -225,10 +270,20 @@ void ShardedNetwork::mark_broken() {
   teardown(/*graceful=*/false);
 }
 
-void ShardedNetwork::send_to(std::size_t w,
-                             const std::vector<std::uint8_t>& payload) {
+void ShardedNetwork::send_frame(std::size_t w,
+                                std::span<const std::uint8_t> payload) {
+  auto& ch = c2w_[w];
+  if (ch.valid() && ch.idle() && payload.size() <= ch.capacity()) {
+    std::memcpy(ch.buffer().data(), payload.data(), payload.size());
+    ch.publish_frame(payload.size());
+    return;
+  }
+  // Hint first, then write: the worker blocks on the channel futex alone
+  // and only reads the socket after seeing the hint (or on its timeout
+  // poll, if the channel was too busy even for the hint).
+  if (ch.valid()) ch.try_publish_signal(ShmSignal::kSocket);
   try {
-    serve::write_frame(workers_[w].fd, payload, kMaxShardFrameBytes);
+    serve::write_frame(workers_[w].fd, payload, kMaxShardFrameBytes, tx_);
   } catch (const std::exception& e) {
     const std::string what = e.what();
     mark_broken();
@@ -237,32 +292,165 @@ void ShardedNetwork::send_to(std::size_t w,
   }
 }
 
-std::vector<std::uint8_t> ShardedNetwork::recv_from(std::size_t w) {
-  std::vector<std::uint8_t> payload;
-  bool ok = false;
-  try {
-    ok = serve::read_frame(workers_[w].fd, payload, kMaxShardFrameBytes);
-  } catch (const std::exception& e) {
-    const std::string what = e.what();
-    mark_broken();
-    throw Error("shard: worker " + std::to_string(w) +
-                " sent a malformed frame: " + what);
+void ShardedNetwork::send_round_begin(std::size_t w) {
+  // Borrow the worker's pending spill list as rb_'s boundary (both are
+  // empty in steady state), encode straight into the ring slot, and hand
+  // the vector's capacity back afterwards.
+  std::swap(rb_.boundary, workers_[w].pending);
+  bool sent = false;
+  auto& ch = c2w_[w];
+  if (ch.valid() && ch.idle()) {
+    std::size_t len = 0;
+    if (encode_round_begin_to(ch.buffer(), rb_, len)) {
+      ch.publish_frame(len);
+      sent = true;
+    }
   }
-  if (!ok) {
-    mark_broken();
-    throw Error("shard: worker " + std::to_string(w) +
-                " exited mid-run (crashed?)");
+  if (!sent) {
+    ++perf_.spilled_frames;
+    send_frame(w, encode_round_begin(rb_));
   }
+  rb_.boundary.clear();
+  std::swap(rb_.boundary, workers_[w].pending);
+}
+
+void ShardedNetwork::dispatch(std::size_t w,
+                              std::span<const std::uint8_t> payload,
+                              Collect what) {
   if (decode_op(payload) == ShardOp::kError) {
     const std::string text = decode_error(payload);
     mark_broken();
     throw Error("shard: worker " + std::to_string(w) + " failed: " + text);
   }
-  return payload;
+  switch (what) {
+    case Collect::kRoundEnd:
+      decode_round_end_into(payload, re_[w]);
+      break;
+    case Collect::kStartDone: {
+      StartDoneFrame f = decode_start_done(payload);
+      workers_[w].inflight = f.inflight;
+      workers_[w].halted = f.halted;
+      route_boundary(w, f.boundary);
+      break;
+    }
+    case Collect::kHarvestDone: {
+      HarvestDoneFrame f = decode_harvest_done(payload);
+      if (f.states.size() !=
+          asn_.owned_count(static_cast<std::uint32_t>(w))) {
+        mark_broken();
+        throw Error("shard: worker " + std::to_string(w) +
+                    " harvested the wrong number of programs");
+      }
+      std::size_t i = 0;
+      for (const auto& [b, e] : asn_.runs[w]) {
+        for (NodeId v = b; v < e; ++v) {
+          replicas_[v]->restore_state(f.states[i++]);
+        }
+      }
+      break;
+    }
+  }
+}
+
+void ShardedNetwork::check_liveness(Collect what) {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (done_[w]) continue;
+    pollfd p{};
+    p.fd = workers_[w].fd;
+    p.events = POLLIN;
+    const int r = ::poll(&p, 1, 0);
+    if (r <= 0) continue;  // EINTR or nothing pending: just slow, re-wait
+    if ((p.revents & POLLIN) != 0) {
+      // Socket bytes without a visible channel signal. Normally the hint
+      // lands first (it is published before the socket write), so re-check
+      // the channel and let the main scan service a hinted frame; a truly
+      // unhinted frame is a worker whose error fallback found its channel
+      // busy — read and dispatch it here (no channel release to pair).
+      if (w2c_[w].poll() != ShmSignal::kNone) continue;
+      bool ok = false;
+      try {
+        ok = serve::read_frame(workers_[w].fd, rx_, kMaxShardFrameBytes);
+      } catch (const std::exception& e) {
+        const std::string text = e.what();
+        mark_broken();
+        throw Error("shard: worker " + std::to_string(w) +
+                    " sent a malformed frame: " + text);
+      }
+      if (!ok) {
+        mark_broken();
+        throw Error("shard: worker " + std::to_string(w) +
+                    " exited mid-run (crashed?)");
+      }
+      try {
+        dispatch(w, rx_, what);
+      } catch (const serve::ProtocolError& e) {
+        const std::string text = e.what();
+        mark_broken();
+        throw Error("shard: worker " + std::to_string(w) +
+                    " sent a malformed frame: " + text);
+      }
+      done_[w] = 1;
+    } else if ((p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0) {
+      mark_broken();
+      throw Error("shard: worker " + std::to_string(w) +
+                  " exited mid-run (crashed?)");
+    }
+  }
+}
+
+void ShardedNetwork::collect_all(Collect what) {
+  std::fill(done_.begin(), done_.end(), 0);
+  std::size_t remaining = workers_.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (done_[w] != 0) continue;
+      const ShmSignal sig = w2c_[w].poll();
+      if (sig == ShmSignal::kNone) continue;
+      try {
+        if (sig == ShmSignal::kFrame) {
+          // dispatch() copies everything out of the slot before release()
+          // returns the channel to the worker.
+          dispatch(w, w2c_[w].frame(), what);
+          w2c_[w].release();
+        } else {  // kSocket hint: the frame took the spill path
+          bool ok = false;
+          ok = serve::read_frame(workers_[w].fd, rx_, kMaxShardFrameBytes);
+          if (!ok) {
+            mark_broken();
+            throw Error("shard: worker " + std::to_string(w) +
+                        " exited mid-run (crashed?)");
+          }
+          w2c_[w].release();
+          dispatch(w, rx_, what);
+        }
+      } catch (const serve::ProtocolError& e) {
+        const std::string text = e.what();
+        mark_broken();
+        throw Error("shard: worker " + std::to_string(w) +
+                    " sent a malformed frame: " + text);
+      }
+      done_[w] = 1;
+      progressed = true;
+    }
+    remaining = 0;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (done_[w] == 0) ++remaining;
+    }
+    if (remaining == 0) break;
+    if (!progressed) {
+      // Sleep on the shared completion word until ANY pending worker
+      // publishes (completion order, not fd order). A full slice with no
+      // movement means someone may be dead — ask the sockets.
+      const std::uint32_t seen = completion_seen_;
+      completion_seen_ = completion_.wait_past(seen, kBarrierWaitSliceMs);
+      if (completion_seen_ == seen) check_liveness(what);
+    }
+  }
 }
 
 void ShardedNetwork::route_boundary(std::size_t from_worker,
-                                    std::vector<BoundaryMsg>&& boundary) {
+                                    std::vector<BoundaryMsg>& boundary) {
   for (auto& bm : boundary) {
     if (bm.slot >= slot_receiver_shard_.size()) {
       mark_broken();
@@ -271,6 +459,7 @@ void ShardedNetwork::route_boundary(std::size_t from_worker,
     }
     workers_[slot_receiver_shard_[bm.slot]].pending.push_back(std::move(bm));
   }
+  boundary.clear();
 }
 
 bool ShardedNetwork::all_quiet() const {
@@ -290,36 +479,30 @@ bool ShardedNetwork::all_quiet() const {
 void ShardedNetwork::start_if_needed() {
   if (started_) return;
   const auto go = encode_empty(ShardOp::kStart);
-  for (std::size_t w = 0; w < workers_.size(); ++w) send_to(w, go);
-  for (std::size_t w = 0; w < workers_.size(); ++w) {
-    StartDoneFrame f = decode_start_done(recv_from(w));
-    workers_[w].inflight = f.inflight;
-    workers_[w].halted = f.halted;
-    route_boundary(w, std::move(f.boundary));
-  }
+  for (std::size_t w = 0; w < workers_.size(); ++w) send_frame(w, go);
+  collect_all(Collect::kStartDone);
   started_ = true;
 }
 
-void ShardedNetwork::flush_events(
-    std::vector<std::vector<DeliveryEvent>>& per_worker, std::uint32_t round) {
+void ShardedNetwork::flush_events(std::uint32_t round) {
   DeliveryObserver* const obs = cfg_.net.observer.get();
   // Each worker's batch is already ascending in receiver id (workers
   // deliver their runs in ascending order) and receivers are disjoint
   // across workers, so merging by smallest front receiver reproduces the
   // sequential engine's (round, receiver, port) order exactly. For the
   // contiguous partitioner this degenerates to concatenation.
-  std::vector<std::size_t> idx(per_worker.size(), 0);
+  std::fill(evt_idx_.begin(), evt_idx_.end(), 0);
   for (;;) {
-    std::size_t best = per_worker.size();
-    for (std::size_t w = 0; w < per_worker.size(); ++w) {
-      if (idx[w] >= per_worker[w].size()) continue;
-      if (best == per_worker.size() ||
-          per_worker[w][idx[w]].to < per_worker[best][idx[best]].to) {
+    std::size_t best = re_.size();
+    for (std::size_t w = 0; w < re_.size(); ++w) {
+      if (evt_idx_[w] >= re_[w].events.size()) continue;
+      if (best == re_.size() ||
+          re_[w].events[evt_idx_[w]].to < re_[best].events[evt_idx_[best]].to) {
         best = w;
       }
     }
-    if (best == per_worker.size()) break;
-    const DeliveryEvent& e = per_worker[best][idx[best]++];
+    if (best == re_.size()) break;
+    const DeliveryEvent& e = re_[best].events[evt_idx_[best]++];
     obs->on_deliver(e.from, e.to, e.msg, round);
   }
 }
@@ -335,9 +518,12 @@ RunStats ShardedNetwork::run_phase(std::uint32_t max_rounds, bool until_quiet) {
   start_if_needed();
   RunStats phase;
   std::uint64_t boundary_messages = 0;
+  std::uint64_t boundary_bytes = 0;
   std::uint64_t events_merged = 0;
+  std::uint64_t events_elided = 0;
+  std::uint64_t barrier_us = 0;
   std::uint32_t executed = 0;
-  std::vector<std::vector<DeliveryEvent>> events(workers_.size());
+  const bool have_observer = cfg_.net.observer != nullptr;
   while (executed < max_rounds && !(until_quiet && all_quiet())) {
     if (cfg_.stop != nullptr &&
         cfg_.stop->load(std::memory_order_relaxed)) {
@@ -345,17 +531,23 @@ RunStats ShardedNetwork::run_phase(std::uint32_t max_rounds, bool until_quiet) {
       break;
     }
     ++round_;
-    for (std::size_t w = 0; w < workers_.size(); ++w) {
-      RoundBeginFrame rb;
-      rb.round = round_;
-      rb.memory_audit = memory_audit_;
-      rb.boundary = std::move(workers_[w].pending);
-      workers_[w].pending.clear();
-      send_to(w, encode_round_begin(rb));
-    }
+    rb_.round = round_;
+    rb_.memory_audit = memory_audit_;
+    // Publish round_begin to EVERY worker before blocking on ANY
+    // round_end: blocking on worker 0's reply before worker 1 has its
+    // round_begin serializes the cluster behind whichever worker happens
+    // to be slow (regression-tested with a deliberately delayed worker).
+    for (std::size_t w = 0; w < workers_.size(); ++w) send_round_begin(w);
+    const auto barrier_t0 = std::chrono::steady_clock::now();
+    collect_all(Collect::kRoundEnd);
+    const std::uint64_t wait_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - barrier_t0)
+            .count());
+    barrier_us += wait_us;
     RunStats round_merged;
     for (std::size_t w = 0; w < workers_.size(); ++w) {
-      RoundEndFrame re = decode_round_end(recv_from(w));
+      RoundEndFrame& re = re_[w];
       if (re.round != round_) {
         mark_broken();
         throw Error("shard: worker " + std::to_string(w) +
@@ -364,12 +556,18 @@ RunStats ShardedNetwork::run_phase(std::uint32_t max_rounds, bool until_quiet) {
       merge_worker_stats(round_merged, re.stats);
       workers_[w].inflight = re.inflight;
       workers_[w].halted = re.halted;
-      boundary_messages += re.boundary.size();
-      route_boundary(w, std::move(re.boundary));
-      events[w] = std::move(re.events);
-      events_merged += events[w].size();
+      boundary_messages += re.boundary_msgs;
+      boundary_bytes += re.boundary_bytes;
+      if (!re.boundary.empty()) route_boundary(w, re.boundary);
+      events_merged += re.events.size();
     }
-    if (cfg_.net.observer != nullptr) flush_events(events, round_);
+    if (have_observer) {
+      flush_events(round_);
+    } else {
+      // Workers never built or shipped these events; every delivered
+      // message this round is one elided observer event.
+      events_elided += round_merged.messages;
+    }
     // The disarm-after-round-1 rule of the in-process engines, decided
     // globally: workers sweep only their owned programs, so only the
     // merged round-1 maximum can tell whether anyone audits memory.
@@ -379,17 +577,28 @@ RunStats ShardedNetwork::run_phase(std::uint32_t max_rounds, bool until_quiet) {
     }
     merge_worker_stats(phase, round_merged);
     ++executed;
+    if (metrics::enabled()) {
+      metrics::observe("shard.barrier_wait_us",
+                       static_cast<double>(wait_us));
+    }
   }
   phase.rounds = executed;
   phase.quiesced = all_quiet();
   stats_ += phase;
+  perf_.rounds += executed;
+  perf_.barrier_wait_us += barrier_us;
+  perf_.boundary_bytes += boundary_bytes;
+  perf_.boundary_messages += boundary_messages;
+  perf_.events_elided += events_elided;
   needs_harvest_ = true;
   span.add(phase.rounds, phase.messages, phase.bits);
   if (metrics::enabled()) {
     metrics::count("shard.phases");
     metrics::count("shard.rounds", phase.rounds);
     metrics::count("shard.boundary_messages", boundary_messages);
+    metrics::count("shard.boundary_bytes", boundary_bytes);
     metrics::count("shard.observer_events_merged", events_merged);
+    metrics::count("shard.events_elided", events_elided);
   }
   return phase;
 }
@@ -408,21 +617,8 @@ void ShardedNetwork::sync_programs() {
           "ShardedNetwork::program: workers are gone; results from the last "
           "run are unavailable (read them before shutdown)");
   const auto req = encode_empty(ShardOp::kHarvest);
-  for (std::size_t w = 0; w < workers_.size(); ++w) send_to(w, req);
-  for (std::size_t w = 0; w < workers_.size(); ++w) {
-    HarvestDoneFrame f = decode_harvest_done(recv_from(w));
-    if (f.states.size() != asn_.owned_count(static_cast<std::uint32_t>(w))) {
-      mark_broken();
-      throw Error("shard: worker " + std::to_string(w) +
-                  " harvested the wrong number of programs");
-    }
-    std::size_t i = 0;
-    for (const auto& [b, e] : asn_.runs[w]) {
-      for (NodeId v = b; v < e; ++v) {
-        replicas_[v]->restore_state(f.states[i++]);
-      }
-    }
-  }
+  for (std::size_t w = 0; w < workers_.size(); ++w) send_frame(w, req);
+  collect_all(Collect::kHarvestDone);
   metrics::count("shard.harvests");
   needs_harvest_ = false;
 }

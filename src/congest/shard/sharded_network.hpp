@@ -5,16 +5,24 @@
 // ShardedNetwork mirrors congest::Network's driver-facing API
 // (init_programs / run_rounds / run_until_quiescent / stats / program_as)
 // but executes rounds across W worker processes. At init_programs the
-// coordinator forks W workers connected by socketpairs; fork inherits the
-// graph and the program factory, so every worker builds a bit-identical
-// Network replica and owns one partition slice of its nodes. Each round the
-// coordinator sends every worker a round-begin frame carrying the boundary
-// messages addressed to it, workers run the unchanged zero-allocation
-// deliver/compute hot path over their owned ranges, and reply with their
-// stats delta, quiescence counters, outbound boundary messages and (when an
-// observer is installed) their delivery events. The round barrier is the
-// only synchronization point in the whole design: within a round workers
-// share nothing and proceed independently.
+// coordinator maps one shared-memory arena (shm_ring.hpp), then forks W
+// workers connected by socketpairs; fork inherits the graph, the program
+// factory and the arena, so every worker builds a bit-identical Network
+// replica and owns one partition slice of its nodes. Each round the
+// coordinator publishes every worker a round-begin frame on its shm
+// channel, workers exchange boundary messages directly through the
+// worker-to-worker mesh rings and run the unchanged zero-allocation
+// deliver/compute hot path over their owned ranges, then publish a
+// round-end frame with their stats delta, quiescence counters and (when an
+// observer is installed) their delivery events. The sockets remain as the
+// control/lifecycle/error path and as the spill transport for frames that
+// outgrow their shm segment. The round barrier is the only synchronization
+// point in the whole design: within a round workers share nothing and
+// proceed independently, and the coordinator harvests round-end frames in
+// completion order (one shared futex word), not file-descriptor order.
+// A warmed steady-state round allocates nothing on the coordinator —
+// frames encode into ring slots and decode into reused frame structs
+// (bench_shard --check pins this with the alloc probe).
 //
 // Determinism contract (enforced by tests/test_differential.cpp and
 // tests/test_shard.cpp): RunStats, fault-injection outcomes, report fields
@@ -39,11 +47,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "congest/network.hpp"
 #include "congest/shard/codec.hpp"
 #include "congest/shard/partition.hpp"
+#include "congest/shard/shm_ring.hpp"
 
 namespace qc::congest::shard {
 
@@ -62,6 +72,29 @@ struct ShardConfig {
   /// SIGTERM handler); when it reads true the phase ends early and
   /// interrupted() reports it. The workers still shut down cleanly.
   std::atomic<bool>* stop = nullptr;
+  /// When nonzero, every worker arms its allocation probe after this round
+  /// and fails the run if a later steady-state (fast-path) round heap-
+  /// allocates. Effective only in binaries that install the probe
+  /// (QC_INSTALL_ALLOC_PROBE); see bench_shard --check.
+  std::uint32_t verify_zero_alloc_from_round = 0;
+};
+
+/// Transport-level counters accumulated since init_programs, for
+/// bench_shard and the shard.* metrics (docs/observability.md).
+struct ShardPerfCounters {
+  std::uint64_t rounds = 0;
+  /// Wall time the coordinator spent inside the round barrier waiting for
+  /// round-end publications.
+  std::uint64_t barrier_wait_us = 0;
+  /// Encoded boundary payload the workers moved (mesh rings + spill).
+  std::uint64_t boundary_bytes = 0;
+  std::uint64_t boundary_messages = 0;
+  /// Delivery events that were never built or shipped because no observer
+  /// is installed (one per delivered message in observer-less runs).
+  std::uint64_t events_elided = 0;
+  /// Control frames that did not fit their shm slot and fell back to the
+  /// socket path (0 in steady state).
+  std::uint64_t spilled_frames = 0;
 };
 
 class ShardedNetwork {
@@ -108,6 +141,9 @@ class ShardedNetwork {
   /// Stats accumulated since init_programs.
   const RunStats& stats() const { return stats_; }
 
+  /// Transport counters accumulated since init_programs.
+  const ShardPerfCounters& perf() const { return perf_; }
+
   /// True when the last phase ended because cfg.stop read true.
   bool interrupted() const { return interrupted_; }
 
@@ -135,6 +171,10 @@ class ShardedNetwork {
     std::vector<BoundaryMsg> pending;
   };
 
+  /// What a barrier collection expects from every worker; selects the
+  /// decode applied by dispatch().
+  enum class Collect { kStartDone, kRoundEnd, kHarvestDone };
+
   void spawn_workers();
   /// Closes sockets and reaps every worker. `graceful` sends shutdown
   /// frames first and expects exit 0; non-graceful SIGKILLs. Returns a
@@ -144,17 +184,28 @@ class ShardedNetwork {
   RunStats run_phase(std::uint32_t max_rounds, bool until_quiet);
   void start_if_needed();
   bool all_quiet() const;
-  void send_to(std::size_t w, const std::vector<std::uint8_t>& payload);
-  /// Receives one frame from worker w; a clean EOF (worker died) or an
+  /// Ships `payload` to worker w: shm channel when it fits and is idle,
+  /// else a kSocket hint plus a socket frame. Throws (after force-teardown)
+  /// when the worker is unreachable.
+  void send_frame(std::size_t w, std::span<const std::uint8_t> payload);
+  /// Publishes the (reused) rb_ frame to worker w, encoding straight into
+  /// the ring slot on the fast path.
+  void send_round_begin(std::size_t w);
+  /// Waits for one frame from every worker, servicing them in completion
+  /// order, and dispatch()es each. A dead worker, a malformed frame or an
   /// error frame becomes a thrown qc::Error after force-tearing down the
   /// remaining workers — a crashed worker is a clean failure, not a hang.
-  std::vector<std::uint8_t> recv_from(std::size_t w);
+  void collect_all(Collect what);
+  void dispatch(std::size_t w, std::span<const std::uint8_t> payload,
+                Collect what);
+  /// Timeout path of collect_all: peeks every pending worker's socket to
+  /// tell "slow" from "dead" and to pick up unhinted error frames.
+  void check_liveness(Collect what);
   void route_boundary(std::size_t from_worker,
-                      std::vector<BoundaryMsg>&& boundary);
-  /// Merges per-worker event batches into canonical receiver-ascending
-  /// order and invokes the user observer.
-  void flush_events(std::vector<std::vector<DeliveryEvent>>& per_worker,
-                    std::uint32_t round);
+                      std::vector<BoundaryMsg>& boundary);
+  /// Merges the per-worker event batches in re_ into canonical
+  /// receiver-ascending order and invokes the user observer.
+  void flush_events(std::uint32_t round);
   void sync_programs();
 
   const graph::Graph* graph_;
@@ -162,12 +213,13 @@ class ShardedNetwork {
   ShardAssignment asn_;
   std::uint32_t bandwidth_bits_ = 0;
   /// slot -> shard owning the slot's *receiver*: the routing table for
-  /// boundary messages workers extract.
+  /// boundary messages spilled through the coordinator.
   std::vector<std::uint32_t> slot_receiver_shard_;
   ProgramFactory factory_;
   std::vector<std::unique_ptr<NodeProgram>> replicas_;
   std::vector<Worker> workers_;
   RunStats stats_;
+  ShardPerfCounters perf_;
   std::uint32_t round_ = 0;
   bool spawned_ = false;
   bool started_ = false;
@@ -175,6 +227,21 @@ class ShardedNetwork {
   bool needs_harvest_ = false;
   bool memory_audit_ = true;
   bool interrupted_ = false;
+
+  // -- shared-memory transport (rebuilt by every spawn_workers) -------------
+  ShmArena arena_;
+  ShmLayout layout_;
+  CompletionCounter completion_;
+  std::uint32_t completion_seen_ = 0;
+  std::vector<ShmChannel> c2w_;
+  std::vector<ShmChannel> w2c_;
+  // -- reused per-round state (the allocation-free barrier) -----------------
+  RoundBeginFrame rb_;               ///< encode source, reused every round
+  std::vector<RoundEndFrame> re_;    ///< per-worker decode targets
+  std::vector<std::uint8_t> done_;   ///< collect_all scoreboard
+  std::vector<std::size_t> evt_idx_; ///< flush_events merge cursors
+  std::vector<std::uint8_t> rx_;     ///< socket-frame receive scratch
+  std::vector<std::uint8_t> tx_;     ///< write_frame assembly scratch
 };
 
 }  // namespace qc::congest::shard

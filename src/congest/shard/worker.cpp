@@ -1,5 +1,7 @@
 #include "congest/shard/worker.hpp"
 
+#include <poll.h>
+
 #include <algorithm>
 #include <exception>
 #include <string>
@@ -7,11 +9,14 @@
 
 #include "congest/shard/codec.hpp"
 #include "serve/protocol.hpp"
+#include "util/alloc_probe.hpp"
 #include "util/error.hpp"
 
 namespace qc::congest::shard {
 
 namespace {
+
+constexpr int kWaitSliceMs = 100;
 
 /// Placeholder for nodes this worker does not own: a correctly driven
 /// worker never runs deliver/compute over foreign ranges, so on_round is
@@ -24,159 +29,395 @@ class InertProgram final : public NodeProgram {
   }
 };
 
-/// Moves every queued outbound boundary message out of the replica, in
-/// extraction order (sender ascending, port ascending — the order
-/// `out_slots` was built in).
-std::vector<BoundaryMsg> extract_boundary(
-    Network& net, const std::vector<std::uint32_t>& out_slots) {
-  std::vector<BoundaryMsg> out;
-  for (const std::uint32_t slot : out_slots) {
-    if (!net.shard_slot_pending(slot)) continue;
-    out.push_back(BoundaryMsg{slot, net.shard_extract_slot(slot)});
-  }
-  return out;
-}
-
-}  // namespace
-
-int run_worker(
-    int fd, const graph::Graph& g, const NetworkConfig& net_cfg,
-    const ShardAssignment& asn, std::uint32_t shard, bool collect_events,
-    const std::function<std::unique_ptr<NodeProgram>(NodeId)>& make) noexcept {
-  try {
-    NetworkConfig wcfg = net_cfg;
-    // The coordinator owns the round loop; each worker's slice is driven
-    // range-by-range, so the replica's own engine choice is irrelevant.
-    wcfg.engine = Engine::kSequential;
-    // The user observer lives coordinator-side; shard_set_observer_collection
-    // below rebuilds worker-side observation from scratch.
-    wcfg.observer = nullptr;
-    Network net(g, wcfg);
-    net.shard_set_observer_collection(collect_events);
-    net.init_programs([&](NodeId v) -> std::unique_ptr<NodeProgram> {
-      if (asn.shard_of[v] == shard) return make(v);
+/// One worker process's whole state: the Network replica, its view of the
+/// shared transport, and the reusable frame/scratch storage that keeps the
+/// steady-state round loop off the heap.
+class WorkerState {
+ public:
+  WorkerState(const WorkerLink& link, const graph::Graph& g,
+              const NetworkConfig& net_cfg, const ShardAssignment& asn,
+              const std::function<std::unique_ptr<NodeProgram>(NodeId)>& make)
+      : link_(link), asn_(asn), net_(g, worker_cfg(net_cfg)) {
+    net_.shard_set_observer_collection(link_.collect_events);
+    net_.init_programs([&](NodeId v) -> std::unique_ptr<NodeProgram> {
+      if (asn.shard_of[v] == link_.shard) return make(v);
       return std::make_unique<InertProgram>();
     });
 
-    // Outbound boundary slots (owned sender -> foreign receiver) in
-    // extraction order, and the set of slots the coordinator may inject
-    // into (foreign sender -> owned receiver). Anything outside that set
-    // in a round-begin frame is a protocol violation.
-    std::vector<std::uint32_t> out_slots;
-    std::vector<std::uint8_t> inbound_ok(net.shard_slot_count(), 0);
-    for (const auto& [b, e] : asn.runs[shard]) {
+    const ShmLayout& l = *link_.layout;
+    completion_ = CompletionCounter(link_.shm + l.completion_off);
+    c2w_ = ShmChannel(link_.shm + l.c2w[link_.shard].off,
+                      l.c2w[link_.shard].cap);
+    w2c_ = ShmChannel(link_.shm + l.w2c[link_.shard].off,
+                      l.w2c[link_.shard].cap, &completion_);
+    mesh_out_.resize(l.shards);
+    mesh_in_.resize(l.shards);
+    for (std::uint32_t t = 0; t < l.shards; ++t) {
+      const auto& out = l.mesh_seg(link_.shard, t);
+      if (out.cap != 0) {
+        mesh_out_[t] = MeshRing(link_.shm + out.off, out.cap);
+        out_peers_.push_back(t);
+      }
+      const auto& in = l.mesh_seg(t, link_.shard);
+      if (in.cap != 0) {
+        mesh_in_[t] = MeshRing(link_.shm + in.off, in.cap);
+        in_peers_.push_back(t);
+      }
+    }
+
+    // Outbound boundary slots (owned sender -> foreign receiver) grouped
+    // by the receiver's shard — the mesh segment they ship through — and
+    // the set of slots boundary traffic may inject into (foreign sender ->
+    // owned receiver). Anything outside that set arriving over any
+    // transport is a protocol violation.
+    out_slots_.resize(l.shards);
+    inbound_ok_.assign(net_.shard_slot_count(), 0);
+    for (const auto& [b, e] : asn.runs[link_.shard]) {
       for (NodeId u = b; u < e; ++u) {
         const auto nb = g.neighbors(u);
-        const std::uint32_t base = net.shard_out_base(u);
+        const std::uint32_t base = net_.shard_out_base(u);
         for (std::uint32_t p = 0; p < nb.size(); ++p) {
-          if (asn.shard_of[nb[p]] != shard) out_slots.push_back(base + p);
+          const std::uint32_t t = asn.shard_of[nb[p]];
+          if (t != link_.shard) out_slots_[t].push_back(base + p);
         }
         for (const NodeId v : nb) {
-          if (asn.shard_of[v] == shard) continue;
+          if (asn.shard_of[v] == link_.shard) continue;
           // The foreign sender v queues for u in slot out_base(v) + port,
           // where port is u's position in v's sorted neighbor list.
           const auto vnb = g.neighbors(v);
           const auto it = std::lower_bound(vnb.begin(), vnb.end(), u);
-          inbound_ok[net.shard_out_base(v) +
-                     static_cast<std::uint32_t>(it - vnb.begin())] = 1;
+          inbound_ok_[net_.shard_out_base(v) +
+                      static_cast<std::uint32_t>(it - vnb.begin())] = 1;
         }
       }
     }
+  }
 
-    std::vector<std::uint8_t> payload;
-    std::vector<Network::PendingDelivery> sink;
+  /// Frame service loop; returns the worker's exit code.
+  int serve() {
     for (;;) {
-      if (!serve::read_frame(fd, payload, kMaxShardFrameBytes)) {
-        return 0;  // coordinator closed its end: clean teardown
+      ShmSignal sig = c2w_.wait(kWaitSliceMs);
+      bool hinted = true;
+      if (sig == ShmSignal::kNone) {
+        if (!socket_ready()) continue;
+        // The hint is published before the socket write, so visible
+        // socket bytes normally mean a visible hint; re-check, and treat
+        // a hintless frame (the teardown fallback when the channel was
+        // busy) as a plain socket frame.
+        sig = c2w_.poll();
+        if (sig == ShmSignal::kNone) {
+          hinted = false;
+          sig = ShmSignal::kSocket;
+        }
       }
+      std::span<const std::uint8_t> payload;
+      if (sig == ShmSignal::kFrame) {
+        payload = c2w_.frame();
+      } else {
+        if (!serve::read_frame(link_.fd, rx_, kMaxShardFrameBytes)) {
+          return 0;  // coordinator closed its end: clean teardown
+        }
+        payload = rx_;
+      }
+      // Each handler finishes copying out of `payload` before release()
+      // makes the channel reusable — the coordinator may publish the next
+      // control frame the moment it has this round's replies.
       const ShardOp op = decode_op(payload);
       switch (op) {
-        case ShardOp::kStart: {
+        case ShardOp::kStart:
           decode_empty(payload, ShardOp::kStart);
-          for (const auto& [b, e] : asn.runs[shard]) {
-            net.shard_start_range(b, e);
-          }
-          StartDoneFrame f;
-          f.inflight = net.shard_inflight();
-          f.halted = net.shard_halted();
-          f.boundary = extract_boundary(net, out_slots);
-          serve::write_frame(fd, encode_start_done(f), kMaxShardFrameBytes);
+          if (hinted) c2w_.release();
+          handle_start();
           break;
-        }
-        case ShardOp::kRoundBegin: {
-          RoundBeginFrame rb = decode_round_begin(payload);
-          if (rb.round != net.shard_round() + 1) {
-            throw serve::ProtocolError(
-                "shard worker: coordinator round out of sequence");
-          }
-          for (auto& bm : rb.boundary) {
-            if (bm.slot >= inbound_ok.size() || !inbound_ok[bm.slot]) {
-              throw serve::ProtocolError(
-                  "shard worker: injected slot is not an inbound boundary "
-                  "slot of this shard");
-            }
-            net.shard_inject_slot(bm.slot, std::move(bm.msg));
-          }
-          net.shard_set_memory_audit(rb.memory_audit);
-          net.shard_begin_round();
-          RoundEndFrame re;
-          re.round = rb.round;
-          sink.clear();
-          for (const auto& [b, e] : asn.runs[shard]) {
-            net.shard_deliver_range(b, e, re.stats,
-                                    collect_events ? &sink : nullptr);
-          }
-          for (const auto& [b, e] : asn.runs[shard]) {
-            net.shard_compute_range(b, e);
-          }
-          if (rb.memory_audit) {
-            for (const auto& [b, e] : asn.runs[shard]) {
-              re.stats.max_node_memory_bits =
-                  std::max(re.stats.max_node_memory_bits,
-                           net.shard_memory_max_range(b, e));
-            }
-          }
-          re.inflight = net.shard_inflight();
-          re.halted = net.shard_halted();
-          re.boundary = extract_boundary(net, out_slots);
-          if (collect_events) {
-            re.events.reserve(sink.size());
-            for (const auto& d : sink) {
-              re.events.push_back(
-                  DeliveryEvent{d.from, d.to, net.shard_inbox_message(d)});
-            }
-          }
-          serve::write_frame(fd, encode_round_end(re), kMaxShardFrameBytes);
+        case ShardOp::kRoundBegin:
+          decode_round_begin_into(payload, rb_);
+          if (hinted) c2w_.release();
+          handle_round();
           break;
-        }
-        case ShardOp::kHarvest: {
+        case ShardOp::kHarvest:
           decode_empty(payload, ShardOp::kHarvest);
-          HarvestDoneFrame f;
-          for (const auto& [b, e] : asn.runs[shard]) {
-            for (NodeId v = b; v < e; ++v) {
-              Message m;
-              net.program(v).serialize_state(m);
-              f.states.push_back(std::move(m));
-            }
-          }
-          serve::write_frame(fd, encode_harvest_done(f), kMaxShardFrameBytes);
+          if (hinted) c2w_.release();
+          handle_harvest();
           break;
-        }
-        case ShardOp::kShutdown: {
+        case ShardOp::kShutdown:
           decode_empty(payload, ShardOp::kShutdown);
+          if (hinted) c2w_.release();
           return 0;
-        }
         default:
           throw serve::ProtocolError(
               std::string("shard worker: unexpected op ") +
               shard_op_name(op));
       }
     }
-  } catch (const std::exception& e) {
-    // Best effort: tell the coordinator why before dying. If the pipe is
-    // already gone the nonzero exit code still reaches waitpid.
+  }
+
+  /// Best-effort error report: the frame goes over the socket (always
+  /// writable regardless of channel state) and the doorbell layer is
+  /// poked so a coordinator sleeping on the barrier wakes up to find it.
+  void report_error(const char* what) {
     try {
-      serve::write_frame(fd, encode_error(e.what()), kMaxShardFrameBytes);
+      serve::write_frame(link_.fd, encode_error(what), kMaxShardFrameBytes);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+    if (w2c_.valid() && !w2c_.try_publish_signal(ShmSignal::kSocket)) {
+      completion_.bump();  // busy channel: wake the waiter anyway
+    }
+  }
+
+ private:
+  static NetworkConfig worker_cfg(NetworkConfig cfg) {
+    // The coordinator owns the round loop; each worker's slice is driven
+    // range-by-range, so the replica's own engine choice is irrelevant.
+    cfg.engine = Engine::kSequential;
+    // The user observer lives coordinator-side; shard_set_observer_collection
+    // rebuilds worker-side observation from scratch.
+    cfg.observer = nullptr;
+    return cfg;
+  }
+
+  bool socket_ready() const {
+    pollfd p{};
+    p.fd = link_.fd;
+    p.events = POLLIN;
+    return ::poll(&p, 1, 0) > 0 &&
+           (p.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+  }
+
+  /// Ships a reply frame: through the w2c ring when it fits, else hinted
+  /// over the socket. The ping-pong protocol guarantees the ring is idle
+  /// at every legitimate reply point.
+  void send_reply(std::span<const std::uint8_t> payload) {
+    if (payload.size() <= w2c_.capacity()) {
+      auto buf = w2c_.buffer();
+      std::copy(payload.begin(), payload.end(), buf.begin());
+      w2c_.publish_frame(payload.size());
+      return;
+    }
+    slow_path_ = true;
+    w2c_.publish_signal(ShmSignal::kSocket);  // before the write: see wait()
+    serve::write_frame(link_.fd, payload, kMaxShardFrameBytes, tx_scratch_);
+  }
+
+  /// Moves this round's queued outbound boundary messages into the mesh
+  /// segments, stamped for the round that will consume them. A batch that
+  /// does not fit its segment is published empty and its messages spill to
+  /// `spill` for the coordinator-routed path instead. Every existing
+  /// segment gets exactly one publication per round — consumers validate
+  /// the stamp, so a skipped publication would (correctly) kill the run.
+  void ship_boundary(std::uint32_t consume_round,
+                     std::vector<BoundaryMsg>& spill) {
+    boundary_bytes_ = 0;
+    boundary_msgs_ = 0;
+    for (const std::uint32_t t : out_peers_) {
+      MeshRing& ring = mesh_out_[t];
+      MeshWriter w(ring.produce_buffer(consume_round), consume_round);
+      bool fits = true;
+      for (const std::uint32_t slot : out_slots_[t]) {
+        if (!net_.shard_slot_pending(slot)) continue;
+        if (!w.add(slot, net_.shard_slot_message(slot))) {
+          fits = false;
+          break;
+        }
+      }
+      std::size_t len = 0;
+      if (fits && w.finish(len)) {
+        for (const std::uint32_t slot : out_slots_[t]) {
+          if (net_.shard_slot_pending(slot)) net_.shard_clear_slot(slot);
+        }
+        boundary_bytes_ += len;
+        boundary_msgs_ += w.count();
+        ring.publish(consume_round, len);
+        continue;
+      }
+      // Overflow (a spilled many-field message blew the per-arc budget):
+      // publish the mandatory empty batch and reroute via the coordinator.
+      slow_path_ = true;
+      MeshWriter empty(ring.produce_buffer(consume_round), consume_round);
+      require(empty.finish(len), "shard worker: mesh segment too small for "
+                                 "an empty batch");
+      ring.publish(consume_round, len);
+      for (const std::uint32_t slot : out_slots_[t]) {
+        if (!net_.shard_slot_pending(slot)) continue;
+        spill.push_back(BoundaryMsg{slot, net_.shard_extract_slot(slot)});
+        boundary_bytes_ += 8 + 9 * spill.back().msg.num_fields();
+        ++boundary_msgs_;
+      }
+    }
+  }
+
+  /// Injects one mesh batch worth of inbound boundary traffic, validating
+  /// every entry against the inbound slot set.
+  void drain_mesh(std::uint32_t round) {
+    for (const std::uint32_t s : in_peers_) {
+      MeshReader r(mesh_in_[s].consume(round), round);
+      std::uint32_t slot = 0;
+      while (r.next(slot, scratch_msg_)) {
+        check_inbound(slot);
+        net_.shard_inject_slot(slot, scratch_msg_);
+      }
+    }
+  }
+
+  void check_inbound(std::uint32_t slot) const {
+    if (slot >= inbound_ok_.size() || !inbound_ok_[slot]) {
+      throw serve::ProtocolError(
+          "shard worker: injected slot is not an inbound boundary slot of "
+          "this shard");
+    }
+  }
+
+  void handle_start() {
+    for (const auto& [b, e] : asn_.runs[link_.shard]) {
+      net_.shard_start_range(b, e);
+    }
+    StartDoneFrame f;
+    ship_boundary(/*consume_round=*/1, f.boundary);
+    start_boundary_bytes_ = boundary_bytes_;
+    start_boundary_msgs_ = boundary_msgs_;
+    f.inflight = net_.shard_inflight();
+    f.halted = net_.shard_halted();
+    send_reply(encode_start_done(f));
+  }
+
+  void handle_round() {
+    slow_path_ = false;
+    if (rb_.round != net_.shard_round() + 1) {
+      throw serve::ProtocolError(
+          "shard worker: coordinator round out of sequence");
+    }
+    // Spilled boundary messages routed through the coordinator land in the
+    // same replica slots the mesh path fills — delivery below cannot tell
+    // the transports apart, which is why parity is transport-independent.
+    for (auto& bm : rb_.boundary) {
+      check_inbound(bm.slot);
+      net_.shard_inject_slot(bm.slot, std::move(bm.msg));
+      slow_path_ = true;
+    }
+    drain_mesh(rb_.round);
+    net_.shard_set_memory_audit(rb_.memory_audit);
+    net_.shard_begin_round();
+    re_.round = rb_.round;
+    re_.stats = RunStats{};
+    sink_.clear();
+    for (const auto& [b, e] : asn_.runs[link_.shard]) {
+      net_.shard_deliver_range(b, e, re_.stats,
+                               link_.collect_events ? &sink_ : nullptr);
+    }
+    for (const auto& [b, e] : asn_.runs[link_.shard]) {
+      net_.shard_compute_range(b, e);
+    }
+    if (rb_.memory_audit) {
+      for (const auto& [b, e] : asn_.runs[link_.shard]) {
+        re_.stats.max_node_memory_bits =
+            std::max(re_.stats.max_node_memory_bits,
+                     net_.shard_memory_max_range(b, e));
+      }
+    }
+    re_.boundary.clear();
+    ship_boundary(/*consume_round=*/rb_.round + 1, re_.boundary);
+    re_.inflight = net_.shard_inflight();
+    re_.halted = net_.shard_halted();
+    re_.boundary_bytes = boundary_bytes_ + start_boundary_bytes_;
+    re_.boundary_msgs = boundary_msgs_ + start_boundary_msgs_;
+    start_boundary_bytes_ = start_boundary_msgs_ = 0;
+    re_.events.clear();
+    if (link_.collect_events) {
+      re_.events.reserve(sink_.size());
+      for (const auto& d : sink_) {
+        re_.events.push_back(
+            DeliveryEvent{d.from, d.to, net_.shard_inbox_message(d)});
+      }
+    }
+    std::size_t len = 0;
+    if (encode_round_end_to(w2c_.buffer(), re_, len)) {
+      w2c_.publish_frame(len);
+    } else {
+      send_reply(encode_round_end(re_));
+    }
+    verify_steady_state_allocs();
+  }
+
+  void handle_harvest() {
+    HarvestDoneFrame f;
+    for (const auto& [b, e] : asn_.runs[link_.shard]) {
+      for (NodeId v = b; v < e; ++v) {
+        Message m;
+        net_.program(v).serialize_state(m);
+        f.states.push_back(std::move(m));
+      }
+    }
+    send_reply(encode_harvest_done(f));
+  }
+
+  /// The PR 5 alloc_probe discipline applied to the whole worker round:
+  /// once past the arm round, a round that stayed on the fast path (ring
+  /// transport, no spill) must not have allocated at all. Slow-path rounds
+  /// re-arm — they are allowed to touch the heap, that is what makes them
+  /// the slow path.
+  void verify_steady_state_allocs() {
+    const std::uint32_t arm = link_.verify_zero_alloc_from_round;
+    if (arm == 0 || rb_.round < arm) return;
+    const std::uint64_t now = qc::alloc_probe_count();
+    if (alloc_armed_ && !slow_path_ && now != alloc_mark_) {
+      throw Error("shard worker: steady-state round " +
+                  std::to_string(rb_.round) + " performed " +
+                  std::to_string(now - alloc_mark_) +
+                  " heap allocation(s); the round loop must be "
+                  "allocation-free");
+    }
+    alloc_mark_ = now;
+    alloc_armed_ = true;
+  }
+
+  WorkerLink link_;
+  const ShardAssignment& asn_;
+  Network net_;
+
+  CompletionCounter completion_;
+  ShmChannel c2w_;
+  ShmChannel w2c_;
+  std::vector<MeshRing> mesh_out_;
+  std::vector<MeshRing> mesh_in_;
+  std::vector<std::uint32_t> out_peers_;
+  std::vector<std::uint32_t> in_peers_;
+  std::vector<std::vector<std::uint32_t>> out_slots_;
+  std::vector<std::uint8_t> inbound_ok_;
+
+  RoundBeginFrame rb_;
+  RoundEndFrame re_;
+  std::vector<Network::PendingDelivery> sink_;
+  Message scratch_msg_;
+  std::vector<std::uint8_t> rx_;
+  std::vector<std::uint8_t> tx_scratch_;
+  std::uint64_t boundary_bytes_ = 0;
+  std::uint64_t boundary_msgs_ = 0;
+  std::uint64_t start_boundary_bytes_ = 0;
+  std::uint64_t start_boundary_msgs_ = 0;
+  bool slow_path_ = false;
+  bool alloc_armed_ = false;
+  std::uint64_t alloc_mark_ = 0;
+};
+
+}  // namespace
+
+int run_worker(
+    const WorkerLink& link, const graph::Graph& g,
+    const NetworkConfig& net_cfg, const ShardAssignment& asn,
+    const std::function<std::unique_ptr<NodeProgram>(NodeId)>& make) noexcept {
+  try {
+    WorkerState state(link, g, net_cfg, asn, make);
+    try {
+      return state.serve();
+    } catch (const std::exception& e) {
+      state.report_error(e.what());
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    // Construction failed before the transport existed; the socket is the
+    // only channel there is. If it is already gone the nonzero exit code
+    // still reaches waitpid.
+    try {
+      serve::write_frame(link.fd, encode_error(e.what()), kMaxShardFrameBytes);
     } catch (...) {  // NOLINT(bugprone-empty-catch)
     }
     return 1;

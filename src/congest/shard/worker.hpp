@@ -6,21 +6,40 @@
 
 #include "congest/network.hpp"
 #include "congest/shard/partition.hpp"
+#include "congest/shard/shm_ring.hpp"
 
 namespace qc::congest::shard {
+
+/// Everything a forked worker needs to reach its coordinator: the control
+/// socket, the shared transport arena (inherited through fork at the same
+/// address) and the layout describing its channels and mesh segments.
+struct WorkerLink {
+  int fd = -1;
+  std::uint8_t* shm = nullptr;
+  const ShmLayout* layout = nullptr;
+  std::uint32_t shard = 0;
+  bool collect_events = false;
+  /// When nonzero, the worker snapshots the alloc probe after this round
+  /// and fails the run if any later steady-state round allocates (rounds
+  /// that took a legitimate slow path — socket or mesh spill — re-arm
+  /// instead). Only meaningful in binaries that install the probe.
+  std::uint32_t verify_zero_alloc_from_round = 0;
+};
 
 /// Body of a forked worker process (internal to the shard backend; exposed
 /// for tests). Builds a full Network replica of `g` with `net_cfg` —
 /// inherited by value through fork, so every process constructs bit-
 /// identical state — instantiates `make(v)` programs for the nodes shard
-/// `shard` owns (inert placeholders elsewhere), and services coordinator
-/// frames on `fd` until a shutdown frame or EOF (coordinator gone), both
-/// of which return 0. Any failure is reported back as an error frame and
-/// returns 1; the function never throws — the caller _exit()s with the
-/// returned code, skipping atexit machinery the forked child must not run.
+/// `link.shard` owns (inert placeholders elsewhere), and services
+/// coordinator publications on its shm channel (with the socket as the
+/// hinted control/spill path) until a shutdown frame or EOF (coordinator
+/// gone), both of which return 0. Any failure is reported back as an error
+/// frame and returns 1; the function never throws — the caller _exit()s
+/// with the returned code, skipping atexit machinery the forked child must
+/// not run.
 int run_worker(
-    int fd, const graph::Graph& g, const NetworkConfig& net_cfg,
-    const ShardAssignment& asn, std::uint32_t shard, bool collect_events,
+    const WorkerLink& link, const graph::Graph& g,
+    const NetworkConfig& net_cfg, const ShardAssignment& asn,
     const std::function<std::unique_ptr<NodeProgram>(NodeId)>& make) noexcept;
 
 }  // namespace qc::congest::shard

@@ -115,5 +115,12 @@ bool read_frame(int fd, std::vector<std::uint8_t>& payload,
                 std::uint32_t max_frame_bytes = kMaxFrameBytes);
 void write_frame(int fd, std::span<const std::uint8_t> payload,
                  std::uint32_t max_frame_bytes = kMaxFrameBytes);
+/// As write_frame, but assembles the length-prefixed frame in `scratch`
+/// (cleared and reused; capacity is kept across calls) instead of a fresh
+/// buffer — the allocation-free path for callers that frame in a loop
+/// (the shard backend's socket spill path, qcongestd responses).
+void write_frame(int fd, std::span<const std::uint8_t> payload,
+                 std::uint32_t max_frame_bytes,
+                 std::vector<std::uint8_t>& scratch);
 
 }  // namespace qc::serve

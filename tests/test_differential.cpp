@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -296,7 +297,7 @@ std::string diff_stats(const congest::RunStats& a, const congest::RunStats& b,
 // single-process vs sharded at worker count `w`, with delivery tracing
 // armed on both. Returns "" on bit-identical agreement.
 std::string check_shard_case(const graph::Graph& g, std::uint32_t w,
-                             int& checks) {
+                             int& checks, bool greedy = false) {
   using congest::shard::ShardConfig;
   using congest::shard::ShardedNetwork;
   w = std::min(w, g.n());  // a shard needs at least one node
@@ -309,6 +310,10 @@ std::string check_shard_case(const graph::Graph& g, std::uint32_t w,
   ShardConfig scfg;
   scfg.shards = w;
   scfg.net = shard_trace.arm({});
+  if (greedy) {
+    scfg.partitioner =
+        std::make_shared<congest::shard::GreedyGrowPartitioner>();
+  }
   ShardedNetwork shard_net(g, scfg);
 
   {
@@ -396,6 +401,29 @@ TEST(Differential, ShardedEngineBitIdenticalForEveryWorkerCount) {
     }
   }
   EXPECT_GE(checks, 72);  // 6 cases x 4 worker counts x 3 comparisons
+}
+
+TEST(Differential, ShardedEngineBitIdenticalUnderGreedyPartitioner) {
+  // The greedy partitioner produces non-contiguous, graph-dependent owner
+  // maps; the parity contract (reports, stats, canonical event stream)
+  // must hold for those exactly as for contiguous ranges.
+  int checks = 0;
+  const std::vector<CaseId> cases = {
+      {"diam", 30, 6, 4},
+      {"chorded-tree", 26, 0, 2},
+  };
+  for (const auto& c : cases) {
+    const auto g = build(c);
+    ASSERT_TRUE(g.is_connected()) << c.describe();
+    for (const std::uint32_t w : {1u, 2u, 3u, 8u}) {
+      const std::string err =
+          check_shard_case(g, w, checks, /*greedy=*/true);
+      EXPECT_TRUE(err.empty())
+          << "greedy shard-parity mismatch at W=" << w << " on "
+          << c.describe() << ": " << err;
+    }
+  }
+  EXPECT_GE(checks, 24);  // 2 cases x 4 worker counts x 3 comparisons
 }
 
 }  // namespace

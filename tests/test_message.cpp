@@ -169,5 +169,32 @@ TEST(MessageTruncate, ClipsAcrossTheInlineBoundary) {
   EXPECT_EQ(t.size_bits(), 5 * keep + 2);
 }
 
+TEST(MessageClear, RemovesFieldsAndKeepsSpillCapacity) {
+  Message m;
+  const std::size_t fields = Message::kInlineFields + 4;
+  for (std::size_t i = 0; i < fields; ++i) m.push(i, 9);
+  ASSERT_EQ(m.num_fields(), fields);
+
+  m.clear();
+  EXPECT_EQ(m.num_fields(), 0u);
+  EXPECT_EQ(m.size_bits(), 0u);
+  EXPECT_EQ(m, Message{});
+
+  // Refilling up to the previous spill depth reuses the retained block:
+  // the shard decode loop leans on this to stay allocation-free once a
+  // reused frame's messages are warmed.
+  const std::uint64_t before = allocs();
+  for (std::size_t i = 0; i < fields; ++i) m.push(fields - i, 7);
+  const std::uint64_t after = allocs();
+  EXPECT_EQ(after, before);
+  ASSERT_EQ(m.num_fields(), fields);
+  EXPECT_EQ(m.field(0), fields);
+  EXPECT_EQ(m.field_bits(fields - 1), 7u);
+
+  // clear() is not move-from: a cleared message is immediately reusable.
+  m.clear();
+  EXPECT_EQ(m.push(1, 1).num_fields(), 1u);
+}
+
 }  // namespace
 }  // namespace qc::congest

@@ -11,12 +11,15 @@
 
 #include <sys/types.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <functional>
 #include <memory>
@@ -33,8 +36,10 @@
 #include "congest/shard/codec.hpp"
 #include "congest/shard/partition.hpp"
 #include "congest/shard/sharded_network.hpp"
+#include "congest/shard/shm_ring.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "graph/io.hpp"
 #include "serve/protocol.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -217,6 +222,8 @@ RoundEndFrame sample_round_end() {
   f.round = 42;
   f.inflight = -3;
   f.halted = 10;
+  f.boundary_bytes = 0x1234567890ULL;
+  f.boundary_msgs = 777;
   f.stats = sample_stats();
   f.boundary.push_back(BoundaryMsg{0, extreme_msg()});
   f.events.push_back(DeliveryEvent{3, 9, inline_msg()});
@@ -269,6 +276,8 @@ TEST(ShardCodec, RoundEndRoundTripsIncludingStats) {
   EXPECT_EQ(d.round, f.round);
   EXPECT_EQ(d.inflight, f.inflight);
   EXPECT_EQ(d.halted, f.halted);
+  EXPECT_EQ(d.boundary_bytes, f.boundary_bytes);
+  EXPECT_EQ(d.boundary_msgs, f.boundary_msgs);
   const RunStats &a = d.stats, &b = f.stats;
   EXPECT_EQ(a.rounds, b.rounds);
   EXPECT_EQ(a.messages, b.messages);
@@ -616,6 +625,356 @@ TEST(ShardedNetwork, ShutdownIsIdempotentAndRefusesLateReads) {
   EXPECT_NO_THROW(net.shutdown());
   // Results were never harvested and the workers are gone.
   EXPECT_THROW(net.program(0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// GreedyGrowPartitioner
+// ---------------------------------------------------------------------------
+
+std::uint64_t cut_arcs(const Graph& g, const ShardAssignment& a) {
+  std::uint64_t arcs = 0;
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (a.owner(u) != a.owner(v)) ++arcs;
+    }
+  }
+  return arcs;
+}
+
+TEST(ShardPartition, GreedyCoversBalancesAndIsDeterministic) {
+  Rng rng(11);
+  const std::vector<Graph> graphs = {
+      graph::make_connected_er(120, 0.06, rng),
+      graph::make_path(75),
+      graph::make_cycle(64),
+  };
+  const GreedyGrowPartitioner part;
+  for (const Graph& g : graphs) {
+    for (const std::uint32_t w : {2u, 3u, 8u}) {
+      const ShardAssignment a = make_assignment(g, w, part);
+      ASSERT_EQ(a.shards, w);
+      ASSERT_EQ(a.shard_of.size(), g.n());
+      // Full cover, every owner in range, no shard empty, and the
+      // documented hard capacity cap ceil(n/W) + max(1, slack * ceil(n/W)).
+      std::vector<std::uint64_t> sizes(w, 0);
+      for (const std::uint32_t s : a.shard_of) {
+        ASSERT_LT(s, w);
+        ++sizes[s];
+      }
+      const std::uint64_t base = (g.n() + w - 1) / w;
+      const std::uint64_t cap =
+          base +
+          std::max<std::uint64_t>(1, static_cast<std::uint64_t>(0.05 * base));
+      std::uint64_t covered = 0;
+      for (std::uint32_t s = 0; s < w; ++s) {
+        EXPECT_GE(sizes[s], 1u);
+        EXPECT_LE(sizes[s], cap);
+        EXPECT_EQ(a.owned_count(s), sizes[s]);
+        covered += sizes[s];
+      }
+      EXPECT_EQ(covered, g.n());
+      // Pure function of the graph: every replica recomputes it identically.
+      EXPECT_EQ(GreedyGrowPartitioner().assign(g, w), a.shard_of);
+    }
+  }
+}
+
+TEST(ShardPartition, GreedyHandlesDegenerateShardCountsNearN) {
+  const Graph g = graph::make_cycle(9);
+  const GreedyGrowPartitioner part;
+  for (const std::uint32_t w : {8u, 9u}) {
+    const ShardAssignment a = make_assignment(g, w, part);
+    std::vector<std::uint64_t> sizes(w, 0);
+    for (const std::uint32_t s : a.shard_of) ++sizes[s];
+    for (std::uint32_t s = 0; s < w; ++s) {
+      EXPECT_GE(sizes[s], 1u) << "W=" << w << " shard " << s;
+    }
+  }
+  EXPECT_THROW(make_assignment(g, 10, part), Error);
+}
+
+TEST(ShardPartition, GreedyCutsNoMoreArcsThanContiguousOn10kDataset) {
+  // The acceptance workload: greedy exists to reduce boundary traffic on
+  // the checked-in 10k dataset at W=8 (BENCH_shard.json records the
+  // measured reduction; this pins the direction of the inequality).
+  const Graph g =
+      graph::load_graph_file(std::string(QC_DATA_DIR) + "/synth-p2p-10k.qcg");
+  const ShardAssignment greedy =
+      make_assignment(g, 8, GreedyGrowPartitioner());
+  const ShardAssignment cont = make_assignment(g, 8, ContiguousPartitioner());
+  EXPECT_LE(cut_arcs(g, greedy), cut_arcs(g, cont));
+}
+
+// ---------------------------------------------------------------------------
+// Shared-memory transport
+// ---------------------------------------------------------------------------
+
+TEST(ShmTransport, CompletionCounterWaitIsBoundedAndSeesBumps) {
+  alignas(64) std::uint8_t mem[CompletionCounter::kBytes] = {};
+  CompletionCounter c(mem);
+  EXPECT_EQ(c.load(), 0u);
+  // Nothing published: the bounded wait expires and reports no movement.
+  EXPECT_EQ(c.wait_past(0, 1), 0u);
+  c.bump();
+  c.bump();
+  EXPECT_EQ(c.load(), 2u);
+  // A counter that already moved past last_seen returns without sleeping.
+  EXPECT_EQ(c.wait_past(0, 10000), 2u);
+}
+
+TEST(ShmTransport, ChannelPingPongCarriesFramesSignalsAndAggregates) {
+  constexpr std::size_t kCap = 64;
+  std::vector<std::uint8_t> mem(ShmChannel::bytes_needed(kCap), 0);
+  alignas(64) std::uint8_t cmem[CompletionCounter::kBytes] = {};
+  CompletionCounter agg(cmem);
+  // Producer and consumer construct independent views over the same bytes,
+  // exactly as coordinator and worker do over the inherited arena.
+  ShmChannel prod(mem.data(), kCap, &agg);
+  ShmChannel cons(mem.data(), kCap);
+  ASSERT_TRUE(prod.idle());
+  EXPECT_EQ(cons.poll(), ShmSignal::kNone);
+  EXPECT_EQ(cons.wait(1), ShmSignal::kNone);  // bounded timeout, no hang
+
+  const std::vector<std::uint8_t> payload = encode_empty(ShardOp::kStart);
+  const auto slot = prod.buffer();
+  ASSERT_GE(slot.size(), payload.size());
+  std::copy(payload.begin(), payload.end(), slot.begin());
+  prod.publish_frame(payload.size());
+  EXPECT_EQ(agg.load(), 1u);  // w2c publications bump the barrier counter
+  EXPECT_FALSE(prod.idle());
+  ASSERT_EQ(cons.poll(), ShmSignal::kFrame);
+  const auto frame = cons.frame();
+  ASSERT_EQ(frame.size(), payload.size());
+  EXPECT_TRUE(std::equal(frame.begin(), frame.end(), payload.begin()));
+  EXPECT_NO_THROW(decode_empty(frame, ShardOp::kStart));
+  cons.release();
+  ASSERT_TRUE(prod.idle());
+
+  // Socket hints ride the same doorbell; a busy channel refuses the
+  // best-effort publish instead of clobbering the pending publication.
+  prod.publish_signal(ShmSignal::kSocket);
+  EXPECT_EQ(agg.load(), 2u);
+  EXPECT_FALSE(prod.try_publish_signal(ShmSignal::kSocket));
+  EXPECT_EQ(cons.wait(10000), ShmSignal::kSocket);
+  cons.release();
+  EXPECT_TRUE(prod.try_publish_signal(ShmSignal::kSocket));
+  cons.release();
+
+  // Oversized publications are a caller bug, refused up front.
+  EXPECT_THROW(prod.publish_frame(kCap + 1), Error);
+}
+
+TEST(ShmTransport, ChannelRejectsTornLengthAndUnknownKind) {
+  // Shared memory is untrusted input: a torn or hostile peer can scribble
+  // the header fields between publish and consume. These pokes write the
+  // raw header words (doorbell, consumed, len, kind — four u32 in order).
+  constexpr std::size_t kCap = 32;
+  std::vector<std::uint8_t> mem(ShmChannel::bytes_needed(kCap), 0);
+  ShmChannel prod(mem.data(), kCap);
+  ShmChannel cons(mem.data(), kCap);
+
+  prod.publish_frame(4);
+  const std::uint32_t bad_len = kCap + 1;
+  std::memcpy(mem.data() + 8, &bad_len, sizeof(bad_len));
+  ASSERT_EQ(cons.poll(), ShmSignal::kFrame);
+  EXPECT_THROW(cons.frame(), serve::ProtocolError);
+  cons.release();
+
+  prod.publish_signal(ShmSignal::kSocket);
+  const std::uint32_t bad_kind = 77;
+  std::memcpy(mem.data() + 12, &bad_kind, sizeof(bad_kind));
+  EXPECT_THROW(cons.poll(), serve::ProtocolError);
+}
+
+TEST(ShmTransport, MeshRingRoundTripsAndRejectsStaleOrTornSlots) {
+  constexpr std::size_t kCap = 48;
+  std::vector<std::uint8_t> mem(MeshRing::bytes_needed(kCap), 0);
+  MeshRing prod(mem.data(), kCap);
+  MeshRing cons(mem.data(), kCap);
+
+  auto buf = prod.produce_buffer(3);
+  ASSERT_EQ(buf.size(), kCap);
+  buf[0] = 0xAB;
+  prod.publish(3, 1);
+  const auto got = cons.consume(3);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 0xAB);
+
+  // Round 5 maps to the same slot (5 & 1 == 3 & 1) but finds round 3's
+  // stamp: stale contents are a protocol error, never silently replayed.
+  EXPECT_THROW(cons.consume(5), serve::ProtocolError);
+  // The other slot was never published: its zero stamp fails round 2.
+  EXPECT_THROW(cons.consume(2), serve::ProtocolError);
+
+  // A torn writer's oversized length is rejected even with a valid stamp.
+  // Slot 3 & 1 == 1 starts at kSlotHeaderBytes + kCap; its header is
+  // (round u32 | len u32).
+  const std::size_t slot1 = MeshRing::kSlotHeaderBytes + kCap;
+  const std::uint32_t bad_len = kCap + 1;
+  std::memcpy(mem.data() + slot1 + 4, &bad_len, sizeof(bad_len));
+  EXPECT_THROW(cons.consume(3), serve::ProtocolError);
+
+  // Oversized publications are refused producer-side as a caller bug.
+  EXPECT_THROW(prod.publish(4, kCap + 1), Error);
+}
+
+TEST(ShardCodec, MeshBatchRoundTripsThroughWriterAndReader) {
+  std::vector<std::uint8_t> buf(512);
+  MeshWriter w(buf, 7);
+  ASSERT_TRUE(w.add(3, inline_msg()));
+  ASSERT_TRUE(w.add(0, spilled_msg()));
+  ASSERT_TRUE(w.add(123456, extreme_msg()));
+  std::size_t len = 0;
+  ASSERT_TRUE(w.finish(len));
+  EXPECT_EQ(w.count(), 3u);
+
+  MeshReader r(std::span<const std::uint8_t>(buf.data(), len), 7);
+  EXPECT_EQ(r.count(), 3u);
+  std::uint32_t slot = 0;
+  Message m;
+  ASSERT_TRUE(r.next(slot, m));
+  EXPECT_EQ(slot, 3u);
+  expect_eq(m, inline_msg());
+  ASSERT_TRUE(r.next(slot, m));
+  EXPECT_EQ(slot, 0u);
+  expect_eq(m, spilled_msg());
+  ASSERT_TRUE(r.next(slot, m));
+  EXPECT_EQ(slot, 123456u);
+  expect_eq(m, extreme_msg());
+  EXPECT_FALSE(r.next(slot, m));
+
+  // An empty batch (mandatory publication for a round with no traffic on
+  // the pair) round-trips too.
+  MeshWriter we(buf, 8);
+  ASSERT_TRUE(we.finish(len));
+  MeshReader re(std::span<const std::uint8_t>(buf.data(), len), 8);
+  EXPECT_EQ(re.count(), 0u);
+  EXPECT_FALSE(re.next(slot, m));
+}
+
+TEST(ShardCodec, MeshBatchRejectsWrongRoundTruncationAndTrailingBytes) {
+  std::vector<std::uint8_t> buf(512);
+  MeshWriter w(buf, 9);
+  ASSERT_TRUE(w.add(1, inline_msg()));
+  ASSERT_TRUE(w.add(2, spilled_msg()));
+  std::size_t len = 0;
+  ASSERT_TRUE(w.finish(len));
+  const std::span<const std::uint8_t> batch(buf.data(), len);
+
+  const auto drain = [](std::span<const std::uint8_t> p,
+                        std::uint32_t round) {
+    MeshReader r(p, round);
+    std::uint32_t slot = 0;
+    Message m;
+    while (r.next(slot, m)) {
+    }
+  };
+  EXPECT_NO_THROW(drain(batch, 9));
+  // A stale or skewed producer stamp is rejected before any entry parses.
+  EXPECT_THROW(drain(batch, 8), serve::ProtocolError);
+  // The same adversarial discipline as socket frames: every strict prefix
+  // and every overlong buffer fails somewhere in the drain.
+  for (std::size_t cut = 0; cut < len; ++cut) {
+    EXPECT_THROW(drain(batch.first(cut), 9), serve::ProtocolError)
+        << "prefix " << cut;
+  }
+  std::vector<std::uint8_t> longer(buf.begin(),
+                                   buf.begin() + static_cast<long>(len));
+  longer.push_back(0);
+  EXPECT_THROW(drain(longer, 9), serve::ProtocolError);
+}
+
+TEST(ShardCodec, MeshWriterLatchesOverflowInsteadOfThrowing) {
+  // A batch that outgrows its ring slot is an expected outcome (the worker
+  // publishes an empty batch and spills via the coordinator), so the
+  // writer reports it instead of throwing.
+  std::vector<std::uint8_t> tiny(20);
+  MeshWriter w(tiny, 2);
+  EXPECT_FALSE(w.add(0, inline_msg()));
+  std::size_t len = 99;
+  EXPECT_FALSE(w.finish(len));
+  EXPECT_EQ(w.count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Round barrier and perf counters
+// ---------------------------------------------------------------------------
+
+TEST(ShardedNetwork, RoundBeginReachesEveryWorkerBeforeAnyRoundEndWait) {
+  // Regression for the serialized barrier: the coordinator used to send
+  // round_begin to worker w and block on w's round_end before serving
+  // w+1, so one slow worker stalled the fan-out and W workers sleeping
+  // D ms each cost W*D per round. With the broadcast-first barrier they
+  // sleep concurrently and a round costs ~D.
+  class Sleepy final : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override {
+      if (ctx.id() % 6 == 0) ::usleep(30 * 1000);
+    }
+  };
+  const Graph g = graph::make_path(18);
+  ShardConfig cfg;
+  cfg.shards = 3;  // contiguous: one sleeper (0, 6, 12) per worker
+  ShardedNetwork net(g, cfg);
+  net.init_programs([](NodeId) { return std::make_unique<Sleepy>(); });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunStats st = net.run_rounds(4);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(st.rounds, 4u);
+  // Serialized service would take >= 3 workers * 4 rounds * 30 ms = 360 ms;
+  // concurrent sleeps take ~120 ms. The bound sits between with margin.
+  EXPECT_LT(elapsed.count(), 260) << "barrier appears to serialize workers";
+  // The coordinator really waited on the barrier, and said so.
+  EXPECT_GE(net.perf().barrier_wait_us, 80u * 1000u);
+}
+
+TEST(ShardedNetwork, PerfCountersTrackBoundaryTrafficAndElision) {
+  Rng rng(17);
+  const Graph g = graph::make_connected_er(30, 0.15, rng);
+  // Without an observer, per-delivery events are never encoded; the
+  // coordinator counts every delivery it did not have to merge.
+  {
+    ShardConfig cfg;
+    cfg.shards = 3;
+    ShardedNetwork net(g, cfg);
+    const auto got = algos::elect_leader_on(net);
+    const ShardPerfCounters& p = net.perf();
+    EXPECT_GT(p.rounds, 0u);
+    EXPECT_GT(p.boundary_bytes, 0u);
+    EXPECT_GT(p.boundary_messages, 0u);
+    EXPECT_EQ(p.events_elided, got.stats.messages);
+    EXPECT_EQ(p.spilled_frames, 0u);
+  }
+  // With an observer attached every event ships and merges; none elided.
+  {
+    ShardConfig cfg;
+    cfg.shards = 3;
+    std::size_t seen = 0;
+    cfg.net.observer = std::make_shared<CallbackObserver>(
+        [&seen](NodeId, NodeId, const Message&, std::uint32_t) { ++seen; });
+    ShardedNetwork net(g, cfg);
+    const auto got = algos::elect_leader_on(net);
+    EXPECT_EQ(net.perf().events_elided, 0u);
+    EXPECT_EQ(seen, got.stats.messages);
+  }
+}
+
+TEST(ShardedNetwork, SingleWorkerStillRunsBoundaryFreeAndBitIdentical) {
+  // W=1 has no mesh rings and no boundary traffic at all — the degenerate
+  // layout must still produce the exact sequential stats.
+  Rng rng(23);
+  const Graph g = graph::make_connected_er(20, 0.2, rng);
+  const auto expect = algos::elect_leader(g);
+  ShardConfig cfg;
+  cfg.shards = 1;
+  ShardedNetwork net(g, cfg);
+  const auto got = algos::elect_leader_on(net);
+  EXPECT_EQ(got.leader, expect.leader);
+  EXPECT_EQ(got.stats.messages, expect.stats.messages);
+  EXPECT_EQ(net.perf().boundary_bytes, 0u);
+  EXPECT_EQ(net.perf().boundary_messages, 0u);
 }
 
 }  // namespace
